@@ -1,0 +1,46 @@
+package rprism
+
+import (
+	"repro/internal/diff"
+	"repro/internal/impact"
+	"repro/internal/protocol"
+)
+
+// The paper's §4 lists further view-based dynamic analyses its trace
+// abstraction enables: object protocol inference, property checking
+// (typestate), and impact analysis. This file exposes our implementations
+// of those extensions.
+
+// ProtocolModel is an inferred per-class object protocol: the observed
+// method-order transitions over all instances in a trace.
+type ProtocolModel = protocol.Model
+
+// ProtocolDecl declares a typestate property: the permitted method-order
+// transitions for a class.
+type ProtocolDecl = protocol.Decl
+
+// ProtocolViolation is a typestate breach observed in a trace.
+type ProtocolViolation = protocol.Violation
+
+// ProtocolChange is one transition added or removed between two inferred
+// protocols (protocol drift across versions).
+type ProtocolChange = protocol.Change
+
+// InferProtocol infers the object protocol of a class from the trace's
+// target-object views.
+func InferProtocol(w *Web, class string) *ProtocolModel { return protocol.Infer(w, class) }
+
+// DiffProtocols reports transitions present in exactly one of two
+// inferred protocols.
+func DiffProtocols(old, new *ProtocolModel) []ProtocolChange { return protocol.DiffModels(old, new) }
+
+// CheckProtocol verifies every object of the declared class follows the
+// typestate property, returning all violations in trace order.
+func CheckProtocol(w *Web, d ProtocolDecl) []ProtocolViolation { return protocol.CheckTrace(w, d) }
+
+// ImpactSurface ranks the methods, classes, objects, and threads touched
+// by the behavioural differences of a trace pair.
+type ImpactSurface = impact.Surface
+
+// ComputeImpact builds the impact surface of a differencing result.
+func ComputeImpact(res *diff.Result) *ImpactSurface { return impact.Compute(res) }

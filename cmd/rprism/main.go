@@ -1,0 +1,306 @@
+// Command rprism is the CLI front end: trace a program, diff two traces,
+// explore views, or run the full regression-cause analysis.
+//
+//	rprism trace   -src prog.mj -out run.trace [-args a,b] [-exclude C,D]
+//	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20]
+//	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
+//	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rprism "repro"
+	"repro/internal/impact"
+	"repro/internal/lang"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "views":
+		err = cmdViews(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "protocol":
+		err = cmdProtocol(os.Args[2:])
+	case "impact":
+		err = cmdImpact(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rprism:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|diff|views|analyze|check|protocol|impact} [flags]")
+	os.Exit(2)
+}
+
+// cmdCheck parses and type-checks a program without running it.
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	src := fs.String("src", "", "program source file")
+	_ = fs.Parse(args)
+	if *src == "" {
+		return fmt.Errorf("check: -src is required")
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		return err
+	}
+	prog, err := lang.Parse(string(text))
+	if err != nil {
+		return err
+	}
+	if err := lang.TypeCheck(prog); err != nil {
+		return err
+	}
+	fmt.Println(lang.TypeCheckSummary(prog))
+	return nil
+}
+
+// cmdProtocol infers the object protocol of a class from a trace.
+func cmdProtocol(args []string) error {
+	fs := flag.NewFlagSet("protocol", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file")
+	class := fs.String("class", "", "class to infer the protocol of")
+	against := fs.String("against", "", "optional second trace to diff protocols against")
+	_ = fs.Parse(args)
+	if *path == "" || *class == "" {
+		return fmt.Errorf("protocol: -trace and -class are required")
+	}
+	t, err := rprism.LoadTrace(*path)
+	if err != nil {
+		return err
+	}
+	model := protocol.Infer(rprism.BuildViews(t), *class)
+	fmt.Print(model)
+	if *against == "" {
+		return nil
+	}
+	t2, err := rprism.LoadTrace(*against)
+	if err != nil {
+		return err
+	}
+	model2 := protocol.Infer(rprism.BuildViews(t2), *class)
+	fmt.Println("drift against second trace:")
+	for _, ch := range protocol.DiffModels(model, model2) {
+		fmt.Println(" ", ch)
+	}
+	return nil
+}
+
+// cmdImpact prints the impact surface of a trace pair.
+func cmdImpact(args []string) error {
+	fs := flag.NewFlagSet("impact", flag.ExitOnError)
+	left := fs.String("left", "", "left trace file")
+	right := fs.String("right", "", "right trace file")
+	maxItems := fs.Int("max", 10, "max items per dimension")
+	_ = fs.Parse(args)
+	if *left == "" || *right == "" {
+		return fmt.Errorf("impact: -left and -right are required")
+	}
+	l, err := rprism.LoadTrace(*left)
+	if err != nil {
+		return err
+	}
+	r, err := rprism.LoadTrace(*right)
+	if err != nil {
+		return err
+	}
+	res := rprism.Diff(l, r, rprism.DiffOptions{})
+	fmt.Print(impact.Compute(res).Report(*maxItems))
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	src := fs.String("src", "", "program source file")
+	out := fs.String("out", "", "output trace file")
+	progArgs := fs.String("args", "", "comma-separated program arguments")
+	exclude := fs.String("exclude", "", "comma-separated classes to exclude (pointcut)")
+	jsonl := fs.String("jsonl", "", "also export the trace as JSON lines to this file")
+	_ = fs.Parse(args)
+	if *src == "" || *out == "" {
+		return fmt.Errorf("trace: -src and -out are required")
+	}
+	text, err := os.ReadFile(*src)
+	if err != nil {
+		return err
+	}
+	prog, err := rprism.Compile(string(text))
+	if err != nil {
+		return err
+	}
+	opts := rprism.RunOptions{TraceName: *out}
+	if *progArgs != "" {
+		opts.Args = strings.Split(*progArgs, ",")
+	}
+	if *exclude != "" {
+		opts.Pointcut = &rprism.Pointcut{ExcludeClasses: strings.Split(*exclude, ",")}
+	}
+	res, err := rprism.Run(prog, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Output)
+	if res.Err != nil {
+		fmt.Println("program error:", res.Err)
+	}
+	stats := trace.ComputeStats(res.Trace)
+	fmt.Printf("trace: %s\n", stats)
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			return err
+		}
+		if err := res.Trace.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return rprism.SaveTrace(res.Trace, *out)
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	left := fs.String("left", "", "left trace file")
+	right := fs.String("right", "", "right trace file")
+	useLCS := fs.Bool("lcs", false, "use the LCS baseline instead of views-based differencing")
+	maxSeqs := fs.Int("max", 20, "max difference sequences to print")
+	_ = fs.Parse(args)
+	if *left == "" || *right == "" {
+		return fmt.Errorf("diff: -left and -right are required")
+	}
+	l, err := rprism.LoadTrace(*left)
+	if err != nil {
+		return err
+	}
+	r, err := rprism.LoadTrace(*right)
+	if err != nil {
+		return err
+	}
+	var res *rprism.DiffResult
+	if *useLCS {
+		if res, err = rprism.DiffLCS(l, r, rprism.LCSOptions{}); err != nil {
+			return err
+		}
+	} else {
+		res = rprism.Diff(l, r, rprism.DiffOptions{})
+	}
+	fmt.Print(res.Format(*maxSeqs))
+	fmt.Printf("compares=%d mem=%.1fMB\n", res.Stats.Compares, float64(res.Stats.MemBytes)/1e6)
+	return nil
+}
+
+func cmdViews(args []string) error {
+	fs := flag.NewFlagSet("views", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file")
+	show := fs.String("show", "", "view to display, as TYPE:KEY (e.g. CM:Main.main/0)")
+	maxEntries := fs.Int("max", 50, "max entries to print")
+	_ = fs.Parse(args)
+	if *path == "" {
+		return fmt.Errorf("views: -trace is required")
+	}
+	t, err := rprism.LoadTrace(*path)
+	if err != nil {
+		return err
+	}
+	web := rprism.BuildViews(t)
+	if *show == "" {
+		c := web.Count()
+		fmt.Printf("%d views: %d thread, %d method, %d target-object, %d active-object\n",
+			c.Total, c.Thread, c.Method, c.TargetObject, c.ActiveObject)
+		for _, n := range web.Names() {
+			fmt.Printf("  %s:%s (%d entries)\n", n.Type, n.Key, web.View(n).Len())
+		}
+		return nil
+	}
+	parts := strings.SplitN(*show, ":", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("views: -show wants TYPE:KEY")
+	}
+	var typ views.Type
+	switch parts[0] {
+	case "TH":
+		typ = views.Thread
+	case "CM":
+		typ = views.Method
+	case "TO":
+		typ = views.TargetObject
+	case "AO":
+		typ = views.ActiveObject
+	default:
+		return fmt.Errorf("views: unknown type %q (TH, CM, TO, AO)", parts[0])
+	}
+	name := views.Name{Type: typ, Key: parts[1]}
+	v := web.View(name)
+	if v == nil {
+		return fmt.Errorf("views: no view %s", name)
+	}
+	entries := web.Entries(name)
+	if len(entries) > *maxEntries {
+		entries = entries[:*maxEntries]
+	}
+	fmt.Print(trace.FormatEntries(entries))
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	oc := fs.String("orig-correct", "", "original version, non-regressing test")
+	nc := fs.String("new-correct", "", "new version, non-regressing test")
+	or := fs.String("orig-regr", "", "original version, regressing test")
+	nr := fs.String("new-regr", "", "new version, regressing test")
+	removal := fs.Bool("removal", false, "use (A-B)-C for code-removal regressions")
+	maxSeqs := fs.Int("max", 10, "max candidate sequences to print")
+	_ = fs.Parse(args)
+	load := func(p, what string) (*rprism.Trace, error) {
+		if p == "" {
+			return nil, fmt.Errorf("analyze: -%s is required", what)
+		}
+		return rprism.LoadTrace(p)
+	}
+	in := rprism.RegressionInput{RemovalMode: *removal}
+	var err error
+	if in.OrigCorrect, err = load(*oc, "orig-correct"); err != nil {
+		return err
+	}
+	if in.NewCorrect, err = load(*nc, "new-correct"); err != nil {
+		return err
+	}
+	if in.OrigRegr, err = load(*or, "orig-regr"); err != nil {
+		return err
+	}
+	if in.NewRegr, err = load(*nr, "new-regr"); err != nil {
+		return err
+	}
+	an, err := rprism.AnalyzeRegression(in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(an.Report(*maxSeqs))
+	return nil
+}

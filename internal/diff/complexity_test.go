@@ -1,0 +1,95 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/subjects"
+	"repro/internal/trace"
+)
+
+// TestViewDiffEmpiricalLinearity checks the paper's central complexity
+// claim (§3.3: "our technique exhibits O(n) complexity in both space and
+// time") empirically: quadrupling the trace size must grow compare
+// operations by roughly 4x, not 16x. The workload plants a bug that
+// fires on a fixed fraction of operations, so divergence density is
+// size-independent.
+func TestViewDiffEmpiricalLinearity(t *testing.T) {
+	pair := func(stmts int) (*trace.Trace, *trace.Trace) {
+		prog := lang.MustParse(subjects.RhinoSource())
+		bugSrc := strings.Replace(subjects.RhinoSource(),
+			`if (sym.equals("+")) { return a + b; }`,
+			`if (sym.equals("+")) { return a + b + a % 13 / 12; }`, 1)
+		bug := lang.MustParse(bugSrc)
+		script := subjects.GenScript(stmts, 5)
+		runIt := func(p *lang.Program) *trace.Trace {
+			res, err := interp.Run(p, interp.Options{Args: []string{script}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Trace
+		}
+		return runIt(prog), runIt(bug)
+	}
+
+	l1, r1 := pair(10)
+	l2, r2 := pair(40)
+	small := ViewDiff(l1, r1, ViewOptions{})
+	large := ViewDiff(l2, r2, ViewOptions{})
+
+	sizeRatio := float64(l2.Len()) / float64(l1.Len())
+	compareRatio := float64(large.Stats.Compares) / float64(small.Stats.Compares)
+	if sizeRatio < 3 {
+		t.Fatalf("workload scaling broken: size ratio %.1f", sizeRatio)
+	}
+	// Linear behaviour: compare growth within ~2.5x of size growth.
+	// Quadratic behaviour would put compareRatio near sizeRatio².
+	if compareRatio > 2.5*sizeRatio {
+		t.Errorf("compares grew %.1fx for a %.1fx size increase (superlinear):"+
+			" small=%d large=%d", compareRatio, sizeRatio,
+			small.Stats.Compares, large.Stats.Compares)
+	}
+	// Space: the differ's working memory estimate must also stay linear.
+	memRatio := float64(large.Stats.MemBytes) / float64(small.Stats.MemBytes)
+	if memRatio > 2.5*sizeRatio {
+		t.Errorf("memory grew %.1fx for a %.1fx size increase", memRatio, sizeRatio)
+	}
+}
+
+// TestLCSEmpiricalQuadratic is the contrast case: on the same scattered
+// workload the DP baseline's compares grow quadratically.
+func TestLCSEmpiricalQuadratic(t *testing.T) {
+	prog := lang.MustParse(subjects.RhinoSource())
+	bugSrc := strings.Replace(subjects.RhinoSource(),
+		`if (sym.equals("+")) { return a + b; }`,
+		`if (sym.equals("+")) { return a + b + a % 13 / 12; }`, 1)
+	bug := lang.MustParse(bugSrc)
+	compares := func(stmts int) (int, int64) {
+		script := subjects.GenScript(stmts, 5)
+		runIt := func(p *lang.Program) *trace.Trace {
+			res, err := interp.Run(p, interp.Options{Args: []string{script}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Trace
+		}
+		l, r := runIt(prog), runIt(bug)
+		res, err := LCSDiff(l, r, LCSOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Len(), res.Stats.Compares
+	}
+	n1, c1 := compares(10)
+	n2, c2 := compares(30)
+	sizeRatio := float64(n2) / float64(n1)
+	compareRatio := float64(c2) / float64(c1)
+	// Quadratic: the ratio should be much closer to sizeRatio² than to
+	// sizeRatio.
+	if compareRatio < 2*sizeRatio {
+		t.Errorf("LCS compares grew only %.1fx for %.1fx size: unexpectedly sublinear"+
+			" (did trimming swallow the workload?)", compareRatio, sizeRatio)
+	}
+}

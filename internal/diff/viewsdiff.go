@@ -1,0 +1,566 @@
+package diff
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lcs"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// ViewOptions are the tunables of the views-based differencing semantics.
+type ViewOptions struct {
+	// Window is ω: the fixed window size (entries on each side of the
+	// linking entry) for LCS over correlated secondary views.
+	Window int
+	// Radius is δ: how far around the differing entries the linked
+	// secondary views are collected (SIMILAR-FROM-LINKED-VIEWS).
+	Radius int
+	// MaxScan bounds the search for the next correspondence point in the
+	// primary views, keeping the evaluation linear.
+	MaxScan int
+	// QuickScan is the cheap lookahead tried before secondary-view
+	// exploration: divergences that resynchronize within this many skipped
+	// entries (a handful of genuinely changed events) skip the exploration
+	// machinery entirely.
+	QuickScan int
+	// MaxExplore caps the number of windowed-LCS computations per
+	// divergence point, bounding per-divergence work by a constant — part
+	// of the linear-complexity argument.
+	MaxExplore int
+	// Relaxed enables the context-sensitive correlation relaxation of §5:
+	// views also correlate when their linking entries are the same
+	// distance from the current point of divergence, tolerating renames
+	// and split/merged methods. Relaxed pairs are only explored when the
+	// standard correlation functions produced no usable anchors.
+	Relaxed bool
+}
+
+// DefaultViewOptions returns the configuration used throughout the
+// evaluation.
+func DefaultViewOptions() ViewOptions {
+	return ViewOptions{Window: 15, Radius: 8, MaxScan: 1000, QuickScan: 2,
+		MaxExplore: 32, Relaxed: true}
+}
+
+func (o ViewOptions) withDefaults() ViewOptions {
+	d := DefaultViewOptions()
+	if o.Window == 0 {
+		o.Window = d.Window
+	}
+	if o.Radius == 0 {
+		o.Radius = d.Radius
+	}
+	if o.MaxScan == 0 {
+		o.MaxScan = d.MaxScan
+	}
+	if o.QuickScan == 0 {
+		o.QuickScan = d.QuickScan
+	}
+	if o.MaxExplore == 0 {
+		o.MaxExplore = d.MaxExplore
+	}
+	return o
+}
+
+// ViewDiff implements the views-based trace differencing semantics of
+// Fig. 12. Correlated thread-view pairs (XTH) are evaluated in lock step:
+// equal heads are consumed into Δ (STEP-VIEW-MATCH); at divergence points
+// the secondary views linked near the diverging entries are explored with
+// windowed LCS to find semantically similar entries — possibly very far
+// apart in the thread views — and evaluation resumes at the next point of
+// correspondence (STEP-VIEW-NOMATCH). The union of all pairs' Δ sets
+// yields the final similarity set; differences follow by subtraction.
+func ViewDiff(l, r *trace.Trace, opts ViewOptions) *Result {
+	opts = opts.withDefaults()
+	d := &differ{
+		opts: opts,
+		cnt:  &counter{},
+		wl:   views.Build(l),
+		wr:   views.Build(r),
+		res: &Result{
+			Left: l, Right: r,
+			SimilarLeft:  make(map[trace.EntryID]bool),
+			SimilarRight: make(map[trace.EntryID]bool),
+		},
+	}
+	tm := views.MatchThreads(l, r)
+
+	// Deterministic order over matched pairs: ascending left tid.
+	lids := make([]trace.ThreadID, 0, len(tm.Pairs))
+	for lid := range tm.Pairs {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	for _, lid := range lids {
+		d.evalPair(lid, tm.Pairs[lid])
+	}
+
+	// Unmatched threads: everything they did is a difference.
+	for _, lid := range tm.LeftOnly {
+		if v := d.wl.ThreadView(lid); v != nil {
+			d.res.Sequences = append(d.res.Sequences, Sequence{Kind: Delete, Left: v.EIDs})
+		}
+	}
+	for _, rid := range tm.RightOnly {
+		if v := d.wr.ThreadView(rid); v != nil {
+			d.res.Sequences = append(d.res.Sequences, Sequence{Kind: Insert, Right: v.EIDs})
+		}
+	}
+
+	d.res.DiffLeft = diffsFromSimilar(l, d.res.SimilarLeft)
+	d.res.DiffRight = diffsFromSimilar(r, d.res.SimilarRight)
+	d.res.Sequences = d.filterSequences(d.res.Sequences)
+	d.res.Stats = Stats{
+		Compares:         d.cnt.compares,
+		ViewExplorations: d.explorations,
+		MemBytes: int64(l.Len()+r.Len())*48 + // view webs (indices + names)
+			int64(len(d.memo))*24,
+	}
+	return d.res
+}
+
+type differ struct {
+	opts         ViewOptions
+	cnt          *counter
+	wl, wr       *views.Web
+	res          *Result
+	memo         map[memoKey]bool
+	explorations int64
+}
+
+type memoKey struct {
+	lv, rv           views.Name
+	lBucket, rBucket int
+}
+
+// anchor is a pair of similar entries discovered in linked views, located
+// by their positions in the current thread-view pair (-1 when the entry
+// belongs to a different thread).
+type anchor struct {
+	posL, posR int
+	eidL, eidR trace.EntryID
+}
+
+// evalPair evaluates one correlated thread-view pair under →V.
+func (d *differ) evalPair(lid, rid trace.ThreadID) {
+	lv, rv := d.wl.ThreadView(lid), d.wr.ThreadView(rid)
+	if lv == nil || rv == nil {
+		return
+	}
+	L, R := lv.EIDs, rv.EIDs
+	thL := views.Name{Type: views.Thread, Key: fmt.Sprintf("%d", lid)}
+	thR := views.Name{Type: views.Thread, Key: fmt.Sprintf("%d", rid)}
+
+	var seq Sequence
+	flush := func() {
+		if seq.Size() > 0 {
+			switch {
+			case len(seq.Left) == 0:
+				seq.Kind = Insert
+			case len(seq.Right) == 0:
+				seq.Kind = Delete
+			default:
+				seq.Kind = Modify
+			}
+			d.res.Sequences = append(d.res.Sequences, seq)
+			seq = Sequence{}
+		}
+	}
+
+	i, j := 0, 0
+	desyncUntil := 0 // backoff threshold after a failed full resync
+	failStreak := 0  // consecutive failed resyncs; escalates the scan limit
+	for i < len(L) && j < len(R) {
+		el, er := d.wl.Trace.Entries[L[i]], d.wr.Trace.Entries[R[j]]
+		if d.cnt.equal(el, er) {
+			// STEP-VIEW-MATCH
+			flush()
+			d.mark(L[i], R[j])
+			i++
+			j++
+			continue
+		}
+		skip := func(ni, nj int) {
+			for k := i; k < ni; k++ {
+				seq.Left = append(seq.Left, L[k])
+			}
+			for k := j; k < nj; k++ {
+				seq.Right = append(seq.Right, R[k])
+			}
+			i, j = ni, nj
+		}
+		// Cheap lookahead first: small genuine divergences resynchronize
+		// within a few entries without any secondary-view work.
+		if ni, nj, ok := d.scan(L, R, i, j, d.opts.QuickScan); ok {
+			skip(ni, nj)
+			continue
+		}
+		if i+j < desyncUntil {
+			// A recent full scan found no correspondence point; the traces
+			// are massively diverged here. Consume pairs cheaply until
+			// we're past the region the failed scan already covered —
+			// this bounds total scan work linearly.
+			seq.Left = append(seq.Left, L[i])
+			seq.Right = append(seq.Right, R[j])
+			i++
+			j++
+			continue
+		}
+		// STEP-VIEW-NOMATCH: explore linked secondary views around the
+		// diverging entries and collect similar entries.
+		anchors := d.explore(thL, thR, L, R, i, j)
+		for _, a := range anchors {
+			d.mark(a.eidL, a.eidR)
+		}
+		// The scan limit escalates after consecutive failures so that
+		// one-sided insertions larger than MaxScan (which a fixed-limit
+		// scan with pairwise consumption would never realign past) are
+		// eventually bridged; it is capped by the remaining work so total
+		// scan cost stays proportional to the trace length.
+		limit := d.opts.MaxScan << failStreak
+		if rem := (len(L) - i) + (len(R) - j); limit > rem {
+			limit = rem
+		}
+		if ni, nj, ok := d.resyncLimit(L, R, i, j, anchors, limit); ok {
+			failStreak = 0
+			skip(ni, nj)
+			continue
+		}
+		// No correspondence point within bounds: back off and consume one
+		// entry from each side as differences.
+		if failStreak < 8 {
+			failStreak++
+		}
+		desyncUntil = i + j + limit
+		seq.Left = append(seq.Left, L[i])
+		seq.Right = append(seq.Right, R[j])
+		i++
+		j++
+	}
+	for ; i < len(L); i++ {
+		seq.Left = append(seq.Left, L[i])
+	}
+	for ; j < len(R); j++ {
+		seq.Right = append(seq.Right, R[j])
+	}
+	flush()
+}
+
+func (d *differ) mark(l, r trace.EntryID) {
+	d.res.SimilarLeft[l] = true
+	d.res.SimilarRight[r] = true
+}
+
+// resync finds the next pair of corresponding entries (η2, η4): the
+// closest equal pair ahead, where "closest" minimizes the total number of
+// skipped entries — approximating the minimality side condition
+// (γL′ ∩=e γR′ = ⟨⟩) of STEP-VIEW-NOMATCH. Anchor pairs discovered in
+// secondary views bound the search; an anti-diagonal scan then looks for
+// anything closer.
+func (d *differ) resync(L, R []trace.EntryID, i, j int, anchors []anchor) (int, int, bool) {
+	return d.resyncLimit(L, R, i, j, anchors, d.opts.MaxScan)
+}
+
+func (d *differ) resyncLimit(L, R []trace.EntryID, i, j int, anchors []anchor, limit int) (int, int, bool) {
+	bestSum := -1
+	bi, bj := 0, 0
+	for _, a := range anchors {
+		if a.posL < i || a.posR < j || (a.posL == i && a.posR == j) {
+			continue
+		}
+		if sum := (a.posL - i) + (a.posR - j); bestSum == -1 || sum < bestSum {
+			bestSum, bi, bj = sum, a.posL, a.posR
+		}
+	}
+	scanTo := limit
+	if bestSum != -1 && bestSum-1 < scanTo {
+		scanTo = bestSum - 1
+	}
+	if ni, nj, ok := d.scan(L, R, i, j, scanTo); ok {
+		return ni, nj, true
+	}
+	if bestSum != -1 {
+		return bi, bj, true
+	}
+	return 0, 0, false
+}
+
+// scan searches anti-diagonals s = 1..limit for the nearest pair of equal
+// entries ahead of (i, j), minimizing the total number of skipped entries.
+// A candidate pair is "confirmed" when the following entries also match
+// (or a trace ends there); a confirmed pair is preferred — resynchronizing
+// on a spurious singleton match of a common event (the 0-or-null problem
+// of §3.2) would cascade misalignment downstream. An unconfirmed
+// candidate is kept as a fallback and returned if no confirmed pair turns
+// up within a few further diagonals.
+func (d *differ) scan(L, R []trace.EntryID, i, j, limit int) (int, int, bool) {
+	fallbackI, fallbackJ := -1, -1
+	fallbackDeadline := 0
+	for s := 1; s <= limit; s++ {
+		if fallbackI >= 0 && s > fallbackDeadline {
+			return fallbackI, fallbackJ, true
+		}
+		// Walk the anti-diagonal from its balanced middle outward: in
+		// highly repetitive trace regions (scanning loops) every phase of
+		// the repetition matches =e, and the balanced pair is the one
+		// that keeps both sides in phase; a side-biased order would lock
+		// onto a phase-shifted match and misalign everything after it.
+		for k := 0; k <= s; k++ {
+			di := s/2 + (k+1)/2
+			if k%2 == 1 {
+				di = s/2 - (k+1)/2
+			}
+			if di < 0 || di > s {
+				continue
+			}
+			dj := s - di
+			if i+di >= len(L) || j+dj >= len(R) {
+				continue
+			}
+			if !d.cnt.equal(d.wl.Trace.Entries[L[i+di]], d.wr.Trace.Entries[R[j+dj]]) {
+				continue
+			}
+			confirmed := i+di+1 >= len(L) || j+dj+1 >= len(R) ||
+				d.cnt.equal(d.wl.Trace.Entries[L[i+di+1]], d.wr.Trace.Entries[R[j+dj+1]])
+			if confirmed {
+				return i + di, j + dj, true
+			}
+			if fallbackI < 0 {
+				fallbackI, fallbackJ = i+di, j+dj
+				fallbackDeadline = s + 8
+			}
+		}
+	}
+	if fallbackI >= 0 {
+		return fallbackI, fallbackJ, true
+	}
+	return 0, 0, false
+}
+
+// explore implements SIMILAR-FROM-LINKED-VIEWS: for entries η5/η6 within δ
+// of the diverging entries in the two thread views, correlated secondary
+// views (matching views) are compared by LCS over fixed-size windows
+// around the linking entries; every matched pair is a similar-entry
+// anchor.
+//
+// Candidate pairs come from an index over the correlation keys (method
+// signature, object class+seq, object value) rather than a cross product,
+// so per-divergence work is bounded by the number of distinct linked
+// views. The §5 relaxed pairs are a fallback used only when standard
+// correlation yields no anchors ahead of the divergence point.
+func (d *differ) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []anchor {
+	if d.memo == nil {
+		d.memo = make(map[memoKey]bool)
+	}
+	lc := d.collectLinked(d.wl, L, i)
+	rc := d.collectLinked(d.wr, R, j)
+
+	// Index the right side by correlation keys.
+	byKey := make(map[string]linked, len(rc))
+	for _, rk := range rc {
+		for _, k := range correlationKeys(rk) {
+			if _, dup := byKey[k]; !dup {
+				byKey[k] = rk
+			}
+		}
+	}
+
+	budget := d.opts.MaxExplore
+	var out []anchor
+	// The thread views themselves are trivially correlated (they are the
+	// pair being evaluated): a local window LCS around the divergence
+	// point anchors nearby reorderings.
+	out = append(out, d.windowLCS(thL, thR,
+		linked{name: thL, eid: L[i], offset: 0},
+		linked{name: thR, eid: R[j], offset: 0}, &budget)...)
+	for _, lk := range lc {
+		if budget <= 0 {
+			break
+		}
+		for _, k := range correlationKeys(lk) {
+			rk, ok := byKey[k]
+			if !ok || rk.name.Type != lk.name.Type {
+				continue
+			}
+			out = append(out, d.windowLCS(thL, thR, lk, rk, &budget)...)
+			break
+		}
+	}
+	if d.opts.Relaxed && !anyAhead(out, i, j) {
+		// Relaxed context-sensitive correlation: pair views whose linking
+		// entries sit at the same distance from the point of divergence,
+		// tolerating renamed/split/combined methods.
+		byOffset := make(map[int]linked, len(rc))
+		for _, rk := range rc {
+			if _, dup := byOffset[rk.offset]; !dup {
+				byOffset[rk.offset] = rk
+			}
+		}
+		for _, lk := range lc {
+			if budget <= 0 {
+				break
+			}
+			rk, ok := byOffset[lk.offset]
+			if !ok || rk.name.Type != lk.name.Type {
+				continue
+			}
+			out = append(out, d.windowLCS(thL, thR, lk, rk, &budget)...)
+		}
+	}
+	return out
+}
+
+// correlationKeys renders the Xτ correlation criteria of a linked view as
+// index strings: method signature for CM; class+seq and class+value for
+// TO/AO (either criterion suffices, §3.1).
+func correlationKeys(lk linked) []string {
+	switch lk.name.Type {
+	case views.Method:
+		return []string{"m:" + lk.name.Key}
+	case views.TargetObject:
+		t := lk.entry.Event.Target
+		keys := make([]string, 0, 2)
+		if t.Loc != trace.NoLoc && t.Seq != 0 {
+			keys = append(keys, fmt.Sprintf("ts:%s/%d", t.Class, t.Seq))
+		}
+		if t.HasValue() {
+			keys = append(keys, fmt.Sprintf("tv:%s/%x/%s", t.Class, t.Hash, t.Str))
+		}
+		return keys
+	case views.ActiveObject:
+		s := lk.entry.Self
+		if s.Loc != trace.NoLoc && s.Seq != 0 {
+			return []string{fmt.Sprintf("as:%s/%d", s.Class, s.Seq)}
+		}
+	}
+	return nil
+}
+
+func anyAhead(anchors []anchor, i, j int) bool {
+	for _, a := range anchors {
+		if a.posL >= i && a.posR >= j && !(a.posL == i && a.posR == j) {
+			return true
+		}
+	}
+	return false
+}
+
+// linked is a secondary view reachable from an entry near the divergence
+// point, with the linking entry and its thread-view offset.
+type linked struct {
+	name   views.Name
+	eid    trace.EntryID
+	entry  trace.Entry
+	offset int // distance from the divergence point in the thread view
+}
+
+// collectLinked gathers the distinct non-thread views linked from entries
+// within ±δ of position pos in the thread view, keeping the first linking
+// entry per view.
+func (d *differ) collectLinked(w *views.Web, tv []trace.EntryID, pos int) []linked {
+	seen := make(map[views.Name]bool)
+	var out []linked
+	lo, hi := pos-d.opts.Radius, pos+d.opts.Radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(tv) {
+		hi = len(tv) - 1
+	}
+	for p := lo; p <= hi; p++ {
+		eid := tv[p]
+		for _, n := range w.NamesOf(eid) {
+			if n.Type == views.Thread || seen[n] {
+				continue
+			}
+			seen[n] = true
+			out = append(out, linked{
+				name:   n,
+				eid:    eid,
+				entry:  w.Trace.Entries[eid],
+				offset: p - pos,
+			})
+		}
+	}
+	return out
+}
+
+// windowLCS computes the LCS over fixed ω-windows of a correlated view
+// pair, centered at the linking entries, and converts matched pairs into
+// anchors (memoized per window bucket so repeated divergences nearby do
+// not recompute the same comparison).
+func (d *differ) windowLCS(thL, thR views.Name, lk, rk linked, budget *int) []anchor {
+	if *budget <= 0 {
+		return nil
+	}
+	lpos, okL := d.wl.PosIn(lk.name, lk.eid)
+	rpos, okR := d.wr.PosIn(rk.name, rk.eid)
+	if !okL || !okR {
+		return nil
+	}
+	key := memoKey{lk.name, rk.name, lpos / d.opts.Window, rpos / d.opts.Window}
+	if d.memo[key] {
+		return nil
+	}
+	d.memo[key] = true
+	d.explorations++
+	*budget--
+
+	lwin := d.wl.Window(lk.name, lk.eid, d.opts.Window)
+	rwin := d.wr.Window(rk.name, rk.eid, d.opts.Window)
+	if len(lwin) == 0 || len(rwin) == 0 {
+		return nil
+	}
+	eq := func(a, b int) bool {
+		return d.cnt.equal(d.wl.Trace.Entries[lwin[a]], d.wr.Trace.Entries[rwin[b]])
+	}
+	pairs, _, err := lcs.Compute(len(lwin), len(rwin), eq, lcs.Options{})
+	if err != nil {
+		return nil
+	}
+	out := make([]anchor, 0, len(pairs))
+	for _, p := range pairs {
+		a := anchor{eidL: lwin[p.I], eidR: rwin[p.J], posL: -1, posR: -1}
+		if pos, ok := d.wl.PosIn(thL, a.eidL); ok {
+			a.posL = pos
+		}
+		if pos, ok := d.wr.PosIn(thR, a.eidR); ok {
+			a.posR = pos
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// filterSequences drops entries that later exploration marked similar and
+// removes empty sequences, re-deriving each sequence's kind.
+func (d *differ) filterSequences(seqs []Sequence) []Sequence {
+	out := seqs[:0]
+	for _, s := range seqs {
+		var left, right []trace.EntryID
+		for _, id := range s.Left {
+			if !d.res.SimilarLeft[id] {
+				left = append(left, id)
+			}
+		}
+		for _, id := range s.Right {
+			if !d.res.SimilarRight[id] {
+				right = append(right, id)
+			}
+		}
+		if len(left)+len(right) == 0 {
+			continue
+		}
+		kind := Modify
+		switch {
+		case len(left) == 0:
+			kind = Insert
+		case len(right) == 0:
+			kind = Delete
+		}
+		out = append(out, Sequence{Kind: kind, Left: left, Right: right})
+	}
+	return out
+}

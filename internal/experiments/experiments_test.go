@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/subjects"
+)
+
+// TestRunCaseFastSubjects exercises the Table 1/2 pipeline on the small
+// subjects (the full set runs in the bench harness).
+func TestRunCaseFastSubjects(t *testing.T) {
+	for _, s := range []subjects.Subject{subjects.MyFaces(), subjects.Xalan1725(), subjects.Xalan1802()} {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			r, err := RunCase(s, DefaultLCSBudget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.TraceEntries == 0 || r.Counts.Total == 0 {
+				t.Errorf("missing basics: %+v", r)
+			}
+			if r.LCS.OOM {
+				t.Errorf("%s should fit the LCS budget", s.Name)
+			}
+			if r.Views.RegrSeqs == 0 {
+				t.Error("views analysis found no regression sequences")
+			}
+			if r.Sizes.A == 0 || r.Sizes.D == 0 {
+				t.Errorf("set sizes: %+v", r.Sizes)
+			}
+			if r.Views.Compares >= r.LCS.Compares {
+				t.Errorf("views compares %d should undercut LCS %d",
+					r.Views.Compares, r.LCS.Compares)
+			}
+		})
+	}
+}
+
+func TestDerbyOOMsUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := RunCase(subjects.Derby1633(), DefaultLCSBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.LCS.OOM {
+		t.Errorf("Derby should exhaust the LCS budget (Table 1 shape)")
+	}
+	if r.Views.RegrSeqs == 0 {
+		t.Error("views-based analysis must still work on the OOM case")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	r, err := RunCase(subjects.MyFaces(), DefaultLCSBudget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []CaseResult{r}
+	t1 := Table1(results)
+	if !strings.Contains(t1, "MyFaces-1130") || !strings.Contains(t1, "Speedup") {
+		t.Errorf("table 1:\n%s", t1)
+	}
+	t2 := Table2(results)
+	if !strings.Contains(t2, "|A|") || !strings.Contains(t2, "MyFaces-1130") {
+		t.Errorf("table 2:\n%s", t2)
+	}
+}
+
+func TestQuantSmall(t *testing.T) {
+	cfg := QuantConfig{Bugs: 3, ScriptStmts: 12, Scripts: 4, Seed: 77, LCSBudget: 100_000_000}
+	results, err := RunQuant(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.TraceEntries == 0 {
+			t.Errorf("bug %d: empty trace", r.Bug)
+		}
+		if r.LCSFailed {
+			continue
+		}
+		if r.Accuracy <= 0 {
+			t.Errorf("bug %d: accuracy %v", r.Bug, r.Accuracy)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("bug %d: speedup %v", r.Bug, r.Speedup)
+		}
+	}
+	a := Fig14a(results)
+	b := Fig14b(results)
+	if !strings.Contains(a, "Accuracy") || !strings.Contains(b, "Speedup") {
+		t.Errorf("figures:\n%s\n%s", a, b)
+	}
+	if s := QuantSummary(results); !strings.Contains(s, "Bug") {
+		t.Errorf("summary:\n%s", s)
+	}
+}
+
+func TestMotivatingExample(t *testing.T) {
+	out, err := MotivatingExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true positive") || !strings.Contains(out, "candidate 1") {
+		t.Errorf("walkthrough:\n%s", out)
+	}
+}

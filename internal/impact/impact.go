@@ -1,0 +1,125 @@
+// Package impact implements another of the paper's envisioned view-based
+// analyses (§4: "impact analysis"): given a trace differencing result, it
+// computes the impact surface of the change — which methods, classes,
+// objects, and threads the behavioural differences touch, ranked by how
+// many differing entries each absorbs. Developers read it as "what else
+// did this change perturb?".
+package impact
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/diff"
+	"repro/internal/trace"
+)
+
+// Item is one impacted program element.
+type Item struct {
+	Name    string
+	Entries int // differing entries attributed to the element
+	Left    int // of which from the original version
+	Right   int
+}
+
+// Surface is the full impact report.
+type Surface struct {
+	Methods []Item // by enclosing qualified method
+	Classes []Item // by target object class
+	Objects []Item // by target class + creation sequence
+	Threads []Item
+	Total   int
+}
+
+// Compute builds the impact surface of a differencing result.
+func Compute(res *diff.Result) *Surface {
+	type key struct {
+		dim  int
+		name string
+	}
+	counts := map[key]*Item{}
+	bump := func(dim int, name string, left bool) {
+		if name == "" {
+			return
+		}
+		k := key{dim, name}
+		it := counts[k]
+		if it == nil {
+			it = &Item{Name: name}
+			counts[k] = it
+		}
+		it.Entries++
+		if left {
+			it.Left++
+		} else {
+			it.Right++
+		}
+	}
+	add := func(t *trace.Trace, eids []trace.EntryID, left bool) {
+		for _, id := range eids {
+			e := t.Entries[id]
+			bump(0, e.Method, left)
+			if c := e.Event.Target.Class; c != "" && e.Event.Target.Loc != trace.NoLoc {
+				bump(1, c, left)
+				bump(2, fmt.Sprintf("%s#%d", c, e.Event.Target.Seq), left)
+			}
+			bump(3, fmt.Sprintf("thread %d", e.TID), left)
+		}
+	}
+	add(res.Left, res.DiffLeft, true)
+	add(res.Right, res.DiffRight, false)
+
+	s := &Surface{Total: res.NumDiffs()}
+	for k, it := range counts {
+		switch k.dim {
+		case 0:
+			s.Methods = append(s.Methods, *it)
+		case 1:
+			s.Classes = append(s.Classes, *it)
+		case 2:
+			s.Objects = append(s.Objects, *it)
+		case 3:
+			s.Threads = append(s.Threads, *it)
+		}
+	}
+	for _, list := range [][]Item{s.Methods, s.Classes, s.Objects, s.Threads} {
+		sortItems(list)
+	}
+	return s
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Entries != items[j].Entries {
+			return items[i].Entries > items[j].Entries
+		}
+		return items[i].Name < items[j].Name
+	})
+}
+
+// Report renders the surface, listing at most max items per dimension.
+func (s *Surface) Report(max int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "impact surface: %d differing entries\n", s.Total)
+	dims := []struct {
+		title string
+		items []Item
+	}{
+		{"methods", s.Methods},
+		{"classes", s.Classes},
+		{"objects", s.Objects},
+		{"threads", s.Threads},
+	}
+	for _, d := range dims {
+		fmt.Fprintf(&b, "%s:\n", d.title)
+		for i, it := range d.items {
+			if max > 0 && i >= max {
+				fmt.Fprintf(&b, "  ... %d more\n", len(d.items)-max)
+				break
+			}
+			fmt.Fprintf(&b, "  %-40s %5d (%d old / %d new)\n", it.Name, it.Entries, it.Left, it.Right)
+		}
+	}
+	return b.String()
+}

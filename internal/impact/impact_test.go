@@ -1,0 +1,114 @@
+package impact
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+func diffFor(t *testing.T, srcL, srcR string) *diff.Result {
+	t.Helper()
+	run := func(src string) *interp.Result {
+		res, err := interp.Run(lang.MustParse(src), interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("runtime error: %v", res.Err)
+		}
+		return res
+	}
+	return diff.ViewDiff(run(srcL).Trace, run(srcR).Trace, diff.ViewOptions{})
+}
+
+const impactV1 = `
+class Store {
+  Int v;
+  void put(Int x) { this.v = x; return; }
+  Int get() { return this.v; }
+}
+class Audit {
+  Int seen;
+  void note(Int x) { this.seen = this.seen + 1; return; }
+}
+class Main {
+  void main() {
+    let s = new Store();
+    let a = new Audit();
+    s.put(41);
+    a.note(s.get());
+    Sys.print(s.get());
+  }
+}`
+
+func TestImpactSurface(t *testing.T) {
+	v2 := strings.Replace(impactV1, "s.put(41);", "s.put(42);", 1)
+	res := diffFor(t, impactV1, v2)
+	if res.NumDiffs() == 0 {
+		t.Fatal("no diffs to attribute")
+	}
+	s := Compute(res)
+	if s.Total != res.NumDiffs() {
+		t.Errorf("total = %d, want %d", s.Total, res.NumDiffs())
+	}
+	// The Store class must be impacted; methods must include the putter
+	// or its caller.
+	foundStore := false
+	for _, it := range s.Classes {
+		if it.Name == "Store" {
+			foundStore = true
+		}
+	}
+	if !foundStore {
+		t.Errorf("Store not in impacted classes: %+v", s.Classes)
+	}
+	// Ranking: items sorted by descending entry count.
+	for i := 1; i < len(s.Methods); i++ {
+		if s.Methods[i].Entries > s.Methods[i-1].Entries {
+			t.Errorf("methods not ranked: %+v", s.Methods)
+		}
+	}
+	// Left/Right tallies add up.
+	for _, it := range s.Methods {
+		if it.Left+it.Right != it.Entries {
+			t.Errorf("tally mismatch: %+v", it)
+		}
+	}
+	rep := s.Report(3)
+	if !strings.Contains(rep, "impact surface") || !strings.Contains(rep, "methods:") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestImpactIdenticalTracesEmpty(t *testing.T) {
+	res := diffFor(t, impactV1, impactV1)
+	s := Compute(res)
+	if s.Total != 0 || len(s.Methods) != 0 {
+		t.Errorf("identical traces should have empty surface: %+v", s)
+	}
+}
+
+func TestImpactThreadDimension(t *testing.T) {
+	v1 := `
+class W { Int n; void work(Int k) { this.n = k; return; } }
+class Main {
+  void main() {
+    let w = new W();
+    spawn { w.work(1); }
+    Sys.print("m");
+  }
+}`
+	v2 := strings.Replace(v1, "w.work(1)", "w.work(2)", 1)
+	res := diffFor(t, v1, v2)
+	s := Compute(res)
+	if len(s.Threads) == 0 {
+		t.Fatalf("no thread attribution: %+v", s)
+	}
+	// The differing work happens on the spawned thread.
+	if !strings.Contains(s.Threads[0].Name, "thread") {
+		t.Errorf("thread item = %+v", s.Threads[0])
+	}
+}

@@ -1,0 +1,314 @@
+// Package inject implements the regression-injection framework of the
+// quantitative assessment (§5.1): seeded AST mutations drawn from the
+// root-cause distribution found for semantic bugs in the Mozilla project
+// [13] — missing features 26.4%, missing cases 17.3%, boundary conditions
+// 10.3%, control flow 16.0%, wrong expressions 5.8%, typos 24.2%. Each
+// injected regression is validated to make the associated test case fail
+// before it is used in an experiment.
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/lang"
+)
+
+// Category is a root-cause category.
+type Category uint8
+
+const (
+	// MissingFeature removes a feature invocation (call or field update).
+	MissingFeature Category = iota
+	// MissingCase removes a conditional case (an else branch).
+	MissingCase
+	// Boundary perturbs a boundary condition (comparison op or bound).
+	Boundary
+	// ControlFlow negates or corrupts a branch condition.
+	ControlFlow
+	// WrongExpr corrupts an arithmetic expression.
+	WrongExpr
+	// Typo slightly corrupts a literal constant.
+	Typo
+)
+
+var categoryNames = [...]string{
+	"missing-feature", "missing-case", "boundary", "control-flow", "wrong-expression", "typo",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Distribution is the paper's root-cause distribution, in per-mil.
+var Distribution = []struct {
+	Cat    Category
+	Weight int
+}{
+	{MissingFeature, 264},
+	{MissingCase, 173},
+	{Boundary, 103},
+	{ControlFlow, 160},
+	{WrongExpr, 58},
+	{Typo, 242},
+}
+
+// Mutation describes an injected regression.
+type Mutation struct {
+	Category Category
+	Class    string
+	Method   string
+	Desc     string
+}
+
+func (m Mutation) String() string {
+	return fmt.Sprintf("%s in %s.%s: %s", m.Category, m.Class, m.Method, m.Desc)
+}
+
+// site is one applicable mutation, bound to a cloned AST.
+type site struct {
+	mut   Mutation
+	apply func()
+}
+
+// Inject clones the program and applies one mutation chosen by the seeded
+// generator: category by the paper's distribution, then a uniform site of
+// that category (falling back to any category with available sites). It
+// returns false when the program offers no mutation sites at all.
+func Inject(p *lang.Program, seed int64) (*lang.Program, Mutation, bool) {
+	rng := rand.New(rand.NewSource(seed))
+	clone := p.Clone()
+	sites := collectSites(clone)
+	if len(sites) == 0 {
+		return nil, Mutation{}, false
+	}
+	cat := pickCategory(rng)
+	chosen := filterSites(sites, cat)
+	if len(chosen) == 0 {
+		chosen = sites
+	}
+	s := chosen[rng.Intn(len(chosen))]
+	s.apply()
+	return clone, s.mut, true
+}
+
+// InjectValidated retries derived seeds until validate accepts the
+// mutated program (i.e. the designated test case actually fails). Each
+// retry re-clones from the pristine original.
+func InjectValidated(p *lang.Program, seed int64, maxTries int, validate func(*lang.Program) bool) (*lang.Program, Mutation, bool) {
+	for k := 0; k < maxTries; k++ {
+		mutated, mut, ok := Inject(p, seed+int64(k)*7919)
+		if !ok {
+			return nil, Mutation{}, false
+		}
+		if validate(mutated) {
+			return mutated, mut, true
+		}
+	}
+	return nil, Mutation{}, false
+}
+
+func pickCategory(rng *rand.Rand) Category {
+	total := 0
+	for _, d := range Distribution {
+		total += d.Weight
+	}
+	r := rng.Intn(total)
+	for _, d := range Distribution {
+		if r < d.Weight {
+			return d.Cat
+		}
+		r -= d.Weight
+	}
+	return Typo
+}
+
+func filterSites(sites []site, cat Category) []site {
+	var out []site
+	for _, s := range sites {
+		if s.mut.Category == cat {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// collectSites enumerates every applicable mutation in the (cloned)
+// program, with closures that perform the mutation in place.
+func collectSites(p *lang.Program) []site {
+	var sites []site
+	for _, c := range p.Classes {
+		for _, m := range c.Methods {
+			w := &walker{class: c.Name, method: m.Name}
+			w.stmts(&m.Body)
+			sites = append(sites, w.sites...)
+		}
+		if c.Ctor != nil {
+			w := &walker{class: c.Name, method: "<init>"}
+			w.stmts(&c.Ctor.Body)
+			sites = append(sites, w.sites...)
+		}
+	}
+	return sites
+}
+
+type walker struct {
+	class, method string
+	sites         []site
+}
+
+func (w *walker) add(cat Category, desc string, apply func()) {
+	w.sites = append(w.sites, site{
+		mut:   Mutation{Category: cat, Class: w.class, Method: w.method, Desc: desc},
+		apply: apply,
+	})
+}
+
+func (w *walker) stmts(body *[]lang.Stmt) {
+	for i := range *body {
+		w.stmt(body, i)
+	}
+}
+
+func (w *walker) stmt(body *[]lang.Stmt, i int) {
+	s := (*body)[i]
+	switch s := s.(type) {
+	case *lang.Let:
+		w.expr(&s.Init)
+	case *lang.AssignLocal:
+		w.expr(&s.Val)
+	case *lang.AssignField:
+		// Removing a field update models a missing feature: state the new
+		// version should have established is silently absent.
+		b, idx := body, i
+		w.add(MissingFeature, fmt.Sprintf("remove field update .%s", s.Name), func() {
+			removeStmt(b, idx)
+		})
+		w.expr(&s.Val)
+		w.expr(&s.Obj)
+	case *lang.If:
+		cond := &s.Cond
+		w.add(ControlFlow, "negate branch condition", func() {
+			*cond = &lang.Unary{Op: "!", X: *cond, Pos: (*cond).ExprPos()}
+		})
+		if len(s.Else) > 0 {
+			st := s
+			w.add(MissingCase, "drop else branch", func() { st.Else = nil })
+		} else if len(s.Then) > 0 {
+			st := s
+			w.add(MissingCase, "drop then branch", func() { st.Then = nil })
+		}
+		w.expr(&s.Cond)
+		w.stmts(&s.Then)
+		w.stmts(&s.Else)
+	case *lang.While:
+		w.expr(&s.Cond)
+		w.stmts(&s.Body)
+	case *lang.Return:
+		if s.Val != nil {
+			w.expr(&s.Val)
+		}
+	case *lang.Spawn:
+		w.stmts(&s.Body)
+	case *lang.ExprStmt:
+		if _, isCall := s.X.(*lang.Call); isCall {
+			b, idx := body, i
+			w.add(MissingFeature, "remove call statement", func() { removeStmt(b, idx) })
+		}
+		w.expr(&s.X)
+	case *lang.SuperCall:
+		for k := range s.Args {
+			w.expr(&s.Args[k])
+		}
+	}
+}
+
+func (w *walker) expr(ep *lang.Expr) {
+	switch e := (*ep).(type) {
+	case *lang.Binary:
+		switch e.Op {
+		case "<", "<=", ">", ">=":
+			be := e
+			w.add(Boundary, fmt.Sprintf("off-by-one comparison %s", e.Op), func() {
+				be.Op = offByOne(be.Op)
+			})
+			if lit, ok := e.R.(*lang.IntLit); ok {
+				w.add(Boundary, fmt.Sprintf("perturb bound %d", lit.Val), func() { lit.Val++ })
+			}
+		case "+", "-", "*":
+			be := e
+			w.add(WrongExpr, fmt.Sprintf("corrupt operator %s", e.Op), func() {
+				if be.Op == "+" {
+					be.Op = "-"
+				} else {
+					be.Op = "+"
+				}
+			})
+		case "==", "!=":
+			be := e
+			w.add(ControlFlow, fmt.Sprintf("flip comparison %s", e.Op), func() {
+				if be.Op == "==" {
+					be.Op = "!="
+				} else {
+					be.Op = "=="
+				}
+			})
+		}
+		w.expr(&e.L)
+		w.expr(&e.R)
+	case *lang.Unary:
+		w.expr(&e.X)
+	case *lang.Call:
+		for k := range e.Args {
+			if lit, ok := e.Args[k].(*lang.IntLit); ok {
+				w.add(Typo, fmt.Sprintf("typo in argument %d", lit.Val), func() { lit.Val++ })
+			}
+		}
+		w.expr(&e.Recv)
+		for k := range e.Args {
+			w.expr(&e.Args[k])
+		}
+	case *lang.New:
+		for k := range e.Args {
+			if lit, ok := e.Args[k].(*lang.IntLit); ok {
+				w.add(Typo, fmt.Sprintf("typo in constructor argument %d", lit.Val), func() { lit.Val-- })
+			}
+			w.expr(&e.Args[k])
+		}
+	case *lang.FieldAccess:
+		w.expr(&e.Obj)
+	case *lang.StrLit:
+		if len(e.Val) > 1 {
+			lit := e
+			w.add(Typo, fmt.Sprintf("typo in string %q", e.Val), func() {
+				lit.Val = lit.Val[:len(lit.Val)-1]
+			})
+		}
+	}
+}
+
+func offByOne(op string) string {
+	switch op {
+	case "<":
+		return "<="
+	case "<=":
+		return "<"
+	case ">":
+		return ">="
+	default:
+		return ">"
+	}
+}
+
+// removeStmt replaces the statement with an empty If (a no-op that keeps
+// slice indices of other pending sites valid).
+func removeStmt(body *[]lang.Stmt, i int) {
+	(*body)[i] = &lang.If{
+		Cond: &lang.BoolLit{Val: false},
+		Then: nil,
+		Pos:  (*body)[i].StmtPos(),
+	}
+}

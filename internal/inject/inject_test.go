@@ -1,0 +1,191 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+)
+
+const subject = `
+class Range {
+  Int min;
+  Int max;
+  Range(Int a, Int b) { super(); this.min = a; this.max = b; }
+  Bool contains(Int x) {
+    if (x < this.min) { return false; }
+    if (x > this.max) { return false; }
+    return true;
+  }
+}
+class Main {
+  void main() {
+    let r = new Range(32, 127);
+    let i = 0;
+    let hits = 0;
+    while (i < 200) {
+      if (r.contains(i)) { hits = hits + 1; } else { Sys.print("skip " + i); }
+      i = i + 3;
+    }
+    Sys.print("hits=" + hits);
+  }
+}`
+
+func output(t *testing.T, p *lang.Program) (string, bool) {
+	t.Helper()
+	res, err := interp.Run(p, interp.Options{MaxSteps: 200000})
+	if err != nil {
+		return "", false
+	}
+	if res.Err != nil {
+		return "error: " + res.Err.Error(), true
+	}
+	return res.Output, true
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	p := lang.MustParse(subject)
+	m1, mut1, ok1 := Inject(p, 42)
+	m2, mut2, ok2 := Inject(p, 42)
+	if !ok1 || !ok2 {
+		t.Fatal("injection failed")
+	}
+	if mut1 != mut2 {
+		t.Errorf("same seed, different mutations: %v vs %v", mut1, mut2)
+	}
+	if lang.Print(m1) != lang.Print(m2) {
+		t.Error("same seed, different programs")
+	}
+}
+
+func TestInjectDoesNotTouchOriginal(t *testing.T) {
+	p := lang.MustParse(subject)
+	before := lang.Print(p)
+	for seed := int64(0); seed < 20; seed++ {
+		Inject(p, seed)
+	}
+	if lang.Print(p) != before {
+		t.Fatal("Inject mutated the original program")
+	}
+}
+
+func TestInjectChangesProgram(t *testing.T) {
+	p := lang.MustParse(subject)
+	changed := 0
+	for seed := int64(0); seed < 30; seed++ {
+		m, _, ok := Inject(p, seed)
+		if !ok {
+			t.Fatal("no sites")
+		}
+		if lang.Print(m) != lang.Print(p) {
+			changed++
+		}
+	}
+	if changed < 25 {
+		t.Errorf("only %d/30 injections changed the program text", changed)
+	}
+}
+
+func TestInjectedProgramsStillCheck(t *testing.T) {
+	p := lang.MustParse(subject)
+	for seed := int64(0); seed < 30; seed++ {
+		m, mut, ok := Inject(p, seed)
+		if !ok {
+			t.Fatal("no sites")
+		}
+		if err := lang.Check(m); err != nil {
+			t.Errorf("seed %d (%v): mutated program fails checks: %v", seed, mut, err)
+		}
+	}
+}
+
+func TestCategoryDistributionRoughlyMatchesPaper(t *testing.T) {
+	p := lang.MustParse(subject)
+	counts := map[Category]int{}
+	const n = 3000
+	for seed := int64(0); seed < n; seed++ {
+		_, mut, ok := Inject(p, seed)
+		if !ok {
+			t.Fatal("no sites")
+		}
+		counts[mut.Category]++
+	}
+	// The subject offers sites in every category, so observed frequencies
+	// should be within a few points of the paper's distribution.
+	for _, d := range Distribution {
+		got := float64(counts[d.Cat]) / n * 1000
+		want := float64(d.Weight)
+		if got < want*0.6-10 || got > want*1.4+10 {
+			t.Errorf("category %v: %.0f per-mil, want about %.0f (counts=%v)",
+				d.Cat, got, want, counts)
+		}
+	}
+}
+
+func TestInjectValidatedProducesFailingTest(t *testing.T) {
+	p := lang.MustParse(subject)
+	baseline, ok := output(t, p)
+	if !ok {
+		t.Fatal("baseline does not run")
+	}
+	mutated, mut, ok := InjectValidated(p, 7, 100, func(m *lang.Program) bool {
+		out, ran := output(t, m)
+		return ran && out != baseline
+	})
+	if !ok {
+		t.Fatal("could not produce a validated regression in 100 tries")
+	}
+	out, _ := output(t, mutated)
+	if out == baseline {
+		t.Errorf("validated mutation (%v) does not change behaviour", mut)
+	}
+}
+
+func TestMutationDescriptions(t *testing.T) {
+	p := lang.MustParse(subject)
+	seen := map[Category]bool{}
+	for seed := int64(0); seed < 200; seed++ {
+		_, mut, ok := Inject(p, seed)
+		if !ok {
+			t.Fatal("no sites")
+		}
+		seen[mut.Category] = true
+		if mut.Class == "" || mut.Method == "" || mut.Desc == "" {
+			t.Errorf("incomplete mutation metadata: %+v", mut)
+		}
+		if !strings.Contains(mut.String(), mut.Desc) {
+			t.Errorf("String() missing description: %s", mut)
+		}
+	}
+	for _, d := range Distribution {
+		if !seen[d.Cat] {
+			t.Errorf("category %v never produced on this subject", d.Cat)
+		}
+	}
+}
+
+func TestInjectNoSites(t *testing.T) {
+	p := lang.MustParse(`class Empty {}`)
+	if _, _, ok := Inject(p, 1); ok {
+		t.Error("program without sites must report failure")
+	}
+}
+
+func TestMissingFeatureRemovesStatementTraceTransparently(t *testing.T) {
+	// A removed call statement must not leave parse artifacts: the printed
+	// program must re-parse.
+	p := lang.MustParse(subject)
+	for seed := int64(0); seed < 50; seed++ {
+		m, mut, ok := Inject(p, seed)
+		if !ok {
+			t.Fatal("no sites")
+		}
+		if mut.Category != MissingFeature {
+			continue
+		}
+		if _, err := lang.Parse(lang.Print(m)); err != nil {
+			t.Errorf("mutated program does not re-parse: %v", err)
+		}
+	}
+}

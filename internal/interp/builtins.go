@@ -1,0 +1,212 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+func builtinNamespace(name string) bool {
+	return name == "Sys" || name == "Reflect" || name == "Runtime"
+}
+
+// callNamespace handles calls on the builtin namespaces. Like user method
+// calls, builtin calls are recorded as call/return event pairs so that
+// program output and reflective operations anchor trace comparisons.
+func (th *threadState) callNamespace(ns string, e *lang.Call) Value {
+	args := th.evalAll(e.Args)
+	qualified := ns + "." + e.Method + "/" + strconv.Itoa(len(args))
+	target := trace.Repr{Class: ns}
+	th.tick()
+	th.record(trace.Event{Kind: trace.KindCall, Target: target, Member: qualified, Args: th.reprAll(args)})
+	ret := th.dispatchNamespace(ns, e.Method, args, e.Pos)
+	var retReprs []trace.Repr
+	if ret.Kind != KNull {
+		retReprs = []trace.Repr{th.i.reprOf(ret, th.i.opts.ReprDepth)}
+	}
+	th.record(trace.Event{Kind: trace.KindReturn, Target: target, Member: qualified, Args: retReprs})
+	return ret
+}
+
+func (th *threadState) dispatchNamespace(ns, method string, args []Value, pos lang.Pos) Value {
+	i := th.i
+	key := ns + "." + method
+	switch key {
+	case "Sys.print":
+		th.need(args, 1, key, pos)
+		i.out.WriteString(th.render(args[0]))
+		i.out.WriteByte('\n')
+		return NullV()
+	case "Sys.arg":
+		th.need(args, 1, key, pos)
+		idx := th.intArg(args[0], key, pos)
+		if idx < 0 || int(idx) >= len(i.opts.Args) {
+			return StrV("")
+		}
+		return StrV(i.opts.Args[idx])
+	case "Sys.numArgs":
+		th.need(args, 0, key, pos)
+		return IntV(int64(len(i.opts.Args)))
+	case "Sys.parseInt":
+		th.need(args, 1, key, pos)
+		if args[0].Kind != KStr {
+			th.failf(pos, "Sys.parseInt expects a String")
+		}
+		v, err := strconv.ParseInt(strings.TrimSpace(args[0].Str), 10, 64)
+		if err != nil {
+			return IntV(0)
+		}
+		return IntV(v)
+	case "Sys.abort":
+		th.need(args, 1, key, pos)
+		panic(&RuntimeError{Pos: pos, Msg: th.render(args[0]), Aborted: true})
+	case "Reflect.create":
+		if len(args) < 1 || args[0].Kind != KStr {
+			th.failf(pos, "Reflect.create expects a class name String first")
+		}
+		return th.construct(args[0].Str, args[1:], pos)
+	case "Reflect.call":
+		if len(args) < 2 || args[1].Kind != KStr {
+			th.failf(pos, "Reflect.call expects (object, method name String, args...)")
+		}
+		if args[0].Kind != KRef {
+			th.failf(pos, "Reflect.call on non-object %s", args[0].TypeName())
+		}
+		return th.invoke(args[0], args[1].Str, args[2:], pos)
+	case "Reflect.hasClass":
+		th.need(args, 1, key, pos)
+		if args[0].Kind != KStr {
+			th.failf(pos, "Reflect.hasClass expects a String")
+		}
+		return BoolV(i.ct.Lookup(args[0].Str) != nil)
+	case "Reflect.className":
+		th.need(args, 1, key, pos)
+		if args[0].Kind != KRef {
+			return StrV(args[0].TypeName())
+		}
+		if st := i.heap.get(args[0].Ref); st != nil {
+			return StrV(st.class)
+		}
+		return StrV("?")
+	case "Runtime.defineClass":
+		// Dynamic code generation: parse and install classes at run time.
+		th.need(args, 1, key, pos)
+		if args[0].Kind != KStr {
+			th.failf(pos, "Runtime.defineClass expects source text")
+		}
+		prog, err := lang.Parse(args[0].Str)
+		if err != nil {
+			th.failf(pos, "Runtime.defineClass: parse: %v", err)
+		}
+		for _, c := range prog.Classes {
+			if err := i.ct.Define(c); err != nil {
+				th.failf(pos, "Runtime.defineClass: %v", err)
+			}
+		}
+		return BoolV(true)
+	}
+	th.failf(pos, "unknown builtin %s", key)
+	return NullV()
+}
+
+// callValueBuiltin handles methods on value objects (String, Int, Float,
+// Bool), recorded like ordinary calls with the primitive as the target —
+// matching the paper's example trace entries such as
+// "--> STR-1.equals('text/html')".
+func (th *threadState) callValueBuiltin(recv Value, method string, args []Value, pos lang.Pos) Value {
+	qualified := recv.TypeName() + "." + method + "/" + strconv.Itoa(len(args))
+	target := th.i.reprOf(recv, th.i.opts.ReprDepth)
+	th.tick()
+	th.record(trace.Event{Kind: trace.KindCall, Target: target, Member: qualified, Args: th.reprAll(args)})
+	ret := th.dispatchValueBuiltin(recv, method, args, pos)
+	var retReprs []trace.Repr
+	if ret.Kind != KNull {
+		retReprs = []trace.Repr{th.i.reprOf(ret, th.i.opts.ReprDepth)}
+	}
+	th.record(trace.Event{Kind: trace.KindReturn, Target: target, Member: qualified, Args: retReprs})
+	return ret
+}
+
+func (th *threadState) dispatchValueBuiltin(recv Value, method string, args []Value, pos lang.Pos) Value {
+	if method == "toStr" && len(args) == 0 {
+		return StrV(recv.Literal())
+	}
+	if recv.Kind == KStr {
+		return th.stringBuiltin(recv.Str, method, args, pos)
+	}
+	if recv.Kind == KInt && method == "toFloat" && len(args) == 0 {
+		return FloatV(float64(recv.Int))
+	}
+	if recv.Kind == KFloat && method == "toInt" && len(args) == 0 {
+		return IntV(int64(recv.Float))
+	}
+	th.failf(pos, "%s value has no method %s/%d", recv.TypeName(), method, len(args))
+	return NullV()
+}
+
+func (th *threadState) stringBuiltin(s, method string, args []Value, pos lang.Pos) Value {
+	str := func(k int) string {
+		if args[k].Kind != KStr {
+			th.failf(pos, "String.%s: argument %d is %s, not String", method, k, args[k].TypeName())
+		}
+		return args[k].Str
+	}
+	num := func(k int) int64 { return th.intArg(args[k], "String."+method, pos) }
+	switch {
+	case method == "equals" && len(args) == 1:
+		return BoolV(s == str(0))
+	case method == "concat" && len(args) == 1:
+		return StrV(s + str(0))
+	case method == "length" && len(args) == 0:
+		return IntV(int64(len(s)))
+	case method == "contains" && len(args) == 1:
+		return BoolV(strings.Contains(s, str(0)))
+	case method == "startsWith" && len(args) == 1:
+		return BoolV(strings.HasPrefix(s, str(0)))
+	case method == "indexOf" && len(args) == 1:
+		return IntV(int64(strings.Index(s, str(0))))
+	case method == "substring" && len(args) == 2:
+		a, b := num(0), num(1)
+		if a < 0 || b > int64(len(s)) || a > b {
+			th.failf(pos, "String.substring(%d, %d) out of range for length %d", a, b, len(s))
+		}
+		return StrV(s[a:b])
+	case method == "charAt" && len(args) == 1:
+		k := num(0)
+		if k < 0 || k >= int64(len(s)) {
+			th.failf(pos, "String.charAt(%d) out of range for length %d", k, len(s))
+		}
+		return IntV(int64(s[k]))
+	case method == "fromChar" && len(args) == 1:
+		return StrV(string(rune(num(0))))
+	}
+	th.failf(pos, "String has no method %s/%d", method, len(args))
+	return NullV()
+}
+
+func (th *threadState) need(args []Value, n int, what string, pos lang.Pos) {
+	if len(args) != n {
+		th.failf(pos, "%s expects %d argument(s), got %d", what, n, len(args))
+	}
+}
+
+func (th *threadState) intArg(v Value, what string, pos lang.Pos) int64 {
+	if v.Kind != KInt {
+		th.failf(pos, "%s expects an Int, got %s", what, v.TypeName())
+	}
+	return v.Int
+}
+
+// render is the Sys.print formatting of a value.
+func (th *threadState) render(v Value) string {
+	if v.Kind == KRef {
+		if st := th.i.heap.get(v.Ref); st != nil {
+			return fmt.Sprintf("%s#%d", st.class, st.seq)
+		}
+		return "?"
+	}
+	return v.Literal()
+}

@@ -1,0 +1,136 @@
+package interp
+
+import (
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// objectState is one heap object: its dynamic class, field store, and
+// per-class creation sequence number (used by object view correlation).
+type objectState struct {
+	class  string
+	seq    int
+	fields map[string]Value
+	order  []string // declared field order, for deterministic serialization
+}
+
+// heap is the object store E of Fig. 6.
+type heap struct {
+	objects map[trace.Loc]*objectState
+	nextLoc trace.Loc
+	seqs    map[string]int // per-class creation counters
+}
+
+func newHeap() *heap {
+	return &heap{objects: make(map[trace.Loc]*objectState), nextLoc: 1, seqs: make(map[string]int)}
+}
+
+// alloc creates a fresh object of the given class. Primitive-typed fields
+// start at their zero values (as in Java); reference fields start null.
+func (h *heap) alloc(class string, fields []lang.Field) (trace.Loc, *objectState) {
+	loc := h.nextLoc
+	h.nextLoc++
+	h.seqs[class]++
+	st := &objectState{class: class, seq: h.seqs[class], fields: make(map[string]Value, len(fields))}
+	for _, f := range fields {
+		st.fields[f.Name] = zeroValue(f.Type)
+		st.order = append(st.order, f.Name)
+	}
+	h.objects[loc] = st
+	return loc, st
+}
+
+func zeroValue(typ string) Value {
+	switch typ {
+	case "Int":
+		return IntV(0)
+	case "Bool":
+		return BoolV(false)
+	case "Float":
+		return FloatV(0)
+	case "String":
+		return StrV("")
+	default:
+		return NullV()
+	}
+}
+
+// get returns the object at loc, or nil.
+func (h *heap) get(loc trace.Loc) *objectState { return h.objects[loc] }
+
+// size returns the number of live objects.
+func (h *heap) size() int { return len(h.objects) }
+
+// reprOf computes the extended representation E′# of Fig. 8 for a value:
+// primitives serialize as D:[d]; heap objects serialize recursively over
+// their fields in declared order, up to depth levels deep, with cycle
+// detection. Opaque classes yield an empty value representation (the
+// paper's default hashCode/toString case), leaving only class name and
+// creation sequence number for correlation.
+func (i *Interp) reprOf(v Value, depth int) trace.Repr {
+	switch v.Kind {
+	case KNull:
+		return trace.Repr{Class: "null"}
+	case KRef:
+		st := i.heap.get(v.Ref)
+		if st == nil {
+			return trace.Repr{Loc: v.Ref, Class: "?"}
+		}
+		cls := i.ct.Lookup(st.class)
+		opaque := cls != nil && cls.Opaque
+		if opaque {
+			return trace.ObjectRepr(v.Ref, st.class, st.seq, trace.Serialization{}, false)
+		}
+		visited := map[trace.Loc]bool{}
+		ser := i.serialize(v, depth, visited)
+		return trace.ObjectRepr(v.Ref, st.class, st.seq, ser, true)
+	default:
+		return trace.PrimRepr(v.TypeName(), v.Literal())
+	}
+}
+
+func (i *Interp) serialize(v Value, depth int, visited map[trace.Loc]bool) trace.Serialization {
+	switch v.Kind {
+	case KRef:
+		st := i.heap.get(v.Ref)
+		if st == nil {
+			return trace.Prim("ref", "?")
+		}
+		if depth <= 0 || visited[v.Ref] {
+			// Beyond the depth cap (or through a cycle) only the class name
+			// contributes.
+			return trace.Object(st.class, nil)
+		}
+		cls := i.ct.Lookup(st.class)
+		if cls != nil && cls.Opaque {
+			return trace.Object(st.class, nil)
+		}
+		visited[v.Ref] = true
+		defer delete(visited, v.Ref)
+		fields := make([]trace.Serialization, 0, len(st.order))
+		for _, name := range st.order {
+			fields = append(fields, i.serialize(st.fields[name], depth-1, visited))
+		}
+		return trace.Object(st.class, fields)
+	default:
+		return trace.Prim(v.TypeName(), v.Literal())
+	}
+}
+
+// shallowRepr is a cheap representation for the entry context ρ (the
+// object a method executes on): class, location, and sequence number only.
+// Context representations never participate in event equality, so the
+// recursive value is not needed.
+func (i *Interp) shallowRepr(v Value) trace.Repr {
+	switch v.Kind {
+	case KRef:
+		if st := i.heap.get(v.Ref); st != nil {
+			return trace.Repr{Loc: v.Ref, Class: st.class, Seq: st.seq}
+		}
+		return trace.Repr{Loc: v.Ref, Class: "?"}
+	case KNull:
+		return trace.Repr{}
+	default:
+		return trace.Repr{Class: v.TypeName()}
+	}
+}

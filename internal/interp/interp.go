@@ -1,0 +1,786 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// Options configures a run.
+type Options struct {
+	// TraceName names the produced trace (defaults to "trace").
+	TraceName string
+	// Args are the program arguments visible via Sys.arg(i); they are the
+	// "test case input" of the evaluation protocol.
+	Args []string
+	// MaxSteps bounds total execution steps (0 means the default 5e6).
+	MaxSteps int
+	// Quantum is the number of steps a thread runs before the deterministic
+	// round-robin scheduler switches (0 means the default 50).
+	Quantum int
+	// ReprDepth caps the recursion depth of value representations
+	// (0 means the default 3).
+	ReprDepth int
+	// Pointcut filters recorded events; nil records everything.
+	Pointcut *Pointcut
+	// SegmentDir enables smart trace segmentation (§5): entries are
+	// offloaded to disk in segments of SegmentLimit entries and the
+	// tracing memory reclaimed, instead of accumulating in Result.Trace.
+	// Reassemble with trace.LoadSegments(SegmentDir, TraceName).
+	SegmentDir string
+	// SegmentLimit is the entries-per-segment flush threshold
+	// (0 means the default 4096). Only meaningful with SegmentDir.
+	SegmentLimit int
+}
+
+func (o Options) withDefaults() Options {
+	if o.TraceName == "" {
+		o.TraceName = "trace"
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 5_000_000
+	}
+	if o.Quantum == 0 {
+		o.Quantum = 50
+	}
+	if o.ReprDepth == 0 {
+		o.ReprDepth = 3
+	}
+	return o
+}
+
+// Result carries the outcome of a run. On a runtime error (including
+// Sys.abort) the trace collected so far is still returned: the Derby-1633
+// experiment depends on differencing a trace that ends in an error.
+type Result struct {
+	Trace   *trace.Trace
+	Output  string
+	Err     *RuntimeError
+	Steps   int
+	Objects int
+}
+
+// RuntimeError is a dynamic failure: null dereference, unknown method,
+// step-budget exhaustion, or an explicit Sys.abort.
+type RuntimeError struct {
+	Pos     lang.Pos
+	Msg     string
+	Aborted bool // true for Sys.abort
+}
+
+func (e *RuntimeError) Error() string {
+	kind := "runtime error"
+	if e.Aborted {
+		kind = "abort"
+	}
+	return fmt.Sprintf("%s: %s: %s", kind, e.Pos, e.Msg)
+}
+
+// stopSignal unwinds threads after another thread has failed.
+type stopSignal struct{}
+
+// Interp is one execution instance.
+type Interp struct {
+	prog    *lang.Program
+	ct      *lang.ClassTable
+	heap    *heap
+	tr      *trace.Trace
+	seg     *trace.SegmentWriter
+	out     strings.Builder
+	opts    Options
+	threads []*threadState
+	report  chan struct{}
+	steps   int
+	stopped bool
+	runErr  *RuntimeError
+	nextTID trace.ThreadID
+}
+
+// Run executes the program: new Main().main(). Setup failures (missing
+// Main class or main method, static check errors) are returned as the
+// second result; dynamic failures appear in Result.Err with the partial
+// trace preserved.
+func Run(prog *lang.Program, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := lang.Check(prog); err != nil {
+		return nil, err
+	}
+	ct, err := lang.NewClassTable(prog)
+	if err != nil {
+		return nil, err
+	}
+	mainCls := ct.Lookup("Main")
+	if mainCls == nil {
+		return nil, fmt.Errorf("interp: program has no Main class")
+	}
+	if _, _, ok := ct.MBody("main", "Main"); !ok {
+		return nil, fmt.Errorf("interp: class Main has no main method")
+	}
+	i := &Interp{
+		prog:   prog,
+		ct:     ct,
+		heap:   newHeap(),
+		tr:     trace.New(opts.TraceName),
+		opts:   opts,
+		report: make(chan struct{}),
+	}
+	if opts.SegmentDir != "" {
+		limit := opts.SegmentLimit
+		if limit == 0 {
+			limit = 4096
+		}
+		seg, err := trace.NewSegmentWriter(opts.SegmentDir, opts.TraceName, limit)
+		if err != nil {
+			return nil, err
+		}
+		i.seg = seg
+	}
+	main := i.newThread(nil, nil, "<toplevel>", "", NullV(), nil)
+	go main.run(func(th *threadState) {
+		obj := th.evalNew(&lang.New{Class: "Main"})
+		th.invoke(obj, "main", nil, lang.Pos{})
+	})
+	i.schedule()
+	if i.seg != nil {
+		if err := i.seg.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Trace:   i.tr,
+		Output:  i.out.String(),
+		Err:     i.runErr,
+		Steps:   i.steps,
+		Objects: i.heap.size(),
+	}, nil
+}
+
+// schedule drives the deterministic round-robin scheduler: exactly one
+// thread runs at a time; a thread yields after its quantum, at which point
+// the next alive thread (in spawn order) resumes.
+func (i *Interp) schedule() {
+	cursor := 0
+	for {
+		th := i.nextAlive(&cursor)
+		if th == nil {
+			return
+		}
+		th.resume <- struct{}{}
+		<-i.report
+	}
+}
+
+func (i *Interp) nextAlive(cursor *int) *threadState {
+	n := len(i.threads)
+	if n == 0 {
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		idx := (*cursor + k) % n
+		if !i.threads[idx].finished {
+			*cursor = idx + 1
+			return i.threads[idx]
+		}
+	}
+	return nil
+}
+
+// frame is one activation record.
+type frame struct {
+	defClass  string // class defining the executing method
+	qualified string // fully qualified method name with arity, e.g. "C.m/2"
+	self      Value
+	locals    map[string]Value
+	spawnSeq  int // per-invocation spawn counter (names spawn bodies stably)
+}
+
+// threadState is one thread of control with its stack S.
+type threadState struct {
+	i          *Interp
+	id         trace.ThreadID
+	frames     []*frame
+	spawnStack []trace.Frame // fork ancestry recorded by FORK-E
+	resume     chan struct{}
+	finished   bool
+	ticks      int
+}
+
+func (i *Interp) newThread(body []lang.Stmt, locals map[string]Value, method, defClass string, self Value, ancestry []trace.Frame) *threadState {
+	th := &threadState{
+		i:          i,
+		id:         i.nextTID,
+		spawnStack: ancestry,
+		resume:     make(chan struct{}),
+	}
+	i.nextTID++
+	th.frames = []*frame{{
+		defClass:  defClass,
+		qualified: method,
+		self:      self,
+		locals:    locals,
+	}}
+	if th.frames[0].locals == nil {
+		th.frames[0].locals = make(map[string]Value)
+	}
+	i.threads = append(i.threads, th)
+	_ = body // bodies are executed by the closure passed to run
+	return th
+}
+
+// run executes fn under the scheduler protocol, converting runtime panics
+// into the interpreter-level error state.
+func (th *threadState) run(fn func(*threadState)) {
+	<-th.resume
+	defer func() {
+		if r := recover(); r != nil {
+			switch e := r.(type) {
+			case *RuntimeError:
+				if th.i.runErr == nil {
+					th.i.runErr = e
+				}
+				th.i.stopped = true
+			case stopSignal:
+				// unwound after another thread failed
+			default:
+				panic(r)
+			}
+		}
+		th.finished = true
+		th.i.report <- struct{}{}
+	}()
+	fn(th)
+	th.record(trace.Event{Kind: trace.KindEnd, Stack: th.spawnStack})
+}
+
+// tick accounts one execution step, enforcing the step budget, honoring
+// stop requests, and yielding at quantum boundaries.
+func (th *threadState) tick() {
+	i := th.i
+	if i.stopped {
+		panic(stopSignal{})
+	}
+	i.steps++
+	if i.steps > i.opts.MaxSteps {
+		panic(&RuntimeError{Msg: fmt.Sprintf("step budget of %d exceeded", i.opts.MaxSteps)})
+	}
+	th.ticks++
+	if th.ticks%i.opts.Quantum == 0 {
+		i.report <- struct{}{}
+		<-th.resume
+		if i.stopped {
+			panic(stopSignal{})
+		}
+	}
+}
+
+func (th *threadState) top() *frame { return th.frames[len(th.frames)-1] }
+
+// record emits a trace entry in the current context, subject to the
+// pointcut filter. With segmentation enabled, entries go straight to the
+// segment writer (which offloads to disk and reclaims memory) instead of
+// the in-memory trace.
+func (th *threadState) record(ev trace.Event) {
+	f := th.top()
+	if !th.i.opts.Pointcut.AllowContext(f.defClass, f.qualified) {
+		return
+	}
+	if th.i.seg != nil {
+		if _, err := th.i.seg.Append(th.id, f.qualified, th.i.shallowRepr(f.self), ev); err != nil {
+			panic(&RuntimeError{Msg: fmt.Sprintf("trace segmentation: %v", err)})
+		}
+		return
+	}
+	th.i.tr.Append(th.id, f.qualified, th.i.shallowRepr(f.self), ev)
+}
+
+func (th *threadState) failf(pos lang.Pos, format string, args ...any) {
+	panic(&RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// stackFrames snapshots the current call stack as trace frames, used as
+// the spawn ancestry of forked threads (rule FORK-E tracks "spawn-point
+// call stack, call stack of spawn-point of spawning thread, etc.").
+func (th *threadState) stackFrames() []trace.Frame {
+	out := append([]trace.Frame(nil), th.spawnStack...)
+	for _, f := range th.frames {
+		out = append(out, trace.Frame{
+			Method: f.qualified,
+			Callee: th.i.shallowRepr(f.self),
+		})
+	}
+	return out
+}
+
+// ---- statement execution ----
+
+// execBlock runs statements; it reports whether a return was executed and
+// with what value.
+func (th *threadState) execBlock(stmts []lang.Stmt) (bool, Value) {
+	for _, s := range stmts {
+		if ret, v := th.execStmt(s); ret {
+			return true, v
+		}
+	}
+	return false, NullV()
+}
+
+func (th *threadState) execStmt(s lang.Stmt) (bool, Value) {
+	th.tick()
+	switch s := s.(type) {
+	case *lang.Let:
+		v := th.eval(s.Init)
+		th.top().locals[s.Name] = v
+	case *lang.AssignLocal:
+		f := th.top()
+		if _, ok := f.locals[s.Name]; !ok {
+			th.failf(s.Pos, "assignment to undeclared variable %s", s.Name)
+		}
+		f.locals[s.Name] = th.eval(s.Val)
+	case *lang.AssignField:
+		obj := th.eval(s.Obj)
+		val := th.eval(s.Val)
+		th.setField(obj, s.Name, val, s.Pos)
+	case *lang.If:
+		if th.evalBool(s.Cond) {
+			return th.execBlock(s.Then)
+		}
+		return th.execBlock(s.Else)
+	case *lang.While:
+		for th.evalBool(s.Cond) {
+			if ret, v := th.execBlock(s.Body); ret {
+				return true, v
+			}
+		}
+	case *lang.Return:
+		if s.Val == nil {
+			return true, NullV()
+		}
+		return true, th.eval(s.Val)
+	case *lang.Spawn:
+		th.spawnThread(s)
+	case *lang.ExprStmt:
+		th.eval(s.X)
+	case *lang.SuperCall:
+		th.superInit(s)
+	default:
+		th.failf(s.StmtPos(), "unhandled statement %T", s)
+	}
+	return false, NullV()
+}
+
+// spawnThread implements rule FORK-E.
+func (th *threadState) spawnThread(s *lang.Spawn) {
+	i := th.i
+	parent := th.top()
+	parent.spawnSeq++
+	method := fmt.Sprintf("%s$spawn%d", parent.qualified, parent.spawnSeq)
+	locals := make(map[string]Value, len(parent.locals))
+	for k, v := range parent.locals {
+		locals[k] = v
+	}
+	ancestry := th.stackFrames()
+	child := i.newThread(s.Body, locals, method, parent.defClass, parent.self, ancestry)
+	th.record(trace.Event{
+		Kind:   trace.KindFork,
+		Member: strconv.Itoa(int(child.id)),
+		Stack:  ancestry,
+	})
+	body := s.Body
+	go child.run(func(ch *threadState) {
+		ch.execBlock(body)
+	})
+}
+
+// superInit runs the superclass constructor body on the same object.
+func (th *threadState) superInit(s *lang.SuperCall) {
+	f := th.top()
+	cls := th.i.ct.Lookup(f.defClass)
+	if cls == nil || cls.Super == lang.ObjectClass {
+		return // Object's constructor is a no-op
+	}
+	args := th.evalAll(s.Args)
+	th.runCtor(cls.Super, f.self, args, s.Pos)
+}
+
+// ---- expression evaluation ----
+
+func (th *threadState) evalAll(es []lang.Expr) []Value {
+	out := make([]Value, len(es))
+	for i, e := range es {
+		out[i] = th.eval(e)
+	}
+	return out
+}
+
+func (th *threadState) evalBool(e lang.Expr) bool {
+	v := th.eval(e)
+	if v.Kind != KBool {
+		th.failf(e.ExprPos(), "condition is %s, not Bool", v.TypeName())
+	}
+	return v.Bool
+}
+
+func (th *threadState) eval(e lang.Expr) Value {
+	switch e := e.(type) {
+	case *lang.IntLit:
+		return IntV(e.Val)
+	case *lang.FloatLit:
+		return FloatV(e.Val)
+	case *lang.StrLit:
+		return StrV(e.Val)
+	case *lang.BoolLit:
+		return BoolV(e.Val)
+	case *lang.NullLit:
+		return NullV()
+	case *lang.This:
+		return th.top().self
+	case *lang.Var:
+		if v, ok := th.top().locals[e.Name]; ok {
+			return v
+		}
+		th.failf(e.Pos, "unknown variable %s", e.Name)
+	case *lang.FieldAccess:
+		return th.getField(th.eval(e.Obj), e.Name, e.Pos)
+	case *lang.Call:
+		return th.evalCall(e)
+	case *lang.New:
+		return th.evalNew(e)
+	case *lang.Binary:
+		return th.evalBinary(e)
+	case *lang.Unary:
+		return th.evalUnary(e)
+	}
+	th.failf(e.ExprPos(), "unhandled expression %T", e)
+	return NullV()
+}
+
+// getField implements rule FIELD-ACC-E.
+func (th *threadState) getField(obj Value, name string, pos lang.Pos) Value {
+	st := th.object(obj, name, pos)
+	v, ok := st.fields[name]
+	if !ok {
+		th.failf(pos, "class %s has no field %s", st.class, name)
+	}
+	th.tick()
+	th.record(trace.Event{
+		Kind:   trace.KindGet,
+		Target: th.i.reprOf(obj, th.i.opts.ReprDepth),
+		Member: name,
+		Args:   []trace.Repr{th.i.reprOf(v, th.i.opts.ReprDepth)},
+	})
+	return v
+}
+
+// setField implements rule FIELD-ASS-E.
+func (th *threadState) setField(obj Value, name string, val Value, pos lang.Pos) {
+	st := th.object(obj, name, pos)
+	if _, ok := st.fields[name]; !ok {
+		th.failf(pos, "class %s has no field %s", st.class, name)
+	}
+	st.fields[name] = val
+	th.tick()
+	th.record(trace.Event{
+		Kind:   trace.KindSet,
+		Target: th.i.reprOf(obj, th.i.opts.ReprDepth),
+		Member: name,
+		Args:   []trace.Repr{th.i.reprOf(val, th.i.opts.ReprDepth)},
+	})
+}
+
+func (th *threadState) object(obj Value, member string, pos lang.Pos) *objectState {
+	switch obj.Kind {
+	case KNull:
+		th.failf(pos, "null dereference accessing %s", member)
+	case KRef:
+		if st := th.i.heap.get(obj.Ref); st != nil {
+			return st
+		}
+		th.failf(pos, "dangling reference accessing %s", member)
+	default:
+		th.failf(pos, "%s value has no field %s", obj.TypeName(), member)
+	}
+	return nil
+}
+
+// evalNew implements rule CONS-E: allocate, record the init event with the
+// constructor arguments and created object, then run the constructor body
+// (whose field writes appear as set events), then record the constructor
+// return.
+func (th *threadState) evalNew(e *lang.New) Value {
+	i := th.i
+	cls := i.ct.Lookup(e.Class)
+	if cls == nil {
+		th.failf(e.Pos, "unknown class %s", e.Class)
+	}
+	args := th.evalAll(e.Args)
+	return th.construct(e.Class, args, e.Pos)
+}
+
+// construct is shared by new, Reflect.create, and superInit's dispatch.
+func (th *threadState) construct(class string, args []Value, pos lang.Pos) Value {
+	i := th.i
+	fields, err := i.ct.Fields(class)
+	if err != nil {
+		th.failf(pos, "%v", err)
+	}
+	loc, _ := i.heap.alloc(class, fields)
+	obj := RefV(loc)
+	argReprs := th.reprAll(args)
+	th.tick()
+	th.record(trace.Event{
+		Kind:   trace.KindInit,
+		Target: i.reprOf(obj, i.opts.ReprDepth),
+		Member: class,
+		Args:   argReprs,
+	})
+	th.runCtor(class, obj, args, pos)
+	th.record(trace.Event{
+		Kind:   trace.KindReturn,
+		Target: i.reprOf(obj, i.opts.ReprDepth),
+		Member: class + ".<init>",
+		Args:   []trace.Repr{i.reprOf(obj, i.opts.ReprDepth)},
+	})
+	return obj
+}
+
+// runCtor executes the declared constructor of exactly the given class on
+// obj (no inheritance: constructors chain explicitly via super(...)).
+func (th *threadState) runCtor(class string, obj Value, args []Value, pos lang.Pos) {
+	ctor := th.i.ct.Ctor(class)
+	if ctor == nil {
+		if len(args) != 0 {
+			th.failf(pos, "class %s has no constructor but got %d argument(s)", class, len(args))
+		}
+		return
+	}
+	if len(args) != ctor.Arity() {
+		th.failf(pos, "constructor %s expects %d argument(s), got %d", class, ctor.Arity(), len(args))
+	}
+	locals := make(map[string]Value, len(args))
+	for k, p := range ctor.Params {
+		locals[p.Name] = args[k]
+	}
+	th.frames = append(th.frames, &frame{
+		defClass:  class,
+		qualified: fmt.Sprintf("%s.<init>/%d", class, ctor.Arity()),
+		self:      obj,
+		locals:    locals,
+	})
+	th.execBlock(ctor.Body)
+	th.frames = th.frames[:len(th.frames)-1]
+}
+
+func (th *threadState) reprAll(vals []Value) []trace.Repr {
+	out := make([]trace.Repr, len(vals))
+	for i, v := range vals {
+		out[i] = th.i.reprOf(v, th.i.opts.ReprDepth)
+	}
+	return out
+}
+
+// evalCall dispatches method calls: builtin namespaces (Sys, Reflect,
+// Runtime), value-object builtins (String and friends), or user-defined
+// methods via rule METH-E.
+func (th *threadState) evalCall(e *lang.Call) Value {
+	if ns, ok := e.Recv.(*lang.Var); ok && builtinNamespace(ns.Name) {
+		if _, shadowed := th.top().locals[ns.Name]; !shadowed {
+			return th.callNamespace(ns.Name, e)
+		}
+	}
+	recv := th.eval(e.Recv)
+	args := th.evalAll(e.Args)
+	switch recv.Kind {
+	case KNull:
+		th.failf(e.Pos, "null dereference calling %s", e.Method)
+	case KRef:
+		return th.invoke(recv, e.Method, args, e.Pos)
+	default:
+		return th.callValueBuiltin(recv, e.Method, args, e.Pos)
+	}
+	return NullV()
+}
+
+// invoke implements METH-E and RETURN-E: the call event is recorded in the
+// caller's context, the body runs in a new frame, and the return event is
+// recorded back in the caller's context.
+func (th *threadState) invoke(recv Value, method string, args []Value, pos lang.Pos) Value {
+	i := th.i
+	st := i.heap.get(recv.Ref)
+	if st == nil {
+		th.failf(pos, "dangling reference calling %s", method)
+	}
+	m, defClass, ok := i.ct.MBody(method, st.class)
+	if !ok {
+		th.failf(pos, "class %s has no method %s", st.class, method)
+	}
+	if len(args) != m.Arity() {
+		th.failf(pos, "%s.%s expects %d argument(s), got %d", defClass, method, m.Arity(), len(args))
+	}
+	qualified := fmt.Sprintf("%s.%s/%d", defClass, method, m.Arity())
+	targetRepr := i.reprOf(recv, i.opts.ReprDepth)
+	th.tick()
+	th.record(trace.Event{
+		Kind:   trace.KindCall,
+		Target: targetRepr,
+		Member: qualified,
+		Args:   th.reprAll(args),
+	})
+	locals := make(map[string]Value, len(args))
+	for k, p := range m.Params {
+		locals[p.Name] = args[k]
+	}
+	th.frames = append(th.frames, &frame{
+		defClass:  defClass,
+		qualified: qualified,
+		self:      recv,
+		locals:    locals,
+	})
+	_, ret := th.execBlock(m.Body)
+	th.frames = th.frames[:len(th.frames)-1]
+	var retReprs []trace.Repr
+	if ret.Kind != KNull {
+		retReprs = []trace.Repr{i.reprOf(ret, i.opts.ReprDepth)}
+	}
+	th.record(trace.Event{
+		Kind:   trace.KindReturn,
+		Target: i.reprOf(recv, i.opts.ReprDepth),
+		Member: qualified,
+		Args:   retReprs,
+	})
+	return ret
+}
+
+func (th *threadState) evalUnary(e *lang.Unary) Value {
+	v := th.eval(e.X)
+	switch e.Op {
+	case "!":
+		if v.Kind != KBool {
+			th.failf(e.Pos, "! applied to %s", v.TypeName())
+		}
+		return BoolV(!v.Bool)
+	case "-":
+		switch v.Kind {
+		case KInt:
+			return IntV(-v.Int)
+		case KFloat:
+			return FloatV(-v.Float)
+		}
+		th.failf(e.Pos, "unary - applied to %s", v.TypeName())
+	}
+	th.failf(e.Pos, "unknown unary operator %s", e.Op)
+	return NullV()
+}
+
+func (th *threadState) evalBinary(e *lang.Binary) Value {
+	// Short-circuit logical operators.
+	switch e.Op {
+	case "&&":
+		if !th.evalBool(e.L) {
+			return BoolV(false)
+		}
+		return BoolV(th.evalBool(e.R))
+	case "||":
+		if th.evalBool(e.L) {
+			return BoolV(true)
+		}
+		return BoolV(th.evalBool(e.R))
+	}
+	l := th.eval(e.L)
+	r := th.eval(e.R)
+	switch e.Op {
+	case "==":
+		return BoolV(l.Equal(r))
+	case "!=":
+		return BoolV(!l.Equal(r))
+	}
+	// String concatenation via +.
+	if e.Op == "+" && (l.Kind == KStr || r.Kind == KStr) {
+		if l.Kind == KStr && r.Kind == KStr {
+			return StrV(l.Str + r.Str)
+		}
+		if l.Kind == KStr {
+			return StrV(l.Str + r.Literal())
+		}
+		return StrV(l.Literal() + r.Str)
+	}
+	// Numeric operators, with Int→Float promotion.
+	if l.Kind == KInt && r.Kind == KInt {
+		return th.intOp(e, l.Int, r.Int)
+	}
+	lf, lok := numeric(l)
+	rf, rok := numeric(r)
+	if !lok || !rok {
+		th.failf(e.Pos, "operator %s applied to %s and %s", e.Op, l.TypeName(), r.TypeName())
+	}
+	return th.floatOp(e, lf, rf)
+}
+
+func numeric(v Value) (float64, bool) {
+	switch v.Kind {
+	case KInt:
+		return float64(v.Int), true
+	case KFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+func (th *threadState) intOp(e *lang.Binary, a, b int64) Value {
+	switch e.Op {
+	case "+":
+		return IntV(a + b)
+	case "-":
+		return IntV(a - b)
+	case "*":
+		return IntV(a * b)
+	case "/":
+		if b == 0 {
+			th.failf(e.Pos, "division by zero")
+		}
+		return IntV(a / b)
+	case "%":
+		if b == 0 {
+			th.failf(e.Pos, "modulo by zero")
+		}
+		return IntV(a % b)
+	case "<":
+		return BoolV(a < b)
+	case "<=":
+		return BoolV(a <= b)
+	case ">":
+		return BoolV(a > b)
+	case ">=":
+		return BoolV(a >= b)
+	}
+	th.failf(e.Pos, "unknown operator %s", e.Op)
+	return NullV()
+}
+
+func (th *threadState) floatOp(e *lang.Binary, a, b float64) Value {
+	switch e.Op {
+	case "+":
+		return FloatV(a + b)
+	case "-":
+		return FloatV(a - b)
+	case "*":
+		return FloatV(a * b)
+	case "/":
+		if b == 0 {
+			th.failf(e.Pos, "division by zero")
+		}
+		return FloatV(a / b)
+	case "<":
+		return BoolV(a < b)
+	case "<=":
+		return BoolV(a <= b)
+	case ">":
+		return BoolV(a > b)
+	case ">=":
+		return BoolV(a >= b)
+	}
+	th.failf(e.Pos, "operator %s not defined on Float", e.Op)
+	return NullV()
+}

@@ -1,0 +1,46 @@
+package interp
+
+import "strings"
+
+// Pointcut selects which execution events are recorded, modelling the
+// AspectJ pointcuts RPRISM uses to exclude the internal workings of
+// unrelated code such as libraries and data structures (§5.1).
+//
+// Exclusion is by the *enclosing* context: events that occur while an
+// excluded class's method (or an explicitly excluded method) is executing
+// are dropped. Calls from included code *into* excluded code remain
+// visible, because the call event is recorded in the caller's context —
+// exactly the behaviour of a within()-style pointcut.
+type Pointcut struct {
+	// ExcludeClasses lists class names to exclude; a trailing '*' makes the
+	// entry a prefix pattern (e.g. "java*").
+	ExcludeClasses []string
+	// ExcludeMethods lists fully qualified method names (C.m) to exclude.
+	ExcludeMethods []string
+}
+
+// AllowContext reports whether events in the given enclosing context
+// (defining class + qualified method name) should be recorded.
+func (p *Pointcut) AllowContext(class, qualifiedMethod string) bool {
+	if p == nil {
+		return true
+	}
+	for _, pat := range p.ExcludeClasses {
+		if matchPat(pat, class) {
+			return false
+		}
+	}
+	for _, pat := range p.ExcludeMethods {
+		if matchPat(pat, qualifiedMethod) {
+			return false
+		}
+	}
+	return true
+}
+
+func matchPat(pat, s string) bool {
+	if strings.HasSuffix(pat, "*") {
+		return strings.HasPrefix(s, pat[:len(pat)-1])
+	}
+	return pat == s
+}

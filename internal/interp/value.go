@@ -1,0 +1,121 @@
+// Package interp executes programs of the mini-Java language under the
+// operational semantics of the paper's Fig. 6, emitting an execution trace
+// as it runs. It plays the role RPRISM's AspectJ load-time weaver plays
+// for Java: the dynamic instrumentation substrate. It supports
+// deterministic multithreading (FORK-E / END-E), pointcut-style event
+// filters, trace segmentation, and reflection / run-time class definition
+// intrinsics that model dynamic code generation.
+package interp
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/trace"
+)
+
+// Kind tags runtime values.
+type Kind uint8
+
+const (
+	KNull Kind = iota
+	KBool
+	KInt
+	KFloat
+	KStr
+	KRef
+)
+
+// Value is a runtime value: one of the value objects D(d) of Fig. 3 or a
+// heap reference l(C).
+type Value struct {
+	Kind  Kind
+	Bool  bool
+	Int   int64
+	Float float64
+	Str   string
+	Ref   trace.Loc
+}
+
+// NullV is the null reference.
+func NullV() Value { return Value{Kind: KNull} }
+
+// BoolV wraps a Bool value object.
+func BoolV(b bool) Value { return Value{Kind: KBool, Bool: b} }
+
+// IntV wraps an Int value object.
+func IntV(v int64) Value { return Value{Kind: KInt, Int: v} }
+
+// FloatV wraps a Float value object.
+func FloatV(v float64) Value { return Value{Kind: KFloat, Float: v} }
+
+// StrV wraps a String value object.
+func StrV(s string) Value { return Value{Kind: KStr, Str: s} }
+
+// RefV wraps a heap reference.
+func RefV(l trace.Loc) Value { return Value{Kind: KRef, Ref: l} }
+
+// TypeName returns the D type name for value objects, or "null"/"ref".
+func (v Value) TypeName() string {
+	switch v.Kind {
+	case KNull:
+		return "null"
+	case KBool:
+		return "Bool"
+	case KInt:
+		return "Int"
+	case KFloat:
+		return "Float"
+	case KStr:
+		return "String"
+	default:
+		return "ref"
+	}
+}
+
+// Literal renders the primitive literal d for value objects.
+func (v Value) Literal() string {
+	switch v.Kind {
+	case KNull:
+		return "null"
+	case KBool:
+		return strconv.FormatBool(v.Bool)
+	case KInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KStr:
+		return v.Str
+	default:
+		return fmt.Sprintf("ref@%d", v.Ref)
+	}
+}
+
+// Equal is the == semantics of the language: structural on value objects,
+// reference identity on heap objects, and null == null.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		// Int/Float comparisons promote.
+		if v.Kind == KInt && o.Kind == KFloat {
+			return float64(v.Int) == o.Float
+		}
+		if v.Kind == KFloat && o.Kind == KInt {
+			return v.Float == float64(o.Int)
+		}
+		return false
+	}
+	switch v.Kind {
+	case KNull:
+		return true
+	case KBool:
+		return v.Bool == o.Bool
+	case KInt:
+		return v.Int == o.Int
+	case KFloat:
+		return v.Float == o.Float
+	case KStr:
+		return v.Str == o.Str
+	default:
+		return v.Ref == o.Ref
+	}
+}

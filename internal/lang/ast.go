@@ -1,0 +1,378 @@
+package lang
+
+// Program is a parsed compilation unit: a set of class declarations.
+// Execution starts at new Main().main() (the thread term T(t;) of Fig. 3).
+type Program struct {
+	Classes []*Class
+}
+
+// Class finds a class by name, or nil.
+func (p *Program) Class(name string) *Class {
+	for _, c := range p.Classes {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the program. The regression injector mutates clones so
+// the original version stays intact.
+func (p *Program) Clone() *Program {
+	out := &Program{Classes: make([]*Class, len(p.Classes))}
+	for i, c := range p.Classes {
+		out.Classes[i] = c.clone()
+	}
+	return out
+}
+
+// Class is a class declaration: class C extends C′ { Ā f̄; K M̄ }.
+// Opaque classes have no meaningful cross-version value representation
+// (modelling Java classes that keep the default hashCode/toString).
+type Class struct {
+	Name    string
+	Super   string // "Object" when unspecified
+	Opaque  bool
+	Fields  []Field
+	Ctor    *Method // constructor K; nil means the implicit zero-arg ctor
+	Methods []*Method
+	Pos     Pos
+}
+
+func (c *Class) clone() *Class {
+	out := *c
+	out.Fields = append([]Field(nil), c.Fields...)
+	if c.Ctor != nil {
+		out.Ctor = c.Ctor.clone()
+	}
+	out.Methods = make([]*Method, len(c.Methods))
+	for i, m := range c.Methods {
+		out.Methods[i] = m.clone()
+	}
+	return &out
+}
+
+// Method looks up a directly declared method by name, or nil.
+func (c *Class) Method(name string) *Method {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Field is one field declaration A f.
+type Field struct {
+	Type string
+	Name string
+}
+
+// Param is one formal parameter A x.
+type Param struct {
+	Type string
+	Name string
+}
+
+// Method is a method declaration A m(Ā x̄){ t̄; return t; }. The
+// constructor is represented as a Method named "<init>" with empty RetType.
+type Method struct {
+	Name    string
+	Params  []Param
+	RetType string
+	Body    []Stmt
+	Pos     Pos
+}
+
+func (m *Method) clone() *Method {
+	out := *m
+	out.Params = append([]Param(nil), m.Params...)
+	out.Body = cloneStmts(m.Body)
+	return &out
+}
+
+// Arity returns the number of formal parameters.
+func (m *Method) Arity() int { return len(m.Params) }
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	stmt()
+	CloneStmt() Stmt
+	StmtPos() Pos
+}
+
+// Let declares and initializes a local: let x = e;
+type Let struct {
+	Name string
+	Init Expr
+	Pos  Pos
+}
+
+// AssignLocal writes a local or parameter: x = e;
+type AssignLocal struct {
+	Name string
+	Val  Expr
+	Pos  Pos
+}
+
+// AssignField writes a field: e.f = e′;
+type AssignField struct {
+	Obj  Expr
+	Name string
+	Val  Expr
+	Pos  Pos
+}
+
+// If is a conditional with an optional else branch.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Pos  Pos
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+	Pos  Pos
+}
+
+// Return exits the enclosing method; Val may be nil for a bare return.
+type Return struct {
+	Val Expr
+	Pos Pos
+}
+
+// Spawn starts a new thread T(t̄;) executing Body.
+type Spawn struct {
+	Body []Stmt
+	Pos  Pos
+}
+
+// ExprStmt evaluates an expression for effect: e;
+type ExprStmt struct {
+	X   Expr
+	Pos Pos
+}
+
+// SuperCall invokes the superclass constructor; only legal as the first
+// statement of a constructor body.
+type SuperCall struct {
+	Args []Expr
+	Pos  Pos
+}
+
+func (*Let) stmt()         {}
+func (*AssignLocal) stmt() {}
+func (*AssignField) stmt() {}
+func (*If) stmt()          {}
+func (*While) stmt()       {}
+func (*Return) stmt()      {}
+func (*Spawn) stmt()       {}
+func (*ExprStmt) stmt()    {}
+func (*SuperCall) stmt()   {}
+
+func (s *Let) StmtPos() Pos         { return s.Pos }
+func (s *AssignLocal) StmtPos() Pos { return s.Pos }
+func (s *AssignField) StmtPos() Pos { return s.Pos }
+func (s *If) StmtPos() Pos          { return s.Pos }
+func (s *While) StmtPos() Pos       { return s.Pos }
+func (s *Return) StmtPos() Pos      { return s.Pos }
+func (s *Spawn) StmtPos() Pos       { return s.Pos }
+func (s *ExprStmt) StmtPos() Pos    { return s.Pos }
+func (s *SuperCall) StmtPos() Pos   { return s.Pos }
+
+func (s *Let) CloneStmt() Stmt {
+	return &Let{Name: s.Name, Init: cloneExpr(s.Init), Pos: s.Pos}
+}
+func (s *AssignLocal) CloneStmt() Stmt {
+	return &AssignLocal{Name: s.Name, Val: cloneExpr(s.Val), Pos: s.Pos}
+}
+func (s *AssignField) CloneStmt() Stmt {
+	return &AssignField{Obj: cloneExpr(s.Obj), Name: s.Name, Val: cloneExpr(s.Val), Pos: s.Pos}
+}
+func (s *If) CloneStmt() Stmt {
+	return &If{Cond: cloneExpr(s.Cond), Then: cloneStmts(s.Then), Else: cloneStmts(s.Else), Pos: s.Pos}
+}
+func (s *While) CloneStmt() Stmt {
+	return &While{Cond: cloneExpr(s.Cond), Body: cloneStmts(s.Body), Pos: s.Pos}
+}
+func (s *Return) CloneStmt() Stmt {
+	return &Return{Val: cloneExpr(s.Val), Pos: s.Pos}
+}
+func (s *Spawn) CloneStmt() Stmt {
+	return &Spawn{Body: cloneStmts(s.Body), Pos: s.Pos}
+}
+func (s *ExprStmt) CloneStmt() Stmt {
+	return &ExprStmt{X: cloneExpr(s.X), Pos: s.Pos}
+}
+func (s *SuperCall) CloneStmt() Stmt {
+	return &SuperCall{Args: cloneExprs(s.Args), Pos: s.Pos}
+}
+
+func cloneStmts(ss []Stmt) []Stmt {
+	if ss == nil {
+		return nil
+	}
+	out := make([]Stmt, len(ss))
+	for i, s := range ss {
+		out[i] = s.CloneStmt()
+	}
+	return out
+}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	CloneExpr() Expr
+	ExprPos() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Val int64
+	Pos Pos
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Val float64
+	Pos Pos
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	Val string
+	Pos Pos
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Val bool
+	Pos Pos
+}
+
+// NullLit is the null reference.
+type NullLit struct {
+	Pos Pos
+}
+
+// This is the receiver reference.
+type This struct {
+	Pos Pos
+}
+
+// Var references a local, parameter, or builtin namespace (Sys, Reflect,
+// Runtime).
+type Var struct {
+	Name string
+	Pos  Pos
+}
+
+// FieldAccess reads a field: e.f.
+type FieldAccess struct {
+	Obj  Expr
+	Name string
+	Pos  Pos
+}
+
+// Call invokes a method: e.m(ē).
+type Call struct {
+	Recv   Expr
+	Method string
+	Args   []Expr
+	Pos    Pos
+}
+
+// New allocates an object: new C(ē).
+type New struct {
+	Class string
+	Args  []Expr
+	Pos   Pos
+}
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Pos  Pos
+}
+
+// Unary applies ! or unary -.
+type Unary struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*StrLit) expr()      {}
+func (*BoolLit) expr()     {}
+func (*NullLit) expr()     {}
+func (*This) expr()        {}
+func (*Var) expr()         {}
+func (*FieldAccess) expr() {}
+func (*Call) expr()        {}
+func (*New) expr()         {}
+func (*Binary) expr()      {}
+func (*Unary) expr()       {}
+
+func (e *IntLit) ExprPos() Pos      { return e.Pos }
+func (e *FloatLit) ExprPos() Pos    { return e.Pos }
+func (e *StrLit) ExprPos() Pos      { return e.Pos }
+func (e *BoolLit) ExprPos() Pos     { return e.Pos }
+func (e *NullLit) ExprPos() Pos     { return e.Pos }
+func (e *This) ExprPos() Pos        { return e.Pos }
+func (e *Var) ExprPos() Pos         { return e.Pos }
+func (e *FieldAccess) ExprPos() Pos { return e.Pos }
+func (e *Call) ExprPos() Pos        { return e.Pos }
+func (e *New) ExprPos() Pos         { return e.Pos }
+func (e *Binary) ExprPos() Pos      { return e.Pos }
+func (e *Unary) ExprPos() Pos       { return e.Pos }
+
+func (e *IntLit) CloneExpr() Expr   { c := *e; return &c }
+func (e *FloatLit) CloneExpr() Expr { c := *e; return &c }
+func (e *StrLit) CloneExpr() Expr   { c := *e; return &c }
+func (e *BoolLit) CloneExpr() Expr  { c := *e; return &c }
+func (e *NullLit) CloneExpr() Expr  { c := *e; return &c }
+func (e *This) CloneExpr() Expr     { c := *e; return &c }
+func (e *Var) CloneExpr() Expr      { c := *e; return &c }
+func (e *FieldAccess) CloneExpr() Expr {
+	return &FieldAccess{Obj: cloneExpr(e.Obj), Name: e.Name, Pos: e.Pos}
+}
+func (e *Call) CloneExpr() Expr {
+	return &Call{Recv: cloneExpr(e.Recv), Method: e.Method, Args: cloneExprs(e.Args), Pos: e.Pos}
+}
+func (e *New) CloneExpr() Expr {
+	return &New{Class: e.Class, Args: cloneExprs(e.Args), Pos: e.Pos}
+}
+func (e *Binary) CloneExpr() Expr {
+	return &Binary{Op: e.Op, L: cloneExpr(e.L), R: cloneExpr(e.R), Pos: e.Pos}
+}
+func (e *Unary) CloneExpr() Expr {
+	return &Unary{Op: e.Op, X: cloneExpr(e.X), Pos: e.Pos}
+}
+
+func cloneExpr(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return e.CloneExpr()
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = cloneExpr(e)
+	}
+	return out
+}

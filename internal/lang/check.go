@@ -1,0 +1,183 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CheckError aggregates static well-formedness violations.
+type CheckError struct {
+	Problems []string
+}
+
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("lang: %d problem(s):\n  %s", len(e.Problems), strings.Join(e.Problems, "\n  "))
+}
+
+// builtinNamespaces are identifiers resolvable without a local binding:
+// they name intrinsic receivers handled by the interpreter.
+var builtinNamespaces = map[string]bool{"Sys": true, "Reflect": true, "Runtime": true}
+
+// primitiveTypes are the value-object types D of Fig. 3.
+var primitiveTypes = map[string]bool{"Int": true, "Bool": true, "String": true, "Float": true, "void": true}
+
+// Check performs static well-formedness checking: superclass resolution
+// and cycle detection, duplicate members, unknown local variables, super()
+// placement, and field-count agreement are validated. The language remains
+// dynamically typed beyond this (like the paper's tool, which needs no
+// source access at all), so method and field existence on *other* objects
+// is a run-time concern.
+func Check(p *Program) error {
+	var probs []string
+	addf := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+
+	ct, err := NewClassTable(p)
+	if err != nil {
+		return &CheckError{Problems: []string{err.Error()}}
+	}
+
+	// Superclass existence and acyclicity.
+	for _, c := range p.Classes {
+		if c.Super != ObjectClass && ct.Lookup(c.Super) == nil {
+			addf("%s: class %s extends unknown class %s", c.Pos, c.Name, c.Super)
+			continue
+		}
+		seen := map[string]bool{c.Name: true}
+		for cur := c.Super; cur != ObjectClass; {
+			if seen[cur] {
+				addf("%s: class %s participates in an inheritance cycle", c.Pos, c.Name)
+				break
+			}
+			seen[cur] = true
+			sc := ct.Lookup(cur)
+			if sc == nil {
+				break
+			}
+			cur = sc.Super
+		}
+	}
+
+	for _, c := range p.Classes {
+		checkClass(ct, c, addf)
+	}
+
+	if probs != nil {
+		return &CheckError{Problems: probs}
+	}
+	return nil
+}
+
+func checkClass(ct *ClassTable, c *Class, addf func(string, ...any)) {
+	fieldNames := map[string]bool{}
+	for _, f := range c.Fields {
+		if fieldNames[f.Name] {
+			addf("%s: class %s: duplicate field %s", c.Pos, c.Name, f.Name)
+		}
+		fieldNames[f.Name] = true
+	}
+	methodNames := map[string]bool{}
+	for _, m := range c.Methods {
+		if methodNames[m.Name] {
+			addf("%s: class %s: duplicate method %s", m.Pos, c.Name, m.Name)
+		}
+		methodNames[m.Name] = true
+		checkMethod(c, m, false, addf)
+	}
+	if c.Ctor != nil {
+		checkMethod(c, c.Ctor, true, addf)
+	}
+}
+
+func checkMethod(c *Class, m *Method, isCtor bool, addf func(string, ...any)) {
+	scope := map[string]bool{}
+	for _, p := range m.Params {
+		if scope[p.Name] {
+			addf("%s: %s.%s: duplicate parameter %s", m.Pos, c.Name, m.Name, p.Name)
+		}
+		scope[p.Name] = true
+	}
+	for i, s := range m.Body {
+		if sc, ok := s.(*SuperCall); ok {
+			if !isCtor || i != 0 {
+				addf("%s: %s.%s: super(...) only allowed as the first statement of a constructor",
+					sc.Pos, c.Name, m.Name)
+			}
+		}
+	}
+	checkStmts(c, m, m.Body, copyScope(scope), addf)
+}
+
+func copyScope(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func checkStmts(c *Class, m *Method, body []Stmt, scope map[string]bool, addf func(string, ...any)) {
+	for _, s := range body {
+		switch s := s.(type) {
+		case *Let:
+			checkExpr(c, m, s.Init, scope, addf)
+			scope[s.Name] = true
+		case *AssignLocal:
+			if !scope[s.Name] {
+				addf("%s: %s.%s: assignment to undeclared variable %s", s.Pos, c.Name, m.Name, s.Name)
+			}
+			checkExpr(c, m, s.Val, scope, addf)
+		case *AssignField:
+			checkExpr(c, m, s.Obj, scope, addf)
+			checkExpr(c, m, s.Val, scope, addf)
+		case *If:
+			checkExpr(c, m, s.Cond, scope, addf)
+			checkStmts(c, m, s.Then, copyScope(scope), addf)
+			checkStmts(c, m, s.Else, copyScope(scope), addf)
+		case *While:
+			checkExpr(c, m, s.Cond, scope, addf)
+			checkStmts(c, m, s.Body, copyScope(scope), addf)
+		case *Return:
+			if s.Val != nil {
+				checkExpr(c, m, s.Val, scope, addf)
+			}
+		case *Spawn:
+			checkStmts(c, m, s.Body, copyScope(scope), addf)
+		case *ExprStmt:
+			checkExpr(c, m, s.X, scope, addf)
+		case *SuperCall:
+			for _, a := range s.Args {
+				checkExpr(c, m, a, scope, addf)
+			}
+		}
+	}
+}
+
+func checkExpr(c *Class, m *Method, e Expr, scope map[string]bool, addf func(string, ...any)) {
+	switch e := e.(type) {
+	case *Var:
+		if !scope[e.Name] && !builtinNamespaces[e.Name] {
+			addf("%s: %s.%s: unknown variable %s", e.Pos, c.Name, m.Name, e.Name)
+		}
+	case *FieldAccess:
+		checkExpr(c, m, e.Obj, scope, addf)
+	case *Call:
+		checkExpr(c, m, e.Recv, scope, addf)
+		for _, a := range e.Args {
+			checkExpr(c, m, a, scope, addf)
+		}
+	case *New:
+		if primitiveTypes[e.Class] {
+			addf("%s: %s.%s: cannot instantiate primitive type %s", e.Pos, c.Name, m.Name, e.Class)
+		}
+		for _, a := range e.Args {
+			checkExpr(c, m, a, scope, addf)
+		}
+	case *Binary:
+		checkExpr(c, m, e.L, scope, addf)
+		checkExpr(c, m, e.R, scope, addf)
+	case *Unary:
+		checkExpr(c, m, e.X, scope, addf)
+	}
+}

@@ -1,0 +1,154 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const hierarchySrc = `
+class A {
+  Int a;
+  Int base() { return 1; }
+  Int both() { return 10; }
+}
+class B extends A {
+  Int b;
+  Int both() { return 20; }
+  Int onlyB() { return 2; }
+}
+class C extends B {
+  Int c;
+}
+`
+
+func TestFieldsCollectsInherited(t *testing.T) {
+	ct, err := NewClassTable(MustParse(hierarchySrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ct.Fields("C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range fs {
+		names = append(names, f.Name)
+	}
+	if got := strings.Join(names, ","); got != "a,b,c" {
+		t.Errorf("fields(C) = %s, want a,b,c", got)
+	}
+	if fs, _ := ct.Fields(ObjectClass); fs != nil {
+		t.Error("fields(Object) should be empty")
+	}
+	if _, err := ct.Fields("Nope"); err == nil {
+		t.Error("fields of unknown class should fail")
+	}
+}
+
+func TestMBodyWalksChain(t *testing.T) {
+	ct, _ := NewClassTable(MustParse(hierarchySrc))
+	if _, def, ok := ct.MBody("base", "C"); !ok || def != "A" {
+		t.Errorf("mbody(base, C) defined in %q ok=%v, want A", def, ok)
+	}
+	if _, def, ok := ct.MBody("both", "C"); !ok || def != "B" {
+		t.Errorf("mbody(both, C) defined in %q, want override in B", def)
+	}
+	if _, def, ok := ct.MBody("both", "A"); !ok || def != "A" {
+		t.Errorf("mbody(both, A) defined in %q, want A", def)
+	}
+	if _, _, ok := ct.MBody("nope", "C"); ok {
+		t.Error("mbody of missing method should fail")
+	}
+	if _, _, ok := ct.MBody("base", "Unknown"); ok {
+		t.Error("mbody on unknown class should fail")
+	}
+}
+
+func TestIsSubclass(t *testing.T) {
+	ct, _ := NewClassTable(MustParse(hierarchySrc))
+	cases := []struct {
+		sub, sup string
+		want     bool
+	}{
+		{"C", "A", true},
+		{"C", "C", true},
+		{"A", "C", false},
+		{"A", "Object", true},
+		{"Unknown", "A", false},
+	}
+	for _, c := range cases {
+		if got := ct.IsSubclass(c.sub, c.sup); got != c.want {
+			t.Errorf("IsSubclass(%s, %s) = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+	}
+}
+
+func TestDefineRejectsDuplicatesAndObject(t *testing.T) {
+	ct, _ := NewClassTable(MustParse(hierarchySrc))
+	if err := ct.Define(&Class{Name: "A"}); err == nil {
+		t.Error("duplicate class must be rejected")
+	}
+	if err := ct.Define(&Class{Name: ObjectClass}); err == nil {
+		t.Error("redefining Object must be rejected")
+	}
+	if err := ct.Define(&Class{Name: "Fresh", Super: ObjectClass}); err != nil {
+		t.Errorf("fresh class rejected: %v", err)
+	}
+	if ct.Lookup("Fresh") == nil {
+		t.Error("fresh class not found after Define")
+	}
+}
+
+func TestCheckAcceptsSample(t *testing.T) {
+	if err := Check(MustParse(sampleProgram)); err != nil {
+		t.Errorf("Check(sample) = %v", err)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"unknown super", `class A extends Nope {}`, "unknown class"},
+		{"cycle", `class A extends B {} class B extends A {}`, "cycle"},
+		{"dup field", `class A { Int x; Int x; }`, "duplicate field"},
+		{"dup method", `class A { Int f() { return 1; } Int f() { return 2; } }`, "duplicate method"},
+		{"dup param", `class A { Int f(Int x, Int x) { return x; } }`, "duplicate parameter"},
+		{"unknown var", `class A { Int f() { return y; } }`, "unknown variable"},
+		{"assign undeclared", `class A { void f() { y = 1; } }`, "undeclared"},
+		{"super in method", `class A { void f() { super(); } }`, "super"},
+		{"super not first", `class A { A() { let x = 1; super(); } }`, "super"},
+		{"new primitive", `class A { void f() { let x = new Int(3); } }`, "primitive"},
+	}
+	for _, c := range cases {
+		err := Check(MustParse(c.src))
+		if err == nil {
+			t.Errorf("%s: Check accepted bad program", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q missing %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestCheckScopesAreLexical(t *testing.T) {
+	// A let inside an if arm must not leak into the following statements.
+	src := `class A { void f(Bool b) {
+		if (b) { let x = 1; } else { }
+		let y = x;
+	} }`
+	if err := Check(MustParse(src)); err == nil {
+		t.Error("x must not be visible after the if block")
+	}
+	// But a let at method level is visible later.
+	ok := `class A { void f() { let x = 1; let y = x; } }`
+	if err := Check(MustParse(ok)); err != nil {
+		t.Errorf("valid scoping rejected: %v", err)
+	}
+	// Builtin namespaces resolve without declaration.
+	builtin := `class A { void f() { Sys.print("x"); Runtime.defineClass("..."); let o = Reflect.create("A"); } }`
+	if err := Check(MustParse(builtin)); err != nil {
+		t.Errorf("builtin namespaces rejected: %v", err)
+	}
+}

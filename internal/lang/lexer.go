@@ -1,0 +1,200 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns source text into tokens. It supports //-comments and
+// /* */ comments, decimal integer and float literals, double-quoted string
+// literals with \n \t \" \\ escapes, and the operator set of the language.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// SyntaxError is a lexing or parsing failure with a source position.
+type SyntaxError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *SyntaxError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) error {
+	return &SyntaxError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return r
+}
+
+func (l *Lexer) advance() rune {
+	if l.off >= len(l.src) {
+		return -1
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	l.off += size
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		r := l.peek()
+		switch {
+		case r == -1:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for l.peek() != '\n' && l.peek() != -1 {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "/*"):
+			start := l.pos()
+			l.advance()
+			l.advance()
+			for !strings.HasPrefix(l.src[l.off:], "*/") {
+				if l.peek() == -1 {
+					return l.errorf(start, "unterminated block comment")
+				}
+				l.advance()
+			}
+			l.advance()
+			l.advance()
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *Lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// twoCharOps are the multi-character operators, checked before single chars.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "&&", "||"}
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	p := l.pos()
+	r := l.peek()
+	switch {
+	case r == -1:
+		return Token{Kind: TokEOF, Pos: p}, nil
+	case unicode.IsLetter(r) || r == '_':
+		start := l.off
+		for {
+			r := l.peek()
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		kind := TokIdent
+		if IsKeyword(text) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: p}, nil
+	case unicode.IsDigit(r):
+		start := l.off
+		kind := TokInt
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' && l.off+1 < len(l.src) && isDigitByte(l.src[l.off+1]) {
+			kind = TokFloat
+			l.advance()
+			for unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return Token{Kind: kind, Text: l.src[start:l.off], Pos: p}, nil
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.peek()
+			switch c {
+			case -1, '\n':
+				return Token{}, l.errorf(p, "unterminated string literal")
+			case '"':
+				l.advance()
+				return Token{Kind: TokString, Text: b.String(), Pos: p}, nil
+			case '\\':
+				l.advance()
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '"':
+					b.WriteByte('"')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return Token{}, l.errorf(p, "bad escape \\%c in string", esc)
+				}
+			default:
+				l.advance()
+				b.WriteRune(c)
+			}
+		}
+	}
+	for _, op := range twoCharOps {
+		if strings.HasPrefix(l.src[l.off:], op) {
+			l.advance()
+			l.advance()
+			return Token{Kind: TokOp, Text: op, Pos: p}, nil
+		}
+	}
+	switch r {
+	case '(', ')', '{', '}', ',', ';', '.':
+		l.advance()
+		return Token{Kind: TokPunct, Text: string(r), Pos: p}, nil
+	case '+', '-', '*', '/', '%', '<', '>', '!', '=':
+		l.advance()
+		return Token{Kind: TokOp, Text: string(r), Pos: p}, nil
+	}
+	return Token{}, l.errorf(p, "unexpected character %q", r)
+}
+
+func isDigitByte(b byte) bool { return '0' <= b && b <= '9' }
+
+// LexAll tokenizes the whole input (testing convenience).
+func LexAll(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func kindsAndTexts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := LexAll(src)
+	if err != nil {
+		t.Fatalf("LexAll(%q): %v", src, err)
+	}
+	var out []string
+	for _, tok := range toks {
+		if tok.Kind == TokEOF {
+			break
+		}
+		out = append(out, tok.Kind.String()+":"+tok.Text)
+	}
+	return out
+}
+
+func TestLexBasics(t *testing.T) {
+	got := kindsAndTexts(t, `class C { Int x; }`)
+	want := []string{"keyword:class", "ident:C", "punct:{", "ident:Int", "ident:x", "punct:;", "punct:}"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	got := kindsAndTexts(t, "12 3.5 0 007")
+	want := []string{"int:12", "float:3.5", "int:0", "int:007"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexDotAfterIntIsMemberAccess(t *testing.T) {
+	// "1.foo" must lex as int 1, dot, ident foo (not a float).
+	got := kindsAndTexts(t, "x.f")
+	want := []string{"ident:x", "punct:.", "ident:f"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks, err := LexAll(`"a\nb\t\"c\\"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "a\nb\t\"c\\" {
+		t.Errorf("string token = %q", toks[0].Text)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := kindsAndTexts(t, "== != <= >= && || < > + - * / % ! =")
+	for _, g := range got {
+		if !strings.HasPrefix(g, "op:") {
+			t.Errorf("token %s should be an operator", g)
+		}
+	}
+	if len(got) != 15 {
+		t.Errorf("got %d tokens, want 15", len(got))
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// line comment
+class /* block
+comment */ C {}`
+	got := kindsAndTexts(t, src)
+	want := []string{"keyword:class", "ident:C", "punct:{", "punct:}"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \q escape"`,
+		"class @ {}",
+		"/* unterminated",
+	}
+	for _, src := range cases {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("LexAll(%q): expected error", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := LexAll("a\n  bb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("second token pos = %v", toks[1].Pos)
+	}
+}

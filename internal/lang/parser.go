@@ -1,0 +1,517 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the language. Binary operator
+// precedence follows Java: || < && < ==,!= < relational < additive <
+// multiplicative < unary < postfix.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	peek *Token
+}
+
+// Parse parses a complete program.
+func Parse(src string) (*Program, error) {
+	p := &Parser{lx: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TokEOF {
+		c, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		prog.Classes = append(prog.Classes, c)
+	}
+	return prog, nil
+}
+
+// MustParse parses or panics; for tests and embedded subject sources that
+// are compile-time constants.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) next() error {
+	if p.peek != nil {
+		p.tok, p.peek = *p.peek, nil
+		return nil
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) peekTok() (Token, error) {
+	if p.peek == nil {
+		t, err := p.lx.Next()
+		if err != nil {
+			return Token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) is(kind TokKind, text string) bool {
+	return p.tok.Kind == kind && p.tok.Text == text
+}
+
+func (p *Parser) accept(kind TokKind, text string) (bool, error) {
+	if !p.is(kind, text) {
+		return false, nil
+	}
+	return true, p.next()
+}
+
+func (p *Parser) expect(kind TokKind, text string) error {
+	if !p.is(kind, text) {
+		return p.errorf("expected %q, found %s", text, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) ident() (string, error) {
+	if p.tok.Kind != TokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.Text
+	return name, p.next()
+}
+
+func (p *Parser) classDecl() (*Class, error) {
+	pos := p.tok.Pos
+	opaque, err := p.accept(TokKeyword, "opaque")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(TokKeyword, "class"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	super := "Object"
+	if ok, err := p.accept(TokKeyword, "extends"); err != nil {
+		return nil, err
+	} else if ok {
+		if super, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	c := &Class{Name: name, Super: super, Opaque: opaque, Pos: pos}
+	for !p.is(TokPunct, "}") {
+		if err := p.member(c); err != nil {
+			return nil, err
+		}
+	}
+	return c, p.next() // consume '}'
+}
+
+// member parses a field, constructor, or method declaration and adds it to c.
+func (p *Parser) member(c *Class) error {
+	pos := p.tok.Pos
+	first, err := p.ident()
+	if err != nil {
+		return err
+	}
+	// Constructor: the class name followed directly by '('.
+	if first == c.Name && p.is(TokPunct, "(") {
+		m, err := p.methodRest("<init>", "", pos)
+		if err != nil {
+			return err
+		}
+		if c.Ctor != nil {
+			return &SyntaxError{Pos: pos, Msg: fmt.Sprintf("class %s: duplicate constructor", c.Name)}
+		}
+		c.Ctor = m
+		return nil
+	}
+	// Otherwise: Type Name followed by ';' (field) or '(' (method).
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if ok, err := p.accept(TokPunct, ";"); err != nil {
+		return err
+	} else if ok {
+		c.Fields = append(c.Fields, Field{Type: first, Name: name})
+		return nil
+	}
+	if !p.is(TokPunct, "(") {
+		return p.errorf("expected ';' or '(' after member %s.%s", c.Name, name)
+	}
+	m, err := p.methodRest(name, first, pos)
+	if err != nil {
+		return err
+	}
+	c.Methods = append(c.Methods, m)
+	return nil
+}
+
+func (p *Parser) methodRest(name, retType string, pos Pos) (*Method, error) {
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.is(TokPunct, ")") {
+		if len(params) > 0 {
+			if err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		typ, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		pname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Type: typ, Name: pname})
+	}
+	if err := p.next(); err != nil { // consume ')'
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &Method{Name: name, Params: params, RetType: retType, Body: body, Pos: pos}, nil
+}
+
+func (p *Parser) block() ([]Stmt, error) {
+	if err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	stmts := []Stmt{}
+	for !p.is(TokPunct, "}") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, p.next() // consume '}'
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch {
+	case p.is(TokKeyword, "let"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokOp, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Let{Name: name, Init: init, Pos: pos}, p.expect(TokPunct, ";")
+
+	case p.is(TokKeyword, "if"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if ok, err := p.accept(TokKeyword, "else"); err != nil {
+			return nil, err
+		} else if ok {
+			if p.is(TokKeyword, "if") {
+				s, err := p.stmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{s}
+			} else if els, err = p.block(); err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: pos}, nil
+
+	case p.is(TokKeyword, "while"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: pos}, nil
+
+	case p.is(TokKeyword, "return"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if ok, err := p.accept(TokPunct, ";"); err != nil {
+			return nil, err
+		} else if ok {
+			return &Return{Pos: pos}, nil
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &Return{Val: val, Pos: pos}, p.expect(TokPunct, ";")
+
+	case p.is(TokKeyword, "spawn"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &Spawn{Body: body, Pos: pos}, nil
+
+	case p.is(TokKeyword, "super"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		args, err := p.args()
+		if err != nil {
+			return nil, err
+		}
+		return &SuperCall{Args: args, Pos: pos}, p.expect(TokPunct, ";")
+	}
+
+	// Expression or assignment statement.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.is(TokOp, "=") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		switch lhs := e.(type) {
+		case *Var:
+			return &AssignLocal{Name: lhs.Name, Val: val, Pos: pos}, p.expect(TokPunct, ";")
+		case *FieldAccess:
+			return &AssignField{Obj: lhs.Obj, Name: lhs.Name, Val: val, Pos: pos}, p.expect(TokPunct, ";")
+		default:
+			return nil, &SyntaxError{Pos: pos, Msg: "left side of assignment must be a variable or field"}
+		}
+	}
+	return &ExprStmt{X: e, Pos: pos}, p.expect(TokPunct, ";")
+}
+
+func (p *Parser) args() ([]Expr, error) {
+	if err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.is(TokPunct, ")") {
+		if len(args) > 0 {
+			if err := p.expect(TokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	return args, p.next() // consume ')'
+}
+
+// binLevels lists binary operators from lowest to highest precedence.
+var binLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *Parser) expr() (Expr, error) { return p.binary(0) }
+
+func (p *Parser) binary(level int) (Expr, error) {
+	if level == len(binLevels) {
+		return p.unary()
+	}
+	left, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := ""
+		for _, op := range binLevels[level] {
+			if p.is(TokOp, op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return left, nil
+		}
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.binary(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: matched, L: left, R: right, Pos: pos}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.is(TokOp, "!") || p.is(TokOp, "-") {
+		pos := p.tok.Pos
+		op := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x, Pos: pos}, nil
+	}
+	return p.postfix()
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.is(TokPunct, ".") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		pos := p.tok.Pos
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.is(TokPunct, "(") {
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			e = &Call{Recv: e, Method: name, Args: args, Pos: pos}
+		} else {
+			e = &FieldAccess{Obj: e, Name: name, Pos: pos}
+		}
+	}
+	return e, nil
+}
+
+func (p *Parser) primary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokInt:
+		v, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", p.tok.Text)
+		}
+		return &IntLit{Val: v, Pos: pos}, p.next()
+	case TokFloat:
+		v, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q", p.tok.Text)
+		}
+		return &FloatLit{Val: v, Pos: pos}, p.next()
+	case TokString:
+		v := p.tok.Text
+		return &StrLit{Val: v, Pos: pos}, p.next()
+	case TokKeyword:
+		switch p.tok.Text {
+		case "true", "false":
+			v := p.tok.Text == "true"
+			return &BoolLit{Val: v, Pos: pos}, p.next()
+		case "null":
+			return &NullLit{Pos: pos}, p.next()
+		case "this":
+			return &This{Pos: pos}, p.next()
+		case "new":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			args, err := p.args()
+			if err != nil {
+				return nil, err
+			}
+			return &New{Class: name, Args: args, Pos: pos}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", p.tok)
+	case TokIdent:
+		name := p.tok.Text
+		return &Var{Name: name, Pos: pos}, p.next()
+	case TokPunct:
+		if p.tok.Text == "(" {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return e, p.expect(TokPunct, ")")
+		}
+	}
+	return nil, p.errorf("unexpected token %s in expression", p.tok)
+}

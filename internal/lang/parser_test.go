@@ -1,0 +1,223 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleProgram = `
+class Util {
+  Int min;
+  Int max;
+  Util(Int a, Int b) {
+    super();
+    this.min = a;
+    this.max = b;
+  }
+  Bool inRange(Int x) {
+    if (x < this.min) { return false; }
+    if (x > this.max) { return false; }
+    return true;
+  }
+}
+
+opaque class Log extends Util {
+  void add(String msg) {
+    Sys.print(msg);
+    return;
+  }
+}
+
+class Main {
+  void main() {
+    let u = new Util(32, 127);
+    let i = 0;
+    while (i < 10) {
+      let ok = u.inRange(i * 13 % 200);
+      if (ok) { Sys.print("in"); } else { Sys.print("out"); }
+      i = i + 1;
+    }
+    spawn {
+      Sys.print("worker");
+    }
+    return;
+  }
+}
+`
+
+func TestParseSampleProgram(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Classes) != 3 {
+		t.Fatalf("parsed %d classes, want 3", len(prog.Classes))
+	}
+	util := prog.Class("Util")
+	if util == nil || len(util.Fields) != 2 || util.Ctor == nil || len(util.Methods) != 1 {
+		t.Fatalf("bad Util class: %+v", util)
+	}
+	if util.Ctor.Arity() != 2 {
+		t.Errorf("ctor arity = %d", util.Ctor.Arity())
+	}
+	log := prog.Class("Log")
+	if log == nil || !log.Opaque || log.Super != "Util" {
+		t.Fatalf("bad Log class: %+v", log)
+	}
+	if got := prog.Class("Main").Method("main"); got == nil {
+		t.Fatal("missing Main.main")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	prog := MustParse(`class C { Int f() { return 1 + 2 * 3 == 7 && true; } }`)
+	ret := prog.Class("C").Method("f").Body[0].(*Return)
+	and, ok := ret.Val.(*Binary)
+	if !ok || and.Op != "&&" {
+		t.Fatalf("top = %v, want &&", ExprString(ret.Val))
+	}
+	eq, ok := and.L.(*Binary)
+	if !ok || eq.Op != "==" {
+		t.Fatalf("left of && = %v, want ==", ExprString(and.L))
+	}
+	add, ok := eq.L.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left of == = %v, want +", ExprString(eq.L))
+	}
+	if mul, ok := add.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("right of + = %v, want *", ExprString(add.R))
+	}
+}
+
+func TestParseChainedCallsAndFields(t *testing.T) {
+	prog := MustParse(`class C { Int f(C o) { return o.g().h.i(1, 2).j; } }`)
+	ret := prog.Class("C").Method("f").Body[0].(*Return)
+	fa, ok := ret.Val.(*FieldAccess)
+	if !ok || fa.Name != "j" {
+		t.Fatalf("outermost = %v", ExprString(ret.Val))
+	}
+	call, ok := fa.Obj.(*Call)
+	if !ok || call.Method != "i" || len(call.Args) != 2 {
+		t.Fatalf("call = %v", ExprString(fa.Obj))
+	}
+}
+
+func TestParseElseIfChain(t *testing.T) {
+	prog := MustParse(`class C { Int f(Int x) {
+		if (x == 1) { return 1; } else if (x == 2) { return 2; } else { return 3; }
+	} }`)
+	s := prog.Class("C").Method("f").Body[0].(*If)
+	if len(s.Else) != 1 {
+		t.Fatalf("else arm has %d stmts", len(s.Else))
+	}
+	if _, ok := s.Else[0].(*If); !ok {
+		t.Fatalf("else arm is %T, want *If", s.Else[0])
+	}
+}
+
+func TestParseUnary(t *testing.T) {
+	prog := MustParse(`class C { Bool f(Bool b, Int x) { return !b && -x < 0; } }`)
+	ret := prog.Class("C").Method("f").Body[0].(*Return)
+	and := ret.Val.(*Binary)
+	if _, ok := and.L.(*Unary); !ok {
+		t.Errorf("left = %v, want unary", ExprString(and.L))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{`class {`, "identifier"},
+		{`class C extends {}`, "identifier"},
+		{`class C { Int f( { } }`, "identifier"},
+		{`class C { void f() { 1 + ; } }`, "expression"},
+		{`class C { void f() { let = 3; } }`, "identifier"},
+		{`class C { void f() { 1 = 2; } }`, "assignment"},
+		{`class C { void f() { if x {} } }`, "("},
+		{`class C { void f() { return 1 } }`, ";"},
+		{`class C { Int x }`, "';' or '('"},
+		{`class C { C() {} C() {} }`, "duplicate constructor"},
+		{`class C { void f() {} } trailing`, "class"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): error %q does not contain %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog := MustParse(sampleProgram)
+	printed := Print(prog)
+	reparsed, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("reparse of printed program failed: %v\n%s", err, printed)
+	}
+	second := Print(reparsed)
+	if printed != second {
+		t.Errorf("print is not a fixed point:\nfirst:\n%s\nsecond:\n%s", printed, second)
+	}
+}
+
+func TestPrintRoundTripExpressions(t *testing.T) {
+	exprs := []string{
+		`((1 + 2) * 3)`,
+		`(a.f == null)`,
+		`!(x.m(1, "s", 2.5))`,
+		`new C(this, true)`,
+		`-(3)`,
+		`"tab\tnl\nq\"bs\\"`,
+	}
+	for _, src := range exprs {
+		full := `class C { void f(C a, Int x) { let r = ` + src + `; } }`
+		p1, err := Parse(full)
+		if err != nil {
+			t.Errorf("parse %q: %v", src, err)
+			continue
+		}
+		printed := Print(p1)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("reparse %q: %v", printed, err)
+			continue
+		}
+		if Print(p2) != printed {
+			t.Errorf("round trip changed for %q", src)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	prog := MustParse(sampleProgram)
+	clone := prog.Clone()
+	// Mutate the clone and ensure the original is untouched.
+	clone.Class("Util").Ctor.Body = nil
+	clone.Class("Util").Fields[0].Name = "zzz"
+	clone.Class("Main").Method("main").Body = nil
+	if prog.Class("Util").Ctor.Body == nil {
+		t.Error("ctor body shared between clone and original")
+	}
+	if prog.Class("Util").Fields[0].Name != "min" {
+		t.Error("fields shared between clone and original")
+	}
+	if prog.Class("Main").Method("main").Body == nil {
+		t.Error("method body shared between clone and original")
+	}
+	if Print(prog) == Print(clone) {
+		t.Error("mutated clone still prints identically")
+	}
+}
+
+func TestClonePreservesStructure(t *testing.T) {
+	prog := MustParse(sampleProgram)
+	if got, want := Print(prog.Clone()), Print(prog); got != want {
+		t.Errorf("clone print differs:\n%s\nvs\n%s", got, want)
+	}
+}

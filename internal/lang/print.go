@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program as concrete syntax. The output re-parses to a
+// structurally identical AST (modulo source positions); see the round-trip
+// property test.
+func Print(p *Program) string {
+	var b strings.Builder
+	for i, c := range p.Classes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printClass(&b, c)
+	}
+	return b.String()
+}
+
+func printClass(b *strings.Builder, c *Class) {
+	if c.Opaque {
+		b.WriteString("opaque ")
+	}
+	fmt.Fprintf(b, "class %s", c.Name)
+	if c.Super != ObjectClass {
+		fmt.Fprintf(b, " extends %s", c.Super)
+	}
+	b.WriteString(" {\n")
+	for _, f := range c.Fields {
+		fmt.Fprintf(b, "  %s %s;\n", f.Type, f.Name)
+	}
+	if c.Ctor != nil {
+		fmt.Fprintf(b, "  %s(%s) {\n", c.Name, paramList(c.Ctor.Params))
+		printStmts(b, c.Ctor.Body, 2)
+		b.WriteString("  }\n")
+	}
+	for _, m := range c.Methods {
+		fmt.Fprintf(b, "  %s %s(%s) {\n", m.RetType, m.Name, paramList(m.Params))
+		printStmts(b, m.Body, 2)
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+}
+
+func paramList(ps []Param) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = p.Type + " " + p.Name
+	}
+	return strings.Join(parts, ", ")
+}
+
+func printStmts(b *strings.Builder, ss []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Let:
+			fmt.Fprintf(b, "%slet %s = %s;\n", ind, s.Name, ExprString(s.Init))
+		case *AssignLocal:
+			fmt.Fprintf(b, "%s%s = %s;\n", ind, s.Name, ExprString(s.Val))
+		case *AssignField:
+			fmt.Fprintf(b, "%s%s.%s = %s;\n", ind, ExprString(s.Obj), s.Name, ExprString(s.Val))
+		case *If:
+			fmt.Fprintf(b, "%sif (%s) {\n", ind, ExprString(s.Cond))
+			printStmts(b, s.Then, depth+1)
+			if len(s.Else) > 0 {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(b, "%swhile (%s) {\n", ind, ExprString(s.Cond))
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *Return:
+			if s.Val == nil {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			} else {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, ExprString(s.Val))
+			}
+		case *Spawn:
+			fmt.Fprintf(b, "%sspawn {\n", ind)
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, ExprString(s.X))
+		case *SuperCall:
+			fmt.Fprintf(b, "%ssuper(%s);\n", ind, exprList(s.Args))
+		}
+	}
+}
+
+// ExprString renders an expression as concrete syntax, fully
+// parenthesizing nested binary operations so precedence survives the
+// round trip.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return ""
+	case *IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Val, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0"
+		}
+		return s
+	case *StrLit:
+		return quoteString(e.Val)
+	case *BoolLit:
+		if e.Val {
+			return "true"
+		}
+		return "false"
+	case *NullLit:
+		return "null"
+	case *This:
+		return "this"
+	case *Var:
+		return e.Name
+	case *FieldAccess:
+		return ExprString(e.Obj) + "." + e.Name
+	case *Call:
+		return fmt.Sprintf("%s.%s(%s)", ExprString(e.Recv), e.Method, exprList(e.Args))
+	case *New:
+		return fmt.Sprintf("new %s(%s)", e.Class, exprList(e.Args))
+	case *Binary:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.L), e.Op, ExprString(e.R))
+	case *Unary:
+		return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.X))
+	}
+	return fmt.Sprintf("/*?%T*/", e)
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genProgram emits a random but well-formed program as source text: the
+// property under test is that Parse ∘ Print is the identity on the
+// printed form (printing is a fixed point).
+func genProgram(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	nClasses := 1 + rng.Intn(3)
+	for c := 0; c < nClasses; c++ {
+		if rng.Intn(4) == 0 {
+			b.WriteString("opaque ")
+		}
+		fmt.Fprintf(&b, "class K%d", c)
+		if c > 0 && rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, " extends K%d", rng.Intn(c))
+		}
+		b.WriteString(" {\n")
+		nFields := rng.Intn(3)
+		for f := 0; f < nFields; f++ {
+			fmt.Fprintf(&b, "  Int f%d;\n", f)
+		}
+		if rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "  K%d(Int a) { super(); }\n", c)
+		}
+		nMethods := rng.Intn(3)
+		for m := 0; m < nMethods; m++ {
+			fmt.Fprintf(&b, "  Int m%d(Int x, Bool b) {\n", m)
+			genStmts(&b, rng, 2, 2)
+			b.WriteString("    return x;\n  }\n")
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func genStmts(b *strings.Builder, rng *rand.Rand, depth, indent int) {
+	n := 1 + rng.Intn(3)
+	ind := strings.Repeat("  ", indent)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			fmt.Fprintf(b, "%slet v%d = %s;\n", ind, rng.Intn(100)+10, genExpr(rng, depth))
+		case 1:
+			fmt.Fprintf(b, "%sx = %s;\n", ind, genExpr(rng, depth))
+		case 2:
+			fmt.Fprintf(b, "%sthis.touch(%s);\n", ind, genExpr(rng, depth))
+		case 3:
+			if depth > 0 {
+				fmt.Fprintf(b, "%sif (b) {\n", ind)
+				genStmts(b, rng, depth-1, indent+1)
+				if rng.Intn(2) == 0 {
+					fmt.Fprintf(b, "%s} else {\n", ind)
+					genStmts(b, rng, depth-1, indent+1)
+				}
+				fmt.Fprintf(b, "%s}\n", ind)
+			}
+		case 4:
+			if depth > 0 {
+				fmt.Fprintf(b, "%swhile (b) {\n", ind)
+				genStmts(b, rng, depth-1, indent+1)
+				fmt.Fprintf(b, "%s}\n", ind)
+			}
+		default:
+			fmt.Fprintf(b, "%sSys.print(%s);\n", ind, genExpr(rng, depth))
+		}
+	}
+}
+
+func genExpr(rng *rand.Rand, depth int) string {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprint(rng.Intn(1000))
+		case 1:
+			return fmt.Sprintf("%d.%d", rng.Intn(10), 1+rng.Intn(99))
+		case 2:
+			return `"s` + strings.Repeat("x", rng.Intn(4)) + `"`
+		case 3:
+			return "x"
+		case 4:
+			return "true"
+		default:
+			return "null"
+		}
+	}
+	switch rng.Intn(6) {
+	case 0:
+		ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+		return fmt.Sprintf("(%s %s %s)", genExpr(rng, depth-1), ops[rng.Intn(len(ops))], genExpr(rng, depth-1))
+	case 1:
+		return fmt.Sprintf("!(%s)", genExpr(rng, depth-1))
+	case 2:
+		return fmt.Sprintf("-(%s)", genExpr(rng, depth-1))
+	case 3:
+		return fmt.Sprintf("this.f.g(%s, %s)", genExpr(rng, depth-1), genExpr(rng, depth-1))
+	case 4:
+		return fmt.Sprintf("new K0(%s)", genExpr(rng, depth-1))
+	default:
+		return genExpr(rng, depth-1)
+	}
+}
+
+func TestPropertyPrintParseFixpoint(t *testing.T) {
+	prop := func(seed int64) bool {
+		src := genProgram(seed)
+		p1, err := Parse(src)
+		if err != nil {
+			t.Logf("generated program does not parse (seed %d): %v\n%s", seed, err, src)
+			return false
+		}
+		printed := Print(p1)
+		p2, err := Parse(printed)
+		if err != nil {
+			t.Logf("printed program does not re-parse (seed %d): %v\n%s", seed, err, printed)
+			return false
+		}
+		return Print(p2) == printed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClonePrintsIdentically(t *testing.T) {
+	prop := func(seed int64) bool {
+		p, err := Parse(genProgram(seed))
+		if err != nil {
+			return false
+		}
+		return Print(p.Clone()) == Print(p)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyLexerNeverPanics(t *testing.T) {
+	prop := func(src string) bool {
+		_, _ = LexAll(src) // must not panic, error is fine
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParserNeverPanics(t *testing.T) {
+	prop := func(src string) bool {
+		_, _ = Parse(src) // must not panic, error is fine
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

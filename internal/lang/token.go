@@ -1,0 +1,68 @@
+// Package lang implements the paper's core object-oriented language
+// (Fig. 3) — Featherweight Java extended with locations, field assignment,
+// term sequences, value objects, and threads — plus the pragmatic
+// extensions documented in DESIGN.md (conditionals, loops, operators,
+// locals, null) that the evaluation's bug categories require.
+//
+// The package provides the concrete syntax (lexer + recursive-descent
+// parser), the AST, a class table with the fields/mbody lookups of Fig. 5,
+// static well-formedness checking, and a pretty-printer whose output
+// re-parses to an identical AST (used by the run-time class loader and the
+// regression injector).
+package lang
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokPunct   // ( ) { } , ; .
+	TokOp      // operators
+	TokKeyword // reserved words
+)
+
+var tokKindNames = [...]string{"eof", "ident", "int", "float", "string", "punct", "op", "keyword"}
+
+func (k TokKind) String() string {
+	if int(k) < len(tokKindNames) {
+		return tokKindNames[k]
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+// Pos is a source position for diagnostics.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "new": true, "this": true, "super": true,
+	"return": true, "if": true, "else": true, "while": true, "let": true,
+	"spawn": true, "true": true, "false": true, "null": true, "opaque": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,509 @@
+package lang
+
+import "fmt"
+
+// TypeCheck performs an optional static typing pass, stricter than Check:
+// expression types are computed and checked against declarations
+// (field/local/parameter assignment, argument passing, returns, operator
+// operands, condition types), method overrides must preserve signatures,
+// and non-void methods must return on every path.
+//
+// The language remains usable untyped (the interpreter only requires
+// Check); TypeCheck is what a release build would run. Reflective results
+// (Reflect.create / Reflect.call) type as the dynamic type, assignable to
+// and from everything, since their classes may not exist until run time.
+func TypeCheck(p *Program) error {
+	ct, err := NewClassTable(p)
+	if err != nil {
+		return &CheckError{Problems: []string{err.Error()}}
+	}
+	if err := Check(p); err != nil {
+		return err
+	}
+	tc := &typeChecker{ct: ct}
+	for _, c := range p.Classes {
+		tc.checkClass(c)
+	}
+	if tc.probs != nil {
+		return &CheckError{Problems: tc.probs}
+	}
+	return nil
+}
+
+// Type names used internally: class names, the primitives, "void",
+// dynamicType, and nullType.
+const (
+	dynamicType = "$dynamic"
+	nullType    = "$null"
+	voidType    = "void"
+)
+
+type typeChecker struct {
+	ct    *ClassTable
+	probs []string
+}
+
+func (tc *typeChecker) errf(pos Pos, format string, args ...any) {
+	tc.probs = append(tc.probs, fmt.Sprintf("%s: %s", pos, fmt.Sprintf(format, args...)))
+}
+
+func isPrimitive(t string) bool {
+	switch t {
+	case "Int", "Bool", "Float", "String":
+		return true
+	}
+	return false
+}
+
+// knownType reports whether t names a primitive, void, or a defined class.
+func (tc *typeChecker) knownType(t string) bool {
+	return isPrimitive(t) || t == voidType || t == ObjectClass || tc.ct.Lookup(t) != nil
+}
+
+// assignable implements the subtyping judgment: reflexivity, class
+// subtyping, null to any class type, and the dynamic type both ways.
+func (tc *typeChecker) assignable(from, to string) bool {
+	if from == to || from == dynamicType || to == dynamicType {
+		return true
+	}
+	if from == nullType {
+		return !isPrimitive(to) && to != voidType
+	}
+	if isPrimitive(from) || isPrimitive(to) {
+		return false
+	}
+	return tc.ct.IsSubclass(from, to)
+}
+
+func (tc *typeChecker) checkClass(c *Class) {
+	for _, f := range c.Fields {
+		if !tc.knownType(f.Type) || f.Type == voidType {
+			tc.errf(c.Pos, "class %s: field %s has unknown type %s", c.Name, f.Name, f.Type)
+		}
+	}
+	// Override compatibility: a redeclared method must preserve the full
+	// signature of the inherited one.
+	for _, m := range c.Methods {
+		if c.Super == ObjectClass {
+			break
+		}
+		inherited, _, ok := tc.ct.MBody(m.Name, c.Super)
+		if !ok {
+			continue
+		}
+		if inherited.RetType != m.RetType || len(inherited.Params) != len(m.Params) {
+			tc.errf(m.Pos, "class %s: method %s overrides with a different signature", c.Name, m.Name)
+			continue
+		}
+		for i := range m.Params {
+			if m.Params[i].Type != inherited.Params[i].Type {
+				tc.errf(m.Pos, "class %s: method %s overrides with a different signature", c.Name, m.Name)
+				break
+			}
+		}
+	}
+	for _, m := range c.Methods {
+		tc.checkMethod(c, m, false)
+	}
+	if c.Ctor != nil {
+		tc.checkMethod(c, c.Ctor, true)
+	}
+}
+
+type typeEnv struct {
+	parent *typeEnv
+	vars   map[string]string
+}
+
+func (e *typeEnv) lookup(name string) (string, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if t, ok := cur.vars[name]; ok {
+			return t, true
+		}
+	}
+	return "", false
+}
+
+func (e *typeEnv) bind(name, typ string) { e.vars[name] = typ }
+
+func (e *typeEnv) child() *typeEnv {
+	return &typeEnv{parent: e, vars: map[string]string{}}
+}
+
+func (tc *typeChecker) checkMethod(c *Class, m *Method, isCtor bool) {
+	if !isCtor && m.RetType != "" && !tc.knownType(m.RetType) {
+		tc.errf(m.Pos, "%s.%s: unknown return type %s", c.Name, m.Name, m.RetType)
+	}
+	env := &typeEnv{vars: map[string]string{}}
+	for _, p := range m.Params {
+		if !tc.knownType(p.Type) || p.Type == voidType {
+			tc.errf(m.Pos, "%s.%s: parameter %s has unknown type %s", c.Name, m.Name, p.Name, p.Type)
+		}
+		env.bind(p.Name, p.Type)
+	}
+	ret := m.RetType
+	if isCtor {
+		ret = voidType
+	}
+	returns := tc.checkStmts(c, m, m.Body, env, ret)
+	if !isCtor && ret != voidType && ret != "" && !returns {
+		tc.errf(m.Pos, "%s.%s: missing return on some path (declared %s)", c.Name, m.Name, ret)
+	}
+}
+
+// checkStmts types a statement list; it reports whether the list
+// definitely returns.
+func (tc *typeChecker) checkStmts(c *Class, m *Method, body []Stmt, env *typeEnv, ret string) bool {
+	returns := false
+	for _, s := range body {
+		switch s := s.(type) {
+		case *Let:
+			t := tc.typeOf(c, m, s.Init, env)
+			if t == voidType {
+				tc.errf(s.Pos, "%s.%s: let %s bound to void expression", c.Name, m.Name, s.Name)
+				t = dynamicType
+			}
+			if t == nullType {
+				t = dynamicType // untyped null local: treated dynamically
+			}
+			env.bind(s.Name, t)
+		case *AssignLocal:
+			want, ok := env.lookup(s.Name)
+			got := tc.typeOf(c, m, s.Val, env)
+			if ok && !tc.assignable(got, want) {
+				tc.errf(s.Pos, "%s.%s: cannot assign %s to %s %s", c.Name, m.Name, got, want, s.Name)
+			}
+		case *AssignField:
+			objT := tc.typeOf(c, m, s.Obj, env)
+			ft, ok := tc.fieldType(objT, s.Name)
+			if !ok {
+				if objT != dynamicType {
+					tc.errf(s.Pos, "%s.%s: type %s has no field %s", c.Name, m.Name, objT, s.Name)
+				}
+				break
+			}
+			got := tc.typeOf(c, m, s.Val, env)
+			if !tc.assignable(got, ft) {
+				tc.errf(s.Pos, "%s.%s: cannot assign %s to field %s of type %s", c.Name, m.Name, got, s.Name, ft)
+			}
+		case *If:
+			tc.wantBool(c, m, s.Cond, env)
+			thenR := tc.checkStmts(c, m, s.Then, env.child(), ret)
+			elseR := false
+			if s.Else != nil {
+				elseR = tc.checkStmts(c, m, s.Else, env.child(), ret)
+			}
+			if thenR && elseR {
+				returns = true
+			}
+		case *While:
+			tc.wantBool(c, m, s.Cond, env)
+			tc.checkStmts(c, m, s.Body, env.child(), ret)
+		case *Return:
+			if s.Val == nil {
+				if ret != voidType && ret != "" {
+					tc.errf(s.Pos, "%s.%s: bare return in method returning %s", c.Name, m.Name, ret)
+				}
+			} else {
+				got := tc.typeOf(c, m, s.Val, env)
+				if ret == voidType || ret == "" {
+					tc.errf(s.Pos, "%s.%s: returning a value from a void method", c.Name, m.Name)
+				} else if !tc.assignable(got, ret) {
+					tc.errf(s.Pos, "%s.%s: cannot return %s as %s", c.Name, m.Name, got, ret)
+				}
+			}
+			returns = true
+		case *Spawn:
+			tc.checkStmts(c, m, s.Body, env.child(), voidType)
+		case *ExprStmt:
+			tc.typeOf(c, m, s.X, env)
+		case *SuperCall:
+			tc.checkSuper(c, m, s, env)
+		}
+	}
+	return returns
+}
+
+func (tc *typeChecker) checkSuper(c *Class, m *Method, s *SuperCall, env *typeEnv) {
+	if c.Super == ObjectClass {
+		if len(s.Args) != 0 {
+			tc.errf(s.Pos, "%s.<init>: Object constructor takes no arguments", c.Name)
+		}
+		return
+	}
+	ctor := tc.ct.Ctor(c.Super)
+	var params []Param
+	if ctor != nil {
+		params = ctor.Params
+	}
+	if len(s.Args) != len(params) {
+		tc.errf(s.Pos, "%s.<init>: super expects %d argument(s), got %d", c.Name, len(params), len(s.Args))
+		return
+	}
+	for i, a := range s.Args {
+		got := tc.typeOf(c, m, a, env)
+		if !tc.assignable(got, params[i].Type) {
+			tc.errf(s.Pos, "%s.<init>: super argument %d is %s, want %s", c.Name, i+1, got, params[i].Type)
+		}
+	}
+}
+
+func (tc *typeChecker) fieldType(class, field string) (string, bool) {
+	if isPrimitive(class) || class == dynamicType || class == nullType {
+		return "", false
+	}
+	fs, err := tc.ct.Fields(class)
+	if err != nil {
+		return "", false
+	}
+	for _, f := range fs {
+		if f.Name == field {
+			return f.Type, true
+		}
+	}
+	return "", false
+}
+
+func (tc *typeChecker) wantBool(c *Class, m *Method, e Expr, env *typeEnv) {
+	if t := tc.typeOf(c, m, e, env); t != "Bool" && t != dynamicType {
+		tc.errf(e.ExprPos(), "%s.%s: condition is %s, want Bool", c.Name, m.Name, t)
+	}
+}
+
+// typeOf computes the static type of an expression, reporting problems as
+// it goes; impossible subexpressions type as dynamic to avoid cascades.
+func (tc *typeChecker) typeOf(c *Class, m *Method, e Expr, env *typeEnv) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return "Int"
+	case *FloatLit:
+		return "Float"
+	case *StrLit:
+		return "String"
+	case *BoolLit:
+		return "Bool"
+	case *NullLit:
+		return nullType
+	case *This:
+		return c.Name
+	case *Var:
+		if t, ok := env.lookup(e.Name); ok {
+			return t
+		}
+		if builtinNamespaces[e.Name] {
+			return dynamicType
+		}
+		return dynamicType // Check already reported unknown variables
+	case *FieldAccess:
+		objT := tc.typeOf(c, m, e.Obj, env)
+		if objT == dynamicType {
+			return dynamicType
+		}
+		if ft, ok := tc.fieldType(objT, e.Name); ok {
+			return ft
+		}
+		tc.errf(e.Pos, "%s.%s: type %s has no field %s", c.Name, m.Name, objT, e.Name)
+		return dynamicType
+	case *Call:
+		return tc.typeOfCall(c, m, e, env)
+	case *New:
+		cls := tc.ct.Lookup(e.Class)
+		if cls == nil {
+			tc.errf(e.Pos, "%s.%s: unknown class %s", c.Name, m.Name, e.Class)
+			return dynamicType
+		}
+		ctor := tc.ct.Ctor(e.Class)
+		var params []Param
+		if ctor != nil {
+			params = ctor.Params
+		}
+		if len(e.Args) != len(params) {
+			tc.errf(e.Pos, "%s.%s: constructor %s expects %d argument(s), got %d",
+				c.Name, m.Name, e.Class, len(params), len(e.Args))
+		} else {
+			for i, a := range e.Args {
+				got := tc.typeOf(c, m, a, env)
+				if !tc.assignable(got, params[i].Type) {
+					tc.errf(a.ExprPos(), "%s.%s: constructor argument %d is %s, want %s",
+						c.Name, m.Name, i+1, got, params[i].Type)
+				}
+			}
+		}
+		return e.Class
+	case *Binary:
+		return tc.typeOfBinary(c, m, e, env)
+	case *Unary:
+		t := tc.typeOf(c, m, e.X, env)
+		switch e.Op {
+		case "!":
+			if t != "Bool" && t != dynamicType {
+				tc.errf(e.Pos, "%s.%s: ! applied to %s", c.Name, m.Name, t)
+			}
+			return "Bool"
+		case "-":
+			if t != "Int" && t != "Float" && t != dynamicType {
+				tc.errf(e.Pos, "%s.%s: unary - applied to %s", c.Name, m.Name, t)
+			}
+			return t
+		}
+	}
+	return dynamicType
+}
+
+// stringMethodSigs types the String builtins: name -> (param types, result).
+var stringMethodSigs = map[string]struct {
+	params []string
+	result string
+}{
+	"equals":     {[]string{"String"}, "Bool"},
+	"concat":     {[]string{"String"}, "String"},
+	"length":     {nil, "Int"},
+	"contains":   {[]string{"String"}, "Bool"},
+	"startsWith": {[]string{"String"}, "Bool"},
+	"indexOf":    {[]string{"String"}, "Int"},
+	"substring":  {[]string{"Int", "Int"}, "String"},
+	"charAt":     {[]string{"Int"}, "Int"},
+	"fromChar":   {[]string{"Int"}, "String"},
+	"toStr":      {nil, "String"},
+}
+
+func (tc *typeChecker) typeOfCall(c *Class, m *Method, e *Call, env *typeEnv) string {
+	if ns, ok := e.Recv.(*Var); ok && builtinNamespaces[ns.Name] {
+		if _, shadowed := env.lookup(ns.Name); !shadowed {
+			for _, a := range e.Args {
+				tc.typeOf(c, m, a, env) // arguments are dynamic but must type
+			}
+			return tc.namespaceResult(ns.Name, e)
+		}
+	}
+	recvT := tc.typeOf(c, m, e.Recv, env)
+	if recvT == dynamicType {
+		for _, a := range e.Args {
+			tc.typeOf(c, m, a, env)
+		}
+		return dynamicType
+	}
+	if recvT == "String" || ((recvT == "Int" || recvT == "Float" || recvT == "Bool") && e.Method == "toStr") {
+		sig, ok := stringMethodSigs[e.Method]
+		if !ok && recvT == "String" {
+			tc.errf(e.Pos, "%s.%s: String has no method %s", c.Name, m.Name, e.Method)
+			return dynamicType
+		}
+		if ok {
+			if len(e.Args) != len(sig.params) {
+				tc.errf(e.Pos, "%s.%s: String.%s expects %d argument(s), got %d",
+					c.Name, m.Name, e.Method, len(sig.params), len(e.Args))
+			} else {
+				for i, a := range e.Args {
+					if got := tc.typeOf(c, m, a, env); !tc.assignable(got, sig.params[i]) {
+						tc.errf(a.ExprPos(), "%s.%s: String.%s argument %d is %s, want %s",
+							c.Name, m.Name, e.Method, i+1, got, sig.params[i])
+					}
+				}
+			}
+			return sig.result
+		}
+	}
+	if recvT == "Int" && e.Method == "toFloat" && len(e.Args) == 0 {
+		return "Float"
+	}
+	if recvT == "Float" && e.Method == "toInt" && len(e.Args) == 0 {
+		return "Int"
+	}
+	if isPrimitive(recvT) || recvT == nullType || recvT == voidType {
+		tc.errf(e.Pos, "%s.%s: %s value has no method %s", c.Name, m.Name, recvT, e.Method)
+		return dynamicType
+	}
+	target, _, ok := tc.ct.MBody(e.Method, recvT)
+	if !ok {
+		tc.errf(e.Pos, "%s.%s: class %s has no method %s", c.Name, m.Name, recvT, e.Method)
+		return dynamicType
+	}
+	if len(e.Args) != len(target.Params) {
+		tc.errf(e.Pos, "%s.%s: %s.%s expects %d argument(s), got %d",
+			c.Name, m.Name, recvT, e.Method, len(target.Params), len(e.Args))
+	} else {
+		for i, a := range e.Args {
+			if got := tc.typeOf(c, m, a, env); !tc.assignable(got, target.Params[i].Type) {
+				tc.errf(a.ExprPos(), "%s.%s: argument %d of %s.%s is %s, want %s",
+					c.Name, m.Name, i+1, recvT, e.Method, got, target.Params[i].Type)
+			}
+		}
+	}
+	if target.RetType == "" || target.RetType == voidType {
+		return voidType
+	}
+	return target.RetType
+}
+
+func (tc *typeChecker) namespaceResult(ns string, e *Call) string {
+	switch ns + "." + e.Method {
+	case "Sys.print", "Sys.abort":
+		return voidType
+	case "Sys.arg":
+		return "String"
+	case "Sys.numArgs", "Sys.parseInt":
+		return "Int"
+	case "Reflect.hasClass":
+		return "Bool"
+	case "Reflect.className":
+		return "String"
+	case "Runtime.defineClass":
+		return "Bool"
+	}
+	return dynamicType // Reflect.create / Reflect.call
+}
+
+func (tc *typeChecker) typeOfBinary(c *Class, m *Method, e *Binary, env *typeEnv) string {
+	l := tc.typeOf(c, m, e.L, env)
+	r := tc.typeOf(c, m, e.R, env)
+	numeric := func(t string) bool { return t == "Int" || t == "Float" || t == dynamicType }
+	switch e.Op {
+	case "&&", "||":
+		if (l != "Bool" && l != dynamicType) || (r != "Bool" && r != dynamicType) {
+			tc.errf(e.Pos, "%s.%s: %s applied to %s and %s", c.Name, m.Name, e.Op, l, r)
+		}
+		return "Bool"
+	case "==", "!=":
+		if !tc.assignable(l, r) && !tc.assignable(r, l) {
+			tc.errf(e.Pos, "%s.%s: incomparable types %s and %s", c.Name, m.Name, l, r)
+		}
+		return "Bool"
+	case "<", "<=", ">", ">=":
+		if !numeric(l) || !numeric(r) {
+			tc.errf(e.Pos, "%s.%s: %s applied to %s and %s", c.Name, m.Name, e.Op, l, r)
+		}
+		return "Bool"
+	case "+":
+		if l == "String" || r == "String" {
+			return "String"
+		}
+		fallthrough
+	case "-", "*", "/", "%":
+		if !numeric(l) || !numeric(r) {
+			tc.errf(e.Pos, "%s.%s: %s applied to %s and %s", c.Name, m.Name, e.Op, l, r)
+			return dynamicType
+		}
+		if l == "Float" || r == "Float" {
+			return "Float"
+		}
+		if l == dynamicType || r == dynamicType {
+			return dynamicType
+		}
+		return "Int"
+	}
+	return dynamicType
+}
+
+// TypeCheckSummary renders a compact success message for CLI use.
+func TypeCheckSummary(p *Program) string {
+	var classes, methods int
+	for _, c := range p.Classes {
+		classes++
+		methods += len(c.Methods)
+		if c.Ctor != nil {
+			methods++
+		}
+	}
+	return fmt.Sprintf("type-checked %d class(es), %d method(s)", classes, methods)
+}

@@ -1,0 +1,132 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeCheckAcceptsSample(t *testing.T) {
+	if err := TypeCheck(MustParse(sampleProgram)); err != nil {
+		t.Errorf("TypeCheck(sample) = %v", err)
+	}
+}
+
+func TestTypeCheckRejections(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"assign int to bool local",
+			`class A { void f() { let b = true; b = 3; } }`, "cannot assign Int"},
+		{"assign wrong field type",
+			`class A { Int x; void f() { this.x = "s"; } }`, "cannot assign String"},
+		{"bad argument",
+			`class A { Int g(Int x) { return x; } void f() { this.g(true); } }`, "want Int"},
+		{"bad arity",
+			`class A { Int g(Int x) { return x; } void f() { this.g(); } }`, "expects 1"},
+		{"return mismatch",
+			`class A { Int f() { return "s"; } }`, "cannot return String"},
+		{"value from void",
+			`class A { void f() { return 3; } }`, "returning a value"},
+		{"bare return from typed",
+			`class A { Int f() { return; } }`, "bare return"},
+		{"missing return",
+			`class A { Int f(Bool b) { if (b) { return 1; } } }`, "missing return"},
+		{"condition not bool",
+			`class A { void f() { if (1 + 2) { } } }`, "want Bool"},
+		{"while condition",
+			`class A { void f() { while ("x") { } } }`, "want Bool"},
+		{"unknown field type",
+			`class A { Zork z; }`, "unknown type"},
+		{"unknown param type",
+			`class A { void f(Zork z) { } }`, "unknown type"},
+		{"no such method",
+			`class B {} class A { void f(B b) { b.g(); } }`, "no method g"},
+		{"no such field",
+			`class B {} class A { Int f(B b) { return b.x; } }`, "no field x"},
+		{"method on primitive",
+			`class A { void f() { let x = 3; x.run(); } }`, "no method"},
+		{"override signature change",
+			`class A { Int f(Int x) { return x; } } class B extends A { Bool f(Int x) { return true; } }`,
+			"different signature"},
+		{"override arity change",
+			`class A { Int f(Int x) { return x; } } class B extends A { Int f(Int x, Int y) { return x; } }`,
+			"different signature"},
+		{"super arity",
+			`class A { A(Int x) { super(); } } class B extends A { B() { super(); } }`, "super expects 1"},
+		{"super to object with args",
+			`class A { A() { super(3); } }`, "no arguments"},
+		{"ctor arg type",
+			`class A { A(Int x) { super(); } } class Main { void main() { let a = new A("s"); } }`, "want Int"},
+		{"logical on ints",
+			`class A { Bool f() { return 1 && true; } }`, "&& applied"},
+		{"comparison on strings",
+			`class A { Bool f() { return "a" < "b"; } }`, "< applied"},
+		{"incomparable equality",
+			`class A { Bool f() { return 1 == "x"; } }`, "incomparable"},
+		{"arith on bool",
+			`class A { Int f() { return true * 2; } }`, "* applied"},
+		{"unary minus on string",
+			`class A { Int f() { return -("x".length()) + -(true); } }`, "unary - applied to Bool"},
+		{"not on int",
+			`class A { Bool f() { return !3; } }`, "! applied"},
+		{"null to primitive local",
+			`class A { void f() { let x = 3; x = null; } }`, "cannot assign"},
+		{"string builtin arg",
+			`class A { Bool f() { return "a".equals(3); } }`, "want String"},
+		{"string builtin missing",
+			`class A { void f() { "a".frobnicate(); } }`, "no method"},
+		{"bad substring arity",
+			`class A { String f() { return "abc".substring(1); } }`, "expects 2"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := TypeCheck(MustParse(c.src))
+			if err == nil {
+				t.Fatalf("TypeCheck accepted bad program")
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Errorf("error %q missing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestTypeCheckAcceptances(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"subtyping assignment",
+			`class A {} class B extends A {} class Main { A f() { let a = new B(); return a; } void main() { } }`},
+		{"null to class field",
+			`class B {} class A { B b; void f() { this.b = null; } }`},
+		{"definite return via if-else",
+			`class A { Int f(Bool b) { if (b) { return 1; } else { return 2; } } }`},
+		{"string concat via plus",
+			`class A { String f() { return "a" + 1 + true; } }`},
+		{"float promotion",
+			`class A { Float f() { return 1 + 2.5; } }`},
+		{"dynamic reflect result",
+			`class A { Int f() { let g = Reflect.create("A"); return Reflect.call(g, "f"); } }`},
+		{"builtin signatures",
+			`class A { void f() { Sys.print(Sys.parseInt(Sys.arg(0)) + Sys.numArgs()); } }`},
+		{"equality with null",
+			`class B {} class A { Bool f(B b) { return b == null; } }`},
+		{"void method call as statement",
+			`class A { void g() { } void f() { this.g(); } }`},
+		{"toStr on numbers",
+			`class A { String f() { return 42 .toStr() + 2.5.toStr(); } }`},
+		{"while body scoping",
+			`class A { Int f() { let n = 0; while (n < 3) { let x = n * 2; n = x; } return n; } }`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := TypeCheck(MustParse(c.src)); err != nil {
+				t.Errorf("TypeCheck rejected valid program: %v", err)
+			}
+		})
+	}
+}
+
+func TestTypeCheckSummary(t *testing.T) {
+	p := MustParse(`class A { A() { super(); } void f() {} Int g() { return 1; } }`)
+	s := TypeCheckSummary(p)
+	if !strings.Contains(s, "1 class(es)") || !strings.Contains(s, "3 method(s)") {
+		t.Errorf("summary = %q", s)
+	}
+}

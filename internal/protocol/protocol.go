@@ -1,0 +1,261 @@
+// Package protocol implements one of the paper's envisioned view-based
+// analyses (§4: "object protocol inference, property checking (e.g.,
+// typestate)"): it infers, from the target-object views of a trace, a
+// per-class object protocol — the observed method-call orderings over
+// each object's lifetime — as a transition model, checks traces against
+// declared protocols (typestate checking), and diffs inferred protocols
+// across program versions to expose protocol drift.
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// Start and End are the synthetic lifecycle states bracketing an object's
+// observed method sequence.
+const (
+	Start = "^"
+	End   = "$"
+)
+
+// Model is an inferred object protocol for one class: observed
+// method-to-method transition counts over all instances.
+type Model struct {
+	Class       string
+	Objects     int
+	Transitions map[string]map[string]int
+}
+
+// Infer builds the protocol model of a class from the trace's
+// target-object views: for every object of the class, the sequence of
+// methods invoked on it (its TO view restricted to call events) becomes a
+// path Start → m1 → … → mk → End.
+func Infer(w *views.Web, class string) *Model {
+	m := &Model{Class: class, Transitions: make(map[string]map[string]int)}
+	for _, n := range w.Names() {
+		if n.Type != views.TargetObject {
+			continue
+		}
+		seq := methodSequence(w, n, class)
+		if seq == nil {
+			continue
+		}
+		m.Objects++
+		prev := Start
+		for _, method := range seq {
+			m.addTransition(prev, method)
+			prev = method
+		}
+		m.addTransition(prev, End)
+	}
+	return m
+}
+
+// methodSequence extracts the ordered method invocations on the view's
+// object, or nil if the object is not of the wanted class or never
+// created in view (no init observed and no calls).
+func methodSequence(w *views.Web, n views.Name, class string) []string {
+	var seq []string
+	matched := false
+	for _, e := range w.Entries(n) {
+		switch e.Event.Kind {
+		case trace.KindInit:
+			if e.Event.Member == class {
+				matched = true
+			}
+		case trace.KindCall:
+			if e.Event.Target.Class != class {
+				return nil
+			}
+			matched = true
+			seq = append(seq, simpleMethod(e.Event.Member))
+		case trace.KindGet, trace.KindSet:
+			if e.Event.Target.Class != class {
+				return nil
+			}
+		}
+	}
+	if !matched {
+		return nil
+	}
+	return seq
+}
+
+// simpleMethod strips the defining class and arity from a qualified
+// method name C.m/2.
+func simpleMethod(qualified string) string {
+	s := qualified
+	if i := strings.LastIndex(s, "/"); i >= 0 {
+		s = s[:i]
+	}
+	if i := strings.Index(s, "."); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func (m *Model) addTransition(from, to string) {
+	tos := m.Transitions[from]
+	if tos == nil {
+		tos = make(map[string]int)
+		m.Transitions[from] = tos
+	}
+	tos[to]++
+}
+
+// Allows reports whether the model has observed the transition.
+func (m *Model) Allows(from, to string) bool {
+	return m.Transitions[from][to] > 0
+}
+
+// States returns all states (methods plus lifecycle markers), sorted.
+func (m *Model) States() []string {
+	set := map[string]bool{}
+	for from, tos := range m.Transitions {
+		set[from] = true
+		for to := range tos {
+			set[to] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the model as sorted "from -> to (count)" lines.
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol %s (%d object(s)):\n", m.Class, m.Objects)
+	froms := make([]string, 0, len(m.Transitions))
+	for f := range m.Transitions {
+		froms = append(froms, f)
+	}
+	sort.Strings(froms)
+	for _, f := range froms {
+		tos := make([]string, 0, len(m.Transitions[f]))
+		for t := range m.Transitions[f] {
+			tos = append(tos, t)
+		}
+		sort.Strings(tos)
+		for _, t := range tos {
+			fmt.Fprintf(&b, "  %s -> %s (%d)\n", f, t, m.Transitions[f][t])
+		}
+	}
+	return b.String()
+}
+
+// Change is one protocol difference between two versions.
+type Change struct {
+	From, To string
+	// Added is true when the transition exists only in the new model,
+	// false when it was lost.
+	Added bool
+}
+
+func (c Change) String() string {
+	verb := "added"
+	if !c.Added {
+		verb = "removed"
+	}
+	return fmt.Sprintf("%s transition %s -> %s", verb, c.From, c.To)
+}
+
+// DiffModels reports protocol drift: transitions present in exactly one
+// of the two models, deterministically ordered.
+func DiffModels(old, new *Model) []Change {
+	var out []Change
+	seen := map[[2]string]bool{}
+	for from, tos := range old.Transitions {
+		for to := range tos {
+			if !new.Allows(from, to) {
+				out = append(out, Change{From: from, To: to, Added: false})
+			}
+			seen[[2]string{from, to}] = true
+		}
+	}
+	for from, tos := range new.Transitions {
+		for to := range tos {
+			if !seen[[2]string{from, to}] && !old.Allows(from, to) {
+				out = append(out, Change{From: from, To: to, Added: true})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return !out[i].Added && out[j].Added
+	})
+	return out
+}
+
+// ---- typestate checking against a declared protocol ----
+
+// Decl is a declared object protocol: the permitted method-order
+// transitions for a class (typestate property).
+type Decl struct {
+	Class string
+	// Allowed maps a state to the set of methods permitted next. Start
+	// and End are implicit states; omit End to allow stopping anywhere.
+	Allowed map[string][]string
+}
+
+// Violation is a protocol breach observed in a trace.
+type Violation struct {
+	EID      trace.EntryID
+	Loc      trace.Loc
+	From, To string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("entry %d: object l%d: %s -> %s not permitted", v.EID, v.Loc, v.From, v.To)
+}
+
+// CheckTrace verifies every object of the declared class follows the
+// protocol, returning all violations in trace order.
+func CheckTrace(w *views.Web, d Decl) []Violation {
+	permitted := func(from, to string) bool {
+		for _, m := range d.Allowed[from] {
+			if m == to {
+				return true
+			}
+		}
+		return false
+	}
+	var out []Violation
+	for _, n := range w.Names() {
+		if n.Type != views.TargetObject {
+			continue
+		}
+		state := Start
+		var loc trace.Loc
+		for _, e := range w.Entries(n) {
+			if e.Event.Kind == trace.KindInit && e.Event.Member == d.Class {
+				loc = e.Event.Target.Loc
+				continue
+			}
+			if e.Event.Kind != trace.KindCall || e.Event.Target.Class != d.Class {
+				continue
+			}
+			loc = e.Event.Target.Loc
+			method := simpleMethod(e.Event.Member)
+			if !permitted(state, method) {
+				out = append(out, Violation{EID: e.EID, Loc: loc, From: state, To: method})
+			}
+			state = method
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EID < out[j].EID })
+	return out
+}

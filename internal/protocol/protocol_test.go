@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/views"
+)
+
+func webFor(t *testing.T, src string) *views.Web {
+	t.Helper()
+	res, err := interp.Run(lang.MustParse(src), interp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("runtime error: %v", res.Err)
+	}
+	return views.Build(res.Trace)
+}
+
+const fileLike = `
+class File {
+  Bool open;
+  void openIt() { this.open = true; return; }
+  Int read() { return 1; }
+  void closeIt() { this.open = false; return; }
+}
+class Main {
+  void use(File f, Int reads) {
+    f.openIt();
+    let i = 0;
+    while (i < reads) { let x = f.read(); i = i + 1; }
+    f.closeIt();
+    return;
+  }
+  void main() {
+    this.use(new File(), 1);
+    this.use(new File(), 3);
+    this.use(new File(), 0);
+  }
+}`
+
+func TestInferFileProtocol(t *testing.T) {
+	w := webFor(t, fileLike)
+	m := Infer(w, "File")
+	if m.Objects != 3 {
+		t.Fatalf("objects = %d, want 3", m.Objects)
+	}
+	wantTrans := [][2]string{
+		{Start, "openIt"},
+		{"openIt", "read"},
+		{"read", "read"},
+		{"read", "closeIt"},
+		{"openIt", "closeIt"}, // the zero-read lifetime
+		{"closeIt", End},
+	}
+	for _, tr := range wantTrans {
+		if !m.Allows(tr[0], tr[1]) {
+			t.Errorf("missing transition %s -> %s\n%s", tr[0], tr[1], m)
+		}
+	}
+	if m.Allows("closeIt", "read") {
+		t.Error("read-after-close must not be inferred")
+	}
+	if m.Allows(Start, "read") {
+		t.Error("read-before-open must not be inferred")
+	}
+	if !strings.Contains(m.String(), "openIt -> read") {
+		t.Errorf("render:\n%s", m)
+	}
+	states := m.States()
+	if len(states) < 5 {
+		t.Errorf("states = %v", states)
+	}
+}
+
+func TestInferIgnoresOtherClasses(t *testing.T) {
+	w := webFor(t, fileLike)
+	m := Infer(w, "Main")
+	if m.Objects != 1 {
+		t.Errorf("Main objects = %d", m.Objects)
+	}
+	if m.Allows("openIt", "read") {
+		t.Error("File transitions leaked into Main model")
+	}
+}
+
+func TestDiffModels(t *testing.T) {
+	w1 := webFor(t, fileLike)
+	// The "new version" reads after closing.
+	srcV2 := strings.Replace(fileLike,
+		"f.closeIt();\n    return;",
+		"f.closeIt();\n    let y = f.read();\n    return;", 1)
+	w2 := webFor(t, srcV2)
+	old := Infer(w1, "File")
+	new_ := Infer(w2, "File")
+	changes := DiffModels(old, new_)
+	foundAdded := false
+	for _, c := range changes {
+		if c.Added && c.From == "closeIt" && c.To == "read" {
+			foundAdded = true
+		}
+	}
+	if !foundAdded {
+		t.Errorf("read-after-close drift not detected: %v", changes)
+	}
+	// Diffing a model against itself yields nothing.
+	if got := DiffModels(old, old); len(got) != 0 {
+		t.Errorf("self-diff = %v", got)
+	}
+}
+
+func TestCheckTraceTypestate(t *testing.T) {
+	decl := Decl{
+		Class: "File",
+		Allowed: map[string][]string{
+			Start:    {"openIt"},
+			"openIt": {"read", "closeIt"},
+			"read":   {"read", "closeIt"},
+		},
+	}
+	// Conforming program: no violations.
+	w := webFor(t, fileLike)
+	if v := CheckTrace(w, decl); len(v) != 0 {
+		t.Errorf("conforming trace flagged: %v", v)
+	}
+	// Violating program: read before open and read after close.
+	bad := `
+class File {
+  Bool open;
+  void openIt() { this.open = true; return; }
+  Int read() { return 1; }
+  void closeIt() { this.open = false; return; }
+}
+class Main {
+  void main() {
+    let f = new File();
+    let x = f.read();
+    f.openIt();
+    f.closeIt();
+    let y = f.read();
+  }
+}`
+	w2 := webFor(t, bad)
+	v := CheckTrace(w2, decl)
+	// Three violations: the premature read, the openIt after that read
+	// (the checker tracks the actual object state, so the illegal read
+	// cascades), and the read after close.
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3", v)
+	}
+	if v[0].From != Start || v[0].To != "read" {
+		t.Errorf("first violation = %v", v[0])
+	}
+	if v[1].From != "read" || v[1].To != "openIt" {
+		t.Errorf("second violation = %v", v[1])
+	}
+	if v[2].From != "closeIt" || v[2].To != "read" {
+		t.Errorf("third violation = %v", v[2])
+	}
+	if !strings.Contains(v[0].String(), "not permitted") {
+		t.Errorf("render: %s", v[0])
+	}
+}
+
+func TestSimpleMethod(t *testing.T) {
+	cases := map[string]string{
+		"File.read/0":   "read",
+		"C.m/2":         "m",
+		"String.concat": "concat",
+		"bare":          "bare",
+	}
+	for in, want := range cases {
+		if got := simpleMethod(in); got != want {
+			t.Errorf("simpleMethod(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+package regression
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// Miniature version of the motivating example (MYFACES-1130): the new
+// version extracts a filter class and passes the wrong range lower bound,
+// and *also* contains unrelated evolution (extra logging) that must be
+// filtered out by the expected-differences set B.
+const origSrc = `
+class Conv {
+  Int min;
+  Int max;
+  Conv(Int a, Int b) { super(); this.min = a; this.max = b; }
+  Bool needs(Int ch) { return ch < this.min || ch > this.max; }
+}
+class Proc {
+  Conv conv;
+  Bool active;
+  void setType(String t) {
+    if (t.equals("text/html")) {
+      this.conv = new Conv(32, 127);
+      this.active = true;
+    } else {
+      this.active = false;
+    }
+    return;
+  }
+  void emit(Int ch) {
+    if (this.active) {
+      let c = this.conv;
+      if (c.needs(ch)) { Sys.print("&#" + ch + ";"); } else { Sys.print(ch); }
+    } else {
+      Sys.print(ch);
+    }
+    return;
+  }
+}
+class Main {
+  void main() {
+    let p = new Proc();
+    p.setType(Sys.arg(0));
+    p.emit(10);
+    p.emit(65);
+    p.emit(200);
+  }
+}`
+
+const newSrc = `
+class Conv {
+  Int min;
+  Int max;
+  Conv(Int a, Int b) { super(); this.min = a; this.max = b; }
+  Bool needs(Int ch) { return ch < this.min || ch > this.max; }
+}
+class BinFilter {
+  Conv conv;
+  BinFilter() {
+    super();
+    this.conv = new Conv(1, 127);
+  }
+}
+class Proc {
+  Conv conv;
+  Bool active;
+  void setType(String t) {
+    Sys.print("log: setType");
+    if (t.equals("text/html")) {
+      let f = new BinFilter();
+      this.conv = f.conv;
+      this.active = true;
+    } else {
+      this.active = false;
+    }
+    return;
+  }
+  void emit(Int ch) {
+    if (this.active) {
+      let c = this.conv;
+      if (c.needs(ch)) { Sys.print("&#" + ch + ";"); } else { Sys.print(ch); }
+    } else {
+      Sys.print(ch);
+    }
+    return;
+  }
+}
+class Main {
+  void main() {
+    let p = new Proc();
+    p.setType(Sys.arg(0));
+    p.emit(10);
+    p.emit(65);
+    p.emit(200);
+  }
+}`
+
+func runT(t *testing.T, src, arg string) (*trace.Trace, string) {
+	t.Helper()
+	res, err := interp.Run(lang.MustParse(src), interp.Options{Args: []string{arg}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("runtime error: %v", res.Err)
+	}
+	return res.Trace, res.Output
+}
+
+func TestScenarioIsARegression(t *testing.T) {
+	_, origHTML := runT(t, origSrc, "text/html")
+	_, newHTML := runT(t, newSrc, "text/html")
+	if origHTML == newHTML {
+		t.Fatal("regressing input should change output between versions")
+	}
+	// Original converts ch=10 (below 32); new version does not (1..127 range).
+	if !strings.Contains(origHTML, "&#10;") || strings.Contains(newHTML, "&#10;") {
+		t.Fatalf("unexpected outputs:\norig: %s\nnew: %s", origHTML, newHTML)
+	}
+	_, origPlain := runT(t, origSrc, "text/plain")
+	_, newPlain := runT(t, newSrc, "text/plain")
+	// The non-regressing input yields identical *behaviour* modulo the
+	// unrelated logging evolution.
+	if strings.ReplaceAll(newPlain, "log: setType\n", "") != origPlain {
+		t.Fatalf("non-regressing input should behave alike:\norig: %s\nnew: %s", origPlain, newPlain)
+	}
+}
+
+func analyzeScenario(t *testing.T) *Analysis {
+	t.Helper()
+	origCorrect, _ := runT(t, origSrc, "text/plain")
+	newCorrect, _ := runT(t, newSrc, "text/plain")
+	origRegr, _ := runT(t, origSrc, "text/html")
+	newRegr, _ := runT(t, newSrc, "text/html")
+	an, err := Analyze(Input{
+		OrigCorrect: origCorrect,
+		NewCorrect:  newCorrect,
+		OrigRegr:    origRegr,
+		NewRegr:     newRegr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestAnalysisFindsRegressionCause(t *testing.T) {
+	an := analyzeScenario(t)
+	if len(an.D) == 0 {
+		t.Fatalf("empty candidate set\n%s", an.A.Format(10))
+	}
+	// The candidate entries must touch the regression chain: the wrong
+	// Conv range, the BinFilter, or the diverging emit behaviour.
+	for _, ref := range an.D {
+		if ref.Side != New {
+			t.Errorf("additive-mode candidates must be on the new side: %+v", ref)
+		}
+		s := an.A.Right.Entries[ref.EID].String()
+		related := strings.Contains(s, "Conv") || strings.Contains(s, "BinFilter") ||
+			strings.Contains(s, "needs") || strings.Contains(s, "emit") ||
+			strings.Contains(s, "&#") || strings.Contains(s, "print")
+		if !related {
+			t.Errorf("candidate unrelated to the regression: %s", s)
+		}
+	}
+}
+
+func TestExpectedDifferencesSubtracted(t *testing.T) {
+	an := analyzeScenario(t)
+	// The unrelated logging evolution ("log: setType") appears in both
+	// test cases, lands in B, and must not survive into D.
+	for _, ref := range an.D {
+		s := an.A.Right.Entries[ref.EID].String()
+		if strings.Contains(s, "log: setType") {
+			t.Errorf("expected difference not subtracted: %s", s)
+		}
+	}
+	if an.Sizes.B == 0 {
+		t.Error("expected-differences set should not be empty (logging evolution)")
+	}
+}
+
+func TestCandidateSetMuchSmallerThanSuspectedSet(t *testing.T) {
+	an := analyzeScenario(t)
+	if an.Sizes.D == 0 {
+		t.Fatal("no regression-related sequences")
+	}
+	if an.Sizes.D >= an.Sizes.A {
+		t.Errorf("|D| = %d should be smaller than |A| = %d", an.Sizes.D, an.Sizes.A)
+	}
+}
+
+func TestEvaluationScoring(t *testing.T) {
+	an := analyzeScenario(t)
+	ev := an.EvaluateAgainst([]string{"Conv", "BinFilter"})
+	if ev.TruePositives == 0 {
+		t.Errorf("no true positives: %+v\n%s", ev, an.Report(10))
+	}
+	if ev.FalseNegatives > 1 {
+		t.Errorf("too many false negatives: %+v", ev)
+	}
+}
+
+func TestRemovalMode(t *testing.T) {
+	// Regression caused by *removing* code: the original calls a fixup the
+	// new version dropped. Nothing new appears in the regressing run, so
+	// additive intersection can't see it; removal mode looks at the
+	// original side.
+	orig := `
+class Store {
+  Int v;
+  void fix() { this.v = this.v + 100; return; }
+  void put(Int x) { this.v = x; return; }
+}
+class Main {
+  void main() {
+    let s = new Store();
+    s.put(Sys.parseInt(Sys.arg(0)));
+    if (s.v < 50) { s.fix(); }
+    Sys.print(s.v);
+  }
+}`
+	new_ := strings.Replace(orig, "if (s.v < 50) { s.fix(); }", "", 1)
+
+	origCorrect, _ := runT(t, orig, "80") // fix not triggered: identical behaviour
+	newCorrect, _ := runT(t, new_, "80")
+	origRegr, _ := runT(t, orig, "10") // fix triggered only in original
+	newRegr, _ := runT(t, new_, "10")
+
+	an, err := Analyze(Input{
+		OrigCorrect: origCorrect, NewCorrect: newCorrect,
+		OrigRegr: origRegr, NewRegr: newRegr,
+		RemovalMode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.D) == 0 {
+		t.Fatalf("removal mode found nothing\n%s", an.A.Format(10))
+	}
+	foundFix := false
+	for _, ref := range an.D {
+		if ref.Side != Orig {
+			t.Errorf("removal-mode candidates must be on the original side: %+v", ref)
+			continue
+		}
+		if strings.Contains(an.A.Left.Entries[ref.EID].String(), "fix") {
+			foundFix = true
+		}
+	}
+	if !foundFix {
+		t.Error("removed fix() behaviour not identified")
+	}
+}
+
+func TestCombineSequencesAndSizes(t *testing.T) {
+	an := analyzeScenario(t)
+	if an.Sizes.A != len(an.A.Sequences) || an.Sizes.B != len(an.B.Sequences) ||
+		an.Sizes.C != len(an.C.Sequences) || an.Sizes.D != len(an.Related) {
+		t.Errorf("sizes inconsistent: %+v", an.Sizes)
+	}
+	for _, idx := range an.Related {
+		if idx < 0 || idx >= len(an.A.Sequences) {
+			t.Errorf("related index %d out of range", idx)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	an := analyzeScenario(t)
+	rep := an.Report(3)
+	if !strings.Contains(rep, "regression analysis") || !strings.Contains(rep, "candidate 1") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestEntrySignatureStability(t *testing.T) {
+	e1 := trace.Entry{Method: "C.m/1", Event: trace.Event{
+		Kind: trace.KindSet, Member: "f",
+		Target: trace.Repr{Loc: 5, Class: "C", Seq: 1, Hash: 9, Str: "x"},
+		Args:   []trace.Repr{trace.PrimRepr("Int", "1")},
+	}}
+	e2 := e1
+	e2.Event.Target.Loc = 99
+	e2.Event.Target.Seq = 7
+	e2.Event.Args = []trace.Repr{trace.PrimRepr("Int", "2")} // different value
+	if EntrySignature(e1) != EntrySignature(e2) {
+		t.Error("signature must ignore locations, seqs, and concrete values")
+	}
+	e3 := e1
+	e3.Event.Member = "g"
+	if EntrySignature(e1) == EntrySignature(e3) {
+		t.Error("signature must distinguish members")
+	}
+}
+
+func TestCombineHandlesEmptyDiffs(t *testing.T) {
+	tr1, _ := runT(t, `class Main { void main() { Sys.print(1); } }`, "")
+	tr2, _ := runT(t, `class Main { void main() { Sys.print(1); } }`, "")
+	a := diff.ViewDiff(tr1, tr2, diff.ViewOptions{})
+	an := Combine(a, a, a, false)
+	if len(an.D) != 0 || an.Sizes.D != 0 {
+		t.Errorf("identical traces must yield empty D: %+v", an.Sizes)
+	}
+}

@@ -1,0 +1,293 @@
+package subjects
+
+// Daikon reproduces the regression studied in the JUnit/CIA evaluation
+// [17]: Daikon's daikon.diff.XorVisitor changed the predicates of its
+// shouldAddInv1 and shouldAddInv2 methods, breaking the outdated testXor
+// test case. The subject models Daikon's diff visitor architecture: two
+// invariant sets are traversed pairwise and a visitor decides which
+// invariants from each side survive into the xor result. The new version
+// changes shouldAddInv2 (the regression: invariants with matching
+// variables are no longer excluded when their sample counts differ) and
+// shouldAddInv1 in a compatible way, alongside unrelated refactoring of
+// the traversal.
+
+const daikonOrig = `
+class Invariant {
+  String varName;
+  Int samples;
+  Bool justified;
+  Invariant(String v, Int s, Bool j) {
+    super();
+    this.varName = v;
+    this.samples = s;
+    this.justified = j;
+  }
+}
+
+class InvSet {
+  Invariant i0;
+  Invariant i1;
+  Invariant i2;
+  Invariant i3;
+  Int size;
+  InvSet() {
+    super();
+    this.size = 0;
+  }
+  void add(Invariant inv) {
+    if (this.size == 0) { this.i0 = inv; }
+    if (this.size == 1) { this.i1 = inv; }
+    if (this.size == 2) { this.i2 = inv; }
+    if (this.size == 3) { this.i3 = inv; }
+    this.size = this.size + 1;
+    return;
+  }
+  Invariant get(Int k) {
+    if (k == 0) { return this.i0; }
+    if (k == 1) { return this.i1; }
+    if (k == 2) { return this.i2; }
+    return this.i3;
+  }
+}
+
+class XorVisitor {
+  Int added1;
+  Int added2;
+  Bool shouldAddInv1(Invariant inv1, Invariant inv2) {
+    if (inv2 == null) { return inv1.justified; }
+    if (inv1.varName.equals(inv2.varName)) { return false; }
+    return inv1.justified;
+  }
+  Bool shouldAddInv2(Invariant inv2, Invariant inv1) {
+    if (inv1 == null) { return inv2.justified; }
+    if (inv2.varName.equals(inv1.varName)) { return false; }
+    return inv2.justified;
+  }
+  void visit(InvSet s1, InvSet s2, InvSet result) {
+    let i = 0;
+    while (i < s1.size) {
+      let a = s1.get(i);
+      let match = this.findMatch(s2, a.varName);
+      if (this.shouldAddInv1(a, match)) {
+        result.add(a);
+        this.added1 = this.added1 + 1;
+      }
+      i = i + 1;
+    }
+    let j = 0;
+    while (j < s2.size) {
+      let b = s2.get(j);
+      let match2 = this.findMatch(s1, b.varName);
+      if (this.shouldAddInv2(b, match2)) {
+        result.add(b);
+        this.added2 = this.added2 + 1;
+      }
+      j = j + 1;
+    }
+    return;
+  }
+  Invariant findMatch(InvSet s, String name) {
+    let k = 0;
+    while (k < s.size) {
+      let c = s.get(k);
+      if (c.varName.equals(name)) { return c; }
+      k = k + 1;
+    }
+    return null;
+  }
+}
+
+class Main {
+  void runRound(Int r, Int ySamples) {
+    let s1 = new InvSet();
+    s1.add(new Invariant("x", 10 + r, true));
+    s1.add(new Invariant("y", ySamples, true));
+    s1.add(new Invariant("z", r % 5, false));
+    let s2 = new InvSet();
+    s2.add(new Invariant("y", 20, true));
+    s2.add(new Invariant("w", 7 + r % 3, true));
+    let v = new XorVisitor();
+    let result = new InvSet();
+    v.visit(s1, s2, result);
+    Sys.print("round " + r + " xor size=" + result.size);
+    let k = 0;
+    while (k < result.size) {
+      let inv = result.get(k);
+      Sys.print(inv.varName + "/" + inv.samples);
+      k = k + 1;
+    }
+    return;
+  }
+  void main() {
+    let ySamples = Sys.parseInt(Sys.arg(0));
+    let r = 0;
+    while (r < 40) {
+      let ys = 20;
+      if (r == 25) { ys = ySamples; }
+      this.runRound(r, ys);
+      r = r + 1;
+    }
+  }
+}
+`
+
+// The new version changes the predicates: invariants whose variables
+// match are now included when their sample counts differ — the changed
+// methods are exactly shouldAddInv1 and shouldAddInv2 [17]. The traversal
+// also gained an unrelated justification recount.
+const daikonNew = `
+class Invariant {
+  String varName;
+  Int samples;
+  Bool justified;
+  Invariant(String v, Int s, Bool j) {
+    super();
+    this.varName = v;
+    this.samples = s;
+    this.justified = j;
+  }
+}
+
+class InvSet {
+  Invariant i0;
+  Invariant i1;
+  Invariant i2;
+  Invariant i3;
+  Int size;
+  InvSet() {
+    super();
+    this.size = 0;
+  }
+  void add(Invariant inv) {
+    if (this.size == 0) { this.i0 = inv; }
+    if (this.size == 1) { this.i1 = inv; }
+    if (this.size == 2) { this.i2 = inv; }
+    if (this.size == 3) { this.i3 = inv; }
+    this.size = this.size + 1;
+    return;
+  }
+  Invariant get(Int k) {
+    if (k == 0) { return this.i0; }
+    if (k == 1) { return this.i1; }
+    if (k == 2) { return this.i2; }
+    return this.i3;
+  }
+}
+
+class XorVisitor {
+  Int added1;
+  Int added2;
+  Int recounted;
+  Bool shouldAddInv1(Invariant inv1, Invariant inv2) {
+    if (inv2 == null) { return inv1.justified; }
+    if (inv1.varName.equals(inv2.varName)) {
+      if (inv1.samples == inv2.samples) { return false; }
+      return inv1.justified;
+    }
+    return inv1.justified;
+  }
+  Bool shouldAddInv2(Invariant inv2, Invariant inv1) {
+    if (inv1 == null) { return inv2.justified; }
+    if (inv2.varName.equals(inv1.varName)) {
+      if (inv2.samples == inv1.samples) { return false; }
+      return inv2.justified;
+    }
+    return inv2.justified;
+  }
+  void recount(InvSet s) {
+    let k = 0;
+    while (k < s.size) {
+      let c = s.get(k);
+      if (c.justified) { this.recounted = this.recounted + 1; }
+      k = k + 1;
+    }
+    return;
+  }
+  void visit(InvSet s1, InvSet s2, InvSet result) {
+    this.recount(s1);
+    this.recount(s2);
+    let i = 0;
+    while (i < s1.size) {
+      let a = s1.get(i);
+      let match = this.findMatch(s2, a.varName);
+      if (this.shouldAddInv1(a, match)) {
+        result.add(a);
+        this.added1 = this.added1 + 1;
+      }
+      i = i + 1;
+    }
+    let j = 0;
+    while (j < s2.size) {
+      let b = s2.get(j);
+      let match2 = this.findMatch(s1, b.varName);
+      if (this.shouldAddInv2(b, match2)) {
+        result.add(b);
+        this.added2 = this.added2 + 1;
+      }
+      j = j + 1;
+    }
+    return;
+  }
+  Invariant findMatch(InvSet s, String name) {
+    let k = 0;
+    while (k < s.size) {
+      let c = s.get(k);
+      if (c.varName.equals(name)) { return c; }
+      k = k + 1;
+    }
+    return null;
+  }
+}
+
+class Main {
+  void runRound(Int r, Int ySamples) {
+    let s1 = new InvSet();
+    s1.add(new Invariant("x", 10 + r, true));
+    s1.add(new Invariant("y", ySamples, true));
+    s1.add(new Invariant("z", r % 5, false));
+    let s2 = new InvSet();
+    s2.add(new Invariant("y", 20, true));
+    s2.add(new Invariant("w", 7 + r % 3, true));
+    let v = new XorVisitor();
+    let result = new InvSet();
+    v.visit(s1, s2, result);
+    Sys.print("round " + r + " xor size=" + result.size);
+    let k = 0;
+    while (k < result.size) {
+      let inv = result.get(k);
+      Sys.print(inv.varName + "/" + inv.samples);
+      k = k + 1;
+    }
+    return;
+  }
+  void main() {
+    let ySamples = Sys.parseInt(Sys.arg(0));
+    let r = 0;
+    while (r < 40) {
+      let ys = 20;
+      if (r == 25) { ys = ySamples; }
+      this.runRound(r, ys);
+      r = r + 1;
+    }
+  }
+}
+`
+
+// Daikon returns the XorVisitor subject. With equal sample counts (the
+// correct test, arg 20 makes both y invariants carry 20 samples) old and
+// new predicates agree; with differing counts (arg 11) the new predicates
+// include the matched invariants — the testXor regression.
+func Daikon() Subject {
+	return Subject{
+		Name:        "Daikon",
+		Orig:        daikonOrig,
+		New:         daikonNew,
+		CorrectArgs: []string{"20"},
+		RegrArgs:    []string{"11"},
+		// The changed predicates are the causes; the extra result-set
+		// population inside visit is the known direct effect (the paper's
+		// third identified sequence was likewise "related to the effect
+		// of the regression but not the causes").
+		Sites: []string{"shouldAddInv1", "shouldAddInv2", "XorVisitor.visit"},
+	}
+}

@@ -1,0 +1,273 @@
+package subjects
+
+// Derby1633 reproduces DERBY-1633: a regression from 10.1.2.1 to 10.1.3.1
+// in which new query optimizations introduced in the later version hit an
+// incomplete corner case for queries combining predicates with IN
+// subqueries — the new version throws an error *during query compilation*,
+// whereas the old version executed the query. The subject is
+// multithreaded (background lock-manager and statistics threads run
+// alongside query processing), producing multiple thread views; the
+// regression differences are confined to the query-compilation thread.
+//
+// Query language (one query per ';'):
+//   select:<col>:<val>        scan rows where col == val
+//   selectin:<col>:<v1>,<v2>  scan rows where col IN (subquery yielding v1, v2)
+
+const derbyShared = `
+opaque class Log {
+  Int count;
+  void addMsg(String m) { this.count = this.count + 1; return; }
+}
+
+class Row {
+  Int a;
+  Int b;
+  Row next;
+  Row(Int a, Int b, Row next) { super(); this.a = a; this.b = b; this.next = next; }
+}
+
+class Table {
+  Row head;
+  Int rows;
+  void insert(Int a, Int b) {
+    this.head = new Row(a, b, this.head);
+    this.rows = this.rows + 1;
+    return;
+  }
+  Int col(Row r, String name) {
+    if (name.equals("a")) { return r.a; }
+    return r.b;
+  }
+}
+
+class LockManager {
+  Int beats;
+  void heartbeat(Int n) {
+    let i = 0;
+    while (i < n) {
+      this.beats = this.beats + 1;
+      i = i + 1;
+    }
+    return;
+  }
+}
+
+class StatsCollector {
+  Int samples;
+  void collect(Table t, Int n) {
+    let i = 0;
+    while (i < n) {
+      this.samples = this.samples + t.rows;
+      i = i + 1;
+    }
+    return;
+  }
+}
+
+class QueryReader {
+  Int pos;
+  QueryReader() { super(); this.pos = 0; }
+  String next(String qs) {
+    let n = qs.length();
+    if (this.pos >= n) { return ""; }
+    let start = this.pos;
+    let i = this.pos;
+    let stop = false;
+    while (i < n && !stop) {
+      if (qs.substring(i, i + 1).equals(";")) { stop = true; } else { i = i + 1; }
+    }
+    this.pos = i + 1;
+    return qs.substring(start, i);
+  }
+}
+`
+
+const derbyExec = `
+class Executor {
+  Table table;
+  Log log;
+  Executor(Table t, Log log) { super(); this.table = t; this.log = log; }
+  Int run(Plan plan) {
+    let hits = 0;
+    let r = this.table.head;
+    while (r != null) {
+      let v = this.table.col(r, plan.column);
+      if (plan.matches(v)) { hits = hits + 1; }
+      r = r.next;
+    }
+    return hits;
+  }
+}
+
+class Main {
+  void setup(Table t) {
+    let i = 0;
+    while (i < 200) {
+      t.insert(i % 7, i % 11);
+      i = i + 1;
+    }
+    return;
+  }
+  void main() {
+    let log = new Log();
+    let table = new Table();
+    this.setup(table);
+    let locks = new LockManager();
+    let stats = new StatsCollector();
+    spawn { locks.heartbeat(500); }
+    spawn { stats.collect(table, 300); }
+    let compiler = new QueryCompiler(log);
+    let exec = new Executor(table, log);
+    let reader = new QueryReader();
+    let qs = Sys.arg(0);
+    let q = reader.next(qs);
+    while (!q.equals("")) {
+      log.addMsg("compile query");
+      let plan = compiler.compile(q);
+      let hits = exec.run(plan);
+      Sys.print(q + " -> " + hits);
+      q = reader.next(qs);
+    }
+    Sys.print("locks=" + locks.beats);
+  }
+}
+`
+
+const derby1633Orig = derbyShared + `
+class Plan {
+  String column;
+  Int value;
+  Int value2;
+  Bool isIn;
+  Plan(String col, Int v, Int v2, Bool isIn) {
+    super();
+    this.column = col;
+    this.value = v;
+    this.value2 = v2;
+    this.isIn = isIn;
+  }
+  Bool matches(Int v) {
+    if (this.isIn) {
+      return v == this.value || v == this.value2;
+    }
+    return v == this.value;
+  }
+}
+
+class QueryCompiler {
+  Log log;
+  Int compiled;
+  QueryCompiler(Log log) { super(); this.log = log; this.compiled = 0; }
+  Plan compile(String q) {
+    this.compiled = this.compiled + 1;
+    if (q.startsWith("select:")) {
+      let rest = q.substring(7, q.length());
+      let sep = rest.indexOf(":");
+      let col = rest.substring(0, sep);
+      let v = Sys.parseInt(rest.substring(sep + 1, rest.length()));
+      return new Plan(col, v, v, false);
+    }
+    if (q.startsWith("selectin:")) {
+      let rest = q.substring(9, q.length());
+      let sep = rest.indexOf(":");
+      let col = rest.substring(0, sep);
+      let vals = rest.substring(sep + 1, rest.length());
+      let comma = vals.indexOf(",");
+      let v1 = Sys.parseInt(vals.substring(0, comma));
+      let v2 = Sys.parseInt(vals.substring(comma + 1, vals.length()));
+      return new Plan(col, v1, v2, true);
+    }
+    return new Plan("a", 0 - 1, 0 - 1, false);
+  }
+}
+` + derbyExec
+
+const derby1633New = derbyShared + `
+class Plan {
+  String column;
+  Int value;
+  Int value2;
+  Bool isIn;
+  Plan(String col, Int v, Int v2, Bool isIn) {
+    super();
+    this.column = col;
+    this.value = v;
+    this.value2 = v2;
+    this.isIn = isIn;
+  }
+  Bool matches(Int v) {
+    if (this.isIn) {
+      return v == this.value || v == this.value2;
+    }
+    return v == this.value;
+  }
+}
+
+class SubqueryOptimizer {
+  Log log;
+  Int rewrites;
+  SubqueryOptimizer(Log log) { super(); this.log = log; this.rewrites = 0; }
+  // New in this version: materialize IN subqueries. The corner case where
+  // the subquery values span different residue classes is unimplemented
+  // and aborts query compilation — the DERBY-1633 behaviour.
+  Plan rewrite(String col, Int v1, Int v2) {
+    this.rewrites = this.rewrites + 1;
+    if (v1 % 2 != v2 % 2) {
+      Sys.abort("subquery materialization: unhandled predicate combination");
+    }
+    return new Plan(col, v1, v2, true);
+  }
+}
+
+class QueryCompiler {
+  Log log;
+  Int compiled;
+  SubqueryOptimizer opt;
+  QueryCompiler(Log log) {
+    super();
+    this.log = log;
+    this.compiled = 0;
+    this.opt = new SubqueryOptimizer(log);
+  }
+  Plan compile(String q) {
+    this.compiled = this.compiled + 1;
+    if (q.startsWith("select:")) {
+      let rest = q.substring(7, q.length());
+      let sep = rest.indexOf(":");
+      let col = rest.substring(0, sep);
+      let v = Sys.parseInt(rest.substring(sep + 1, rest.length()));
+      return new Plan(col, v, v, false);
+    }
+    if (q.startsWith("selectin:")) {
+      let rest = q.substring(9, q.length());
+      let sep = rest.indexOf(":");
+      let col = rest.substring(0, sep);
+      let vals = rest.substring(sep + 1, rest.length());
+      let comma = vals.indexOf(",");
+      let v1 = Sys.parseInt(vals.substring(0, comma));
+      let v2 = Sys.parseInt(vals.substring(comma + 1, vals.length()));
+      let o = this.opt;
+      return o.rewrite(col, v1, v2);
+    }
+    return new Plan("a", 0 - 1, 0 - 1, false);
+  }
+}
+` + derbyExec
+
+// Derby1633 returns the multithreaded database subject. The regressing
+// query mixes subquery values of different parities, hitting the new
+// optimizer's unimplemented corner case (error during compilation); the
+// similar non-regressing query keeps both values in the same residue
+// class, which both versions execute identically.
+func Derby1633() Subject {
+	prefix := "select:a:3;select:b:5;select:a:1;select:b:2;"
+	return Subject{
+		Name:        "Derby-1633",
+		Orig:        derby1633Orig,
+		New:         derby1633New,
+		CorrectArgs: []string{prefix + "selectin:a:2,4;select:a:1;"},
+		RegrArgs:    []string{prefix + "selectin:a:2,5;select:a:1;"},
+		Sites:       []string{"SubqueryOptimizer", "rewrite"},
+		ExpectAbort: true,
+	}
+}

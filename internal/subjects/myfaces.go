@@ -1,0 +1,237 @@
+package subjects
+
+// MyFaces reproduces the motivating example (Fig. 1, MYFACES-1130): the
+// framework converts non-7-bit-safe characters of a text/html response
+// into HTML numeric entities for characters outside [32..127]. The new
+// version extracts the generic BinaryCharFilter abstraction from
+// ServletProcessor and inadvertently supplies the range [1..127], so
+// characters 1..31 are no longer converted — but only for text/html
+// documents. The new version also carries unrelated evolution (changed
+// log messages, an extra validation pass) that the expected-differences
+// set must filter out.
+
+const myfacesOrig = `
+opaque class Log {
+  Int count;
+  void addMsg(String msg) {
+    this.count = this.count + 1;
+    return;
+  }
+}
+
+class NumericEntityUtil {
+  Int minCharRange;
+  Int maxCharRange;
+  NumericEntityUtil(Int min, Int max) {
+    super();
+    this.minCharRange = min;
+    this.maxCharRange = max;
+  }
+  Bool needsConvert(Int ch) {
+    if (ch < this.minCharRange) { return true; }
+    if (ch > this.maxCharRange) { return true; }
+    return false;
+  }
+  String convert(Int ch) {
+    return "&#" + ch + ";";
+  }
+}
+
+class Response {
+  String body;
+  Response() {
+    super();
+    this.body = "";
+  }
+  void append(String s) {
+    this.body = this.body + s;
+    return;
+  }
+}
+
+class ServletProcessor {
+  Log log;
+  NumericEntityUtil binConv;
+  Bool filtering;
+  ServletProcessor(Log log) {
+    super();
+    this.log = log;
+    this.filtering = false;
+  }
+  void setRequestType(String type) {
+    this.log.addMsg("Handling request type");
+    if (type.equals("text/html")) {
+      this.binConv = new NumericEntityUtil(32, 127);
+      this.filtering = true;
+    } else {
+      this.filtering = false;
+    }
+    this.log.addMsg("Set request type");
+    return;
+  }
+  void writeOutput(String doc, Response resp) {
+    let i = 0;
+    let n = doc.length();
+    while (i < n) {
+      let ch = doc.charAt(i);
+      if (this.filtering) {
+        let conv = this.binConv;
+        if (conv.needsConvert(ch)) {
+          resp.append(conv.convert(ch));
+        } else {
+          resp.append(doc.substring(i, i + 1));
+        }
+      } else {
+        resp.append(doc.substring(i, i + 1));
+      }
+      i = i + 1;
+    }
+    return;
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let sp = new ServletProcessor(log);
+    let resp = new Response();
+    log.addMsg("request start");
+    sp.setRequestType(Sys.arg(0));
+    sp.writeOutput(Sys.arg(1), resp);
+    log.addMsg("request end");
+    Sys.print(resp.body);
+  }
+}
+`
+
+const myfacesNew = `
+opaque class Log {
+  Int count;
+  void addMsg(String msg) {
+    this.count = this.count + 1;
+    return;
+  }
+}
+
+class NumericEntityUtil {
+  Int minCharRange;
+  Int maxCharRange;
+  NumericEntityUtil(Int min, Int max) {
+    super();
+    this.minCharRange = min;
+    this.maxCharRange = max;
+  }
+  Bool needsConvert(Int ch) {
+    if (ch < this.minCharRange) { return true; }
+    if (ch > this.maxCharRange) { return true; }
+    return false;
+  }
+  String convert(Int ch) {
+    return "&#" + ch + ";";
+  }
+}
+
+class BinaryCharFilter {
+  NumericEntityUtil binConv;
+  BinaryCharFilter() {
+    super();
+    this.binConv = new NumericEntityUtil(1, 127);
+  }
+  NumericEntityUtil util() {
+    return this.binConv;
+  }
+}
+
+class Response {
+  String body;
+  Response() {
+    super();
+    this.body = "";
+  }
+  void append(String s) {
+    this.body = this.body + s;
+    return;
+  }
+}
+
+class ServletProcessor {
+  Log log;
+  NumericEntityUtil binConv;
+  Bool filtering;
+  ServletProcessor(Log log) {
+    super();
+    this.log = log;
+    this.filtering = false;
+  }
+  Bool validateType(String type) {
+    if (type.length() < 1) { return false; }
+    return true;
+  }
+  void setRequestType(String type) {
+    this.log.addMsg("Handling request type (v2)");
+    let valid = this.validateType(type);
+    if (type.equals("text/html") && valid) {
+      let filter = new BinaryCharFilter();
+      this.binConv = filter.util();
+      this.filtering = true;
+    } else {
+      this.filtering = false;
+    }
+    this.log.addMsg("Set request type (v2)");
+    return;
+  }
+  void writeOutput(String doc, Response resp) {
+    let i = 0;
+    let n = doc.length();
+    while (i < n) {
+      let ch = doc.charAt(i);
+      if (this.filtering) {
+        let conv = this.binConv;
+        if (conv.needsConvert(ch)) {
+          resp.append(conv.convert(ch));
+        } else {
+          resp.append(doc.substring(i, i + 1));
+        }
+      } else {
+        resp.append(doc.substring(i, i + 1));
+      }
+      i = i + 1;
+    }
+    return;
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let sp = new ServletProcessor(log);
+    let resp = new Response();
+    log.addMsg("request start");
+    sp.setRequestType(Sys.arg(0));
+    sp.writeOutput(Sys.arg(1), resp);
+    log.addMsg("request end");
+    Sys.print(resp.body);
+  }
+}
+`
+
+// myfacesDoc contains tab and newline characters (codes 9 and 10), which
+// are in [1..31]: converted by the original version, passed through by
+// the regressing one.
+const myfacesDoc = "<html>\n\tHello éworld\n</html>"
+
+// MyFaces returns the motivating-example subject.
+func MyFaces() Subject {
+	return Subject{
+		Name:        "MyFaces-1130",
+		Orig:        myfacesOrig,
+		New:         myfacesNew,
+		CorrectArgs: []string{"text/plain", myfacesDoc},
+		RegrArgs:    []string{"text/html", myfacesDoc},
+		// The causes (wrongly-ranged NumericEntityUtil built by
+		// BinaryCharFilter) plus the known effect site (conversion during
+		// writeOutput) — the paper counts effect sequences as correctly
+		// identified, not as false positives.
+		Sites: []string{"BinaryCharFilter", "NumericEntityUtil", "writeOutput"},
+	}
+}

@@ -1,0 +1,281 @@
+package subjects
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Rhino models the iBUGS Rhino dataset subject (§5.1): Mozilla Rhino is a
+// JavaScript engine in Java that compiles scripts to an intermediate form
+// and interprets it. Our subject is a script interpreter written in the
+// mini language: a scanner, a compiler from statements to an op-list
+// intermediate form, an operand-stack machine interpreting that form, and
+// an environment of variables. Regressions for the Fig. 14 experiments
+// are injected into this program with the inject package and validated
+// against generated scripts.
+//
+// Script grammar (statements separated by ';'):
+//   let:<v>:<rpn>   assign variable v
+//   out:<rpn>       print expression value
+// where <rpn> is a space-separated reverse-polish expression over integer
+// literals, single-letter variables, and the operators + - * / %.
+
+const rhinoSrc = `
+opaque class Log {
+  Int count;
+  void addMsg(String m) { this.count = this.count + 1; return; }
+}
+
+class Scanner {
+  Int pos;
+  Scanner() { super(); this.pos = 0; }
+  String next(String src, String sep) {
+    let n = src.length();
+    if (this.pos >= n) { return ""; }
+    let start = this.pos;
+    let i = this.pos;
+    let stop = false;
+    while (i < n && !stop) {
+      if (src.substring(i, i + 1).equals(sep)) { stop = true; } else { i = i + 1; }
+    }
+    this.pos = i + 1;
+    return src.substring(start, i);
+  }
+}
+
+// Op is one instruction of the intermediate form.
+class Op {
+  Int kind;     // 0 push literal, 1 load var, 2 arithmetic, 3 store, 4 print
+  Int literal;
+  String name;  // variable name or operator symbol
+  Op next;
+  Op(Int kind, Int literal, String name) {
+    super();
+    this.kind = kind;
+    this.literal = literal;
+    this.name = name;
+  }
+}
+
+class OpList {
+  Op head;
+  Op tail;
+  Int size;
+  void add(Op op) {
+    if (this.tail == null) {
+      this.head = op;
+    } else {
+      let t = this.tail;
+      t.next = op;
+    }
+    this.tail = op;
+    this.size = this.size + 1;
+    return;
+  }
+}
+
+// Compiler translates one statement into ops appended to an OpList.
+class Compiler {
+  Log log;
+  Int units;
+  Compiler(Log log) { super(); this.log = log; }
+  Bool isDigit(String tok) {
+    let c = tok.charAt(0);
+    return c >= 48 && c <= 57;
+  }
+  void compileExpr(String rpn, OpList out) {
+    let sc = new Scanner();
+    let tok = sc.next(rpn, " ");
+    while (!tok.equals("")) {
+      if (this.isDigit(tok)) {
+        out.add(new Op(0, Sys.parseInt(tok), ""));
+      } else {
+        if (tok.length() == 1 && !this.isOperator(tok)) {
+          out.add(new Op(1, 0, tok));
+        } else {
+          out.add(new Op(2, 0, tok));
+        }
+      }
+      tok = sc.next(rpn, " ");
+    }
+    return;
+  }
+  Bool isOperator(String tok) {
+    if (tok.equals("+")) { return true; }
+    if (tok.equals("-")) { return true; }
+    if (tok.equals("*")) { return true; }
+    if (tok.equals("/")) { return true; }
+    if (tok.equals("%")) { return true; }
+    return false;
+  }
+  void compileStmt(String stmt, OpList out) {
+    this.units = this.units + 1;
+    if (stmt.startsWith("let:")) {
+      let rest = stmt.substring(4, stmt.length());
+      let sep = rest.indexOf(":");
+      let v = rest.substring(0, sep);
+      this.compileExpr(rest.substring(sep + 1, rest.length()), out);
+      out.add(new Op(3, 0, v));
+      return;
+    }
+    if (stmt.startsWith("out:")) {
+      this.compileExpr(stmt.substring(4, stmt.length()), out);
+      out.add(new Op(4, 0, ""));
+      return;
+    }
+    return;
+  }
+}
+
+class Cell {
+  Int value;
+  Cell below;
+  Cell(Int v, Cell below) { super(); this.value = v; this.below = below; }
+}
+
+class Stack {
+  Cell top;
+  Int depth;
+  void push(Int v) {
+    this.top = new Cell(v, this.top);
+    this.depth = this.depth + 1;
+    return;
+  }
+  Int pop() {
+    let t = this.top;
+    if (t == null) {
+      Sys.abort("stack underflow");
+    }
+    this.top = t.below;
+    this.depth = this.depth - 1;
+    return t.value;
+  }
+}
+
+class Var {
+  String name;
+  Int value;
+  Var next;
+  Var(String n, Int v, Var next) { super(); this.name = n; this.value = v; this.next = next; }
+}
+
+class Env {
+  Var head;
+  void store(String name, Int v) {
+    let cur = this.head;
+    while (cur != null) {
+      if (cur.name.equals(name)) {
+        cur.value = v;
+        return;
+      }
+      cur = cur.next;
+    }
+    this.head = new Var(name, v, this.head);
+    return;
+  }
+  Int load(String name) {
+    let cur = this.head;
+    while (cur != null) {
+      if (cur.name.equals(name)) { return cur.value; }
+      cur = cur.next;
+    }
+    return 0;
+  }
+}
+
+// Machine interprets the intermediate form on an operand stack.
+class Machine {
+  Env env;
+  Stack stack;
+  Log log;
+  Machine(Log log) {
+    super();
+    this.log = log;
+    this.env = new Env();
+    this.stack = new Stack();
+  }
+  Int arith(String sym, Int a, Int b) {
+    if (sym.equals("+")) { return a + b; }
+    if (sym.equals("-")) { return a - b; }
+    if (sym.equals("*")) { return a * b; }
+    if (sym.equals("/")) {
+      if (b == 0) { return 0; }
+      return a / b;
+    }
+    if (b == 0) { return 0; }
+    return a % b;
+  }
+  void run(OpList ops) {
+    let op = ops.head;
+    while (op != null) {
+      let st = this.stack;
+      if (op.kind == 0) { st.push(op.literal); }
+      if (op.kind == 1) {
+        let e = this.env;
+        st.push(e.load(op.name));
+      }
+      if (op.kind == 2) {
+        let b = st.pop();
+        let a = st.pop();
+        st.push(this.arith(op.name, a, b));
+      }
+      if (op.kind == 3) {
+        let e2 = this.env;
+        e2.store(op.name, st.pop());
+      }
+      if (op.kind == 4) {
+        Sys.print(st.pop());
+      }
+      op = op.next;
+    }
+    return;
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let compiler = new Compiler(log);
+    let machine = new Machine(log);
+    let sc = new Scanner();
+    let script = Sys.arg(0);
+    let stmt = sc.next(script, ";");
+    while (!stmt.equals("")) {
+      let ops = new OpList();
+      compiler.compileStmt(stmt, ops);
+      log.addMsg("stmt compiled");
+      machine.run(ops);
+      stmt = sc.next(script, ";");
+    }
+    Sys.print("done " + compiler.units);
+  }
+}
+`
+
+// RhinoSource returns the interpreter's source text.
+func RhinoSource() string { return rhinoSrc }
+
+// GenScript deterministically generates a script with about n statements:
+// assignments building up variable state and prints observing it. Larger
+// n gives proportionally longer traces.
+func GenScript(n int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	vars := []string{"a", "b", "c", "d", "e"}
+	ops := []string{"+", "-", "*", "/", "%"}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		v := vars[rng.Intn(len(vars))]
+		switch rng.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "let:%s:%d %d %s;", v, rng.Intn(50), 1+rng.Intn(20), ops[rng.Intn(len(ops))])
+		case 1:
+			w := vars[rng.Intn(len(vars))]
+			fmt.Fprintf(&b, "let:%s:%s %d %s;", v, w, 1+rng.Intn(9), ops[rng.Intn(3)])
+		default:
+			w := vars[rng.Intn(len(vars))]
+			fmt.Fprintf(&b, "out:%s %s %s;", v, w, ops[rng.Intn(3)])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package subjects
+
+// Soap169 models the regression class the paper's footnote 5 points to
+// (SOAP-169, cited next to MYFACES-1130 as "a pattern for an entire class
+// of regressions"): a piece of code incorrectly alters dynamic state early
+// in the execution — here, an RPC router's default type-mapping registry —
+// and the error manifests much later, only for certain inputs (calls whose
+// type falls back to the default mapping). The causal distance between
+// the registry initialization and the failing serialization is the whole
+// request-dispatch pipeline.
+
+const soapShared = `
+opaque class Log {
+  Int count;
+  void addMsg(String m) { this.count = this.count + 1; return; }
+}
+
+class Mapping {
+  String typeName;
+  String encoder;
+  Mapping next;
+  Mapping(String t, String e, Mapping next) {
+    super();
+    this.typeName = t;
+    this.encoder = e;
+    this.next = next;
+  }
+}
+
+class Registry {
+  Mapping head;
+  String fallback;
+  void register(String t, String e) {
+    this.head = new Mapping(t, e, this.head);
+    return;
+  }
+  String lookup(String t) {
+    let m = this.head;
+    while (m != null) {
+      if (m.typeName.equals(t)) { return m.encoder; }
+      m = m.next;
+    }
+    return this.fallback;
+  }
+}
+
+class Serializer {
+  Registry reg;
+  Log log;
+  Serializer(Registry reg, Log log) { super(); this.reg = reg; this.log = log; }
+  String encode(String typ, String value) {
+    let enc = this.reg.lookup(typ);
+    if (enc.equals("xsd")) { return "<v>" + value + "</v>"; }
+    if (enc.equals("b64")) { return "[" + value.length() + "]"; }
+    if (enc.equals("raw")) { return value; }
+    return "<?unknown " + typ + "?>";
+  }
+}
+
+class Router {
+  Serializer ser;
+  Log log;
+  Router(Serializer s, Log log) { super(); this.ser = s; this.log = log; }
+  String dispatch(String call) {
+    this.log.addMsg("dispatch");
+    let sep = call.indexOf(":");
+    let typ = call.substring(0, sep);
+    let val = call.substring(sep + 1, call.length());
+    return this.ser.encode(typ, val);
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let reg = new Registry();
+    let boot = new Bootstrap();
+    boot.configure(reg, log);
+    let router = new Router(new Serializer(reg, log), log);
+    let i = 0;
+    let n = Sys.numArgs();
+    while (i < n) {
+      Sys.print(router.dispatch(Sys.arg(i)));
+      i = i + 1;
+    }
+  }
+}
+`
+
+const soap169Orig = soapShared + `
+class Bootstrap {
+  void configure(Registry reg, Log log) {
+    log.addMsg("configure");
+    reg.register("int", "xsd");
+    reg.register("string", "xsd");
+    reg.register("bytes", "b64");
+    reg.fallback = "raw";
+    return;
+  }
+}
+`
+
+// The new version reorganizes bootstrap configuration and loses the
+// fallback assignment's value (empty string instead of "raw") — dynamic
+// state corrupted at startup, manifesting only for calls whose type has
+// no explicit mapping.
+const soap169New = soapShared + `
+class Bootstrap {
+  String defaultEncoding;
+  Bootstrap() {
+    super();
+    this.defaultEncoding = "";
+  }
+  void configure(Registry reg, Log log) {
+    log.addMsg("configure (v2)");
+    reg.register("int", "xsd");
+    reg.register("string", "xsd");
+    reg.register("bytes", "b64");
+    reg.fallback = this.defaultEncoding;
+    return;
+  }
+}
+`
+
+// Soap169 returns the dynamic-state regression subject. The regressing
+// test includes a call with an unmapped type (hits the fallback); the
+// similar non-regressing test uses only explicitly mapped types.
+func Soap169() Subject {
+	return Subject{
+		Name:        "SOAP-169",
+		Orig:        soap169Orig,
+		New:         soap169New,
+		CorrectArgs: []string{"int:42", "string:hi", "bytes:abc"},
+		RegrArgs:    []string{"int:42", "custom:zzz", "bytes:abc"},
+		Sites:       []string{"Bootstrap", "fallback", "encode"},
+	}
+}

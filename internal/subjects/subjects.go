@@ -1,0 +1,107 @@
+// Package subjects provides the benchmark programs of the evaluation
+// (§5), written in the mini-Java language: the motivating example
+// (MYFACES-1130), the four real-life case studies (Daikon, Xalan-1725,
+// Xalan-1802, Derby-1633), and a parameterizable Rhino-like interpreter
+// subject used with the injection framework for the quantitative
+// assessment (Fig. 14).
+//
+// Each case-study subject is engineered to reproduce the defining
+// property of the original bug — see DESIGN.md's substitution table —
+// rather than its code base: the analysis consumes traces, and the trace
+// shapes (cause/effect separation, code churn, dynamic code generation,
+// multithreading, error during query compilation) are what matter.
+package subjects
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/trace"
+)
+
+// Subject is one benchmark program pair with its two test inputs.
+type Subject struct {
+	Name string
+	// Orig and New are the source texts of the two program versions.
+	Orig, New string
+	// CorrectArgs is the similar, non-regressing test case; RegrArgs is
+	// the regressing one.
+	CorrectArgs []string
+	RegrArgs    []string
+	// Sites are ground-truth markers (method/class names) containing the
+	// regression cause, used to score false positives/negatives.
+	Sites []string
+	// RemovalMode selects the (A−B)−C analysis variant.
+	RemovalMode bool
+	// ExpectAbort is set when the regressing run of the new version is
+	// expected to fail with an error (the Derby case).
+	ExpectAbort bool
+	// MaxSteps overrides the interpreter step budget (0 = default).
+	MaxSteps int
+}
+
+// LOC returns the line count of the new version (the "LOC" column
+// analogue of Table 1).
+func (s Subject) LOC() int { return strings.Count(s.New, "\n") + 1 }
+
+// Traces holds the four executions of the analysis protocol.
+type Traces struct {
+	OrigCorrect, NewCorrect *trace.Trace
+	OrigRegr, NewRegr       *trace.Trace
+	Outputs                 map[string]string
+}
+
+// Run executes all four version × test-case combinations and asserts the
+// regression is real: correct-version outputs must agree in behaviour
+// while the regressing input must expose a divergence on the new version.
+func (s Subject) Run() (*Traces, error) {
+	origP, err := lang.Parse(s.Orig)
+	if err != nil {
+		return nil, fmt.Errorf("subject %s: orig: %w", s.Name, err)
+	}
+	newP, err := lang.Parse(s.New)
+	if err != nil {
+		return nil, fmt.Errorf("subject %s: new: %w", s.Name, err)
+	}
+	tr := &Traces{Outputs: map[string]string{}}
+	run := func(p *lang.Program, args []string, name string, allowAbort bool) (*trace.Trace, error) {
+		res, err := interp.Run(p, interp.Options{
+			Args: args, TraceName: name, MaxSteps: s.MaxSteps,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("subject %s: %s: %w", s.Name, name, err)
+		}
+		out := res.Output
+		if res.Err != nil {
+			if !allowAbort {
+				return nil, fmt.Errorf("subject %s: %s: %v", s.Name, name, res.Err)
+			}
+			out += "ERROR: " + res.Err.Msg + "\n"
+		}
+		tr.Outputs[name] = out
+		return res.Trace, nil
+	}
+	if tr.OrigCorrect, err = run(origP, s.CorrectArgs, "orig-correct", false); err != nil {
+		return nil, err
+	}
+	if tr.NewCorrect, err = run(newP, s.CorrectArgs, "new-correct", false); err != nil {
+		return nil, err
+	}
+	if tr.OrigRegr, err = run(origP, s.RegrArgs, "orig-regr", false); err != nil {
+		return nil, err
+	}
+	if tr.NewRegr, err = run(newP, s.RegrArgs, "new-regr", s.ExpectAbort); err != nil {
+		return nil, err
+	}
+	if tr.Outputs["orig-regr"] == tr.Outputs["new-regr"] {
+		return nil, fmt.Errorf("subject %s: regressing input does not change behaviour", s.Name)
+	}
+	return tr, nil
+}
+
+// All returns every case-study subject.
+func All() []Subject {
+	return []Subject{MyFaces(), Daikon(), Xalan1725(), Xalan1802(), Derby1633()}
+}

@@ -1,0 +1,287 @@
+package subjects
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/regression"
+)
+
+// TestAllSubjectsRunAndRegress exercises every case-study subject:
+// sources parse and check, all four runs execute, and the regressing
+// input exposes a behaviour change while the correct input does not
+// change *relevant* behaviour.
+func TestAllSubjectsRunAndRegress(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if err := lang.Check(lang.MustParse(s.Orig)); err != nil {
+				t.Fatalf("orig does not check: %v", err)
+			}
+			if err := lang.Check(lang.MustParse(s.New)); err != nil {
+				t.Fatalf("new does not check: %v", err)
+			}
+			tr, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Outputs["orig-regr"] == tr.Outputs["new-regr"] {
+				t.Error("no behaviour change on regressing input")
+			}
+			for name, trace := range map[string]interface{ Len() int }{
+				"orig-correct": tr.OrigCorrect, "new-correct": tr.NewCorrect,
+				"orig-regr": tr.OrigRegr, "new-regr": tr.NewRegr,
+			} {
+				if trace.Len() < 50 {
+					t.Errorf("%s trace suspiciously small: %d entries", name, trace.Len())
+				}
+			}
+		})
+	}
+}
+
+// TestAnalysisFindsCauses runs the full regression-cause analysis on each
+// subject and checks the candidate set touches the ground-truth sites.
+func TestAnalysisFindsCauses(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			tr, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := regression.Analyze(regression.Input{
+				OrigCorrect: tr.OrigCorrect,
+				NewCorrect:  tr.NewCorrect,
+				OrigRegr:    tr.OrigRegr,
+				NewRegr:     tr.NewRegr,
+				RemovalMode: s.RemovalMode,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an.Sizes.D == 0 {
+				t.Fatalf("no regression-related sequences\n|A|=%d |B|=%d |C|=%d",
+					an.Sizes.A, an.Sizes.B, an.Sizes.C)
+			}
+			ev := an.EvaluateAgainst(s.Sites)
+			if ev.TruePositives == 0 {
+				t.Errorf("cause not identified: %+v\n%s", ev, an.Report(5))
+			}
+			if ev.FalseNegatives == len(s.Sites) {
+				t.Errorf("all ground-truth sites missed: %+v\n%s", ev, an.Report(5))
+			}
+			// Precision: related sequences must overwhelmingly touch the
+			// ground-truth sites (the paper reports 0-4 false positives).
+			if ev.FalsePositives > ev.TruePositives {
+				t.Errorf("more false than true positives: %+v\n%s", ev, an.Report(8))
+			}
+			// The analysis must narrow the suspected set. For most
+			// subjects the narrowing is large; for MyFaces every retained
+			// sequence reads the wrongly-initialized range (a true cause
+			// contact), so only |D| < |A| is required there.
+			if an.Sizes.D >= an.Sizes.A {
+				t.Errorf("no narrowing: |A|=%d -> |D|=%d", an.Sizes.A, an.Sizes.D)
+			}
+			if s.Name != "MyFaces-1130" && an.Sizes.A > 4 && an.Sizes.D*2 > an.Sizes.A {
+				t.Errorf("weak narrowing: |A|=%d -> |D|=%d", an.Sizes.A, an.Sizes.D)
+			}
+		})
+	}
+}
+
+func TestMyFacesConversionBehaviour(t *testing.T) {
+	s := MyFaces()
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The original converts the tab (9) and newline (10) characters of a
+	// text/html document; the new version passes them through.
+	if !strings.Contains(tr.Outputs["orig-regr"], "&#10;") {
+		t.Errorf("orig should convert newline: %q", tr.Outputs["orig-regr"])
+	}
+	if strings.Contains(tr.Outputs["new-regr"], "&#10;") {
+		t.Errorf("new version should not convert newline: %q", tr.Outputs["new-regr"])
+	}
+	// Both convert 8-bit characters (the é bytes).
+	if !strings.Contains(tr.Outputs["new-regr"], "&#195;") {
+		t.Errorf("8-bit conversion lost: %q", tr.Outputs["new-regr"])
+	}
+	// text/plain responses are untouched by both versions.
+	if strings.Contains(tr.Outputs["new-correct"], "&#") {
+		t.Errorf("plain text must not be converted: %q", tr.Outputs["new-correct"])
+	}
+}
+
+func TestXalan1725GeneratedCodeExecutes(t *testing.T) {
+	s := Xalan1725()
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generated translet drops the only attribute of <cell> and the
+	// last of <row> in the new version.
+	if !strings.Contains(tr.Outputs["orig-regr"], "<row a1 a2 a3>") {
+		t.Errorf("orig output: %q", tr.Outputs["orig-regr"])
+	}
+	if !strings.Contains(tr.Outputs["new-regr"], "<row a1 a2>") ||
+		strings.Contains(tr.Outputs["new-regr"], "<cell a1>") {
+		t.Errorf("new output: %q", tr.Outputs["new-regr"])
+	}
+	// Both versions agree on the stylesheet without literal elements.
+	if tr.Outputs["orig-correct"] != tr.Outputs["new-correct"] {
+		t.Errorf("correct outputs differ:\n%q\n%q",
+			tr.Outputs["orig-correct"], tr.Outputs["new-correct"])
+	}
+}
+
+func TestXalan1802ShadowingCornerCase(t *testing.T) {
+	s := Xalan1802()
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the inner element that shadows p closes, the outer binding
+	// must be visible again — the new version loses it.
+	if !strings.Contains(tr.Outputs["orig-regr"], "[p=uriA]</>[p=uriA]") &&
+		!strings.HasSuffix(strings.TrimSpace(tr.Outputs["orig-regr"]), "[p=uriA]</>") {
+		t.Logf("orig output: %q", tr.Outputs["orig-regr"])
+	}
+	if !strings.Contains(tr.Outputs["new-regr"], "(undefined)") {
+		t.Errorf("new version should lose the shadowed binding: %q", tr.Outputs["new-regr"])
+	}
+	if strings.Contains(tr.Outputs["orig-regr"], "(undefined)") {
+		t.Errorf("orig version should resolve everything: %q", tr.Outputs["orig-regr"])
+	}
+}
+
+func TestDerby1633AbortsOnlyOnRegressingQuery(t *testing.T) {
+	s := Derby1633()
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.Outputs["new-regr"], "ERROR") {
+		t.Errorf("new version must abort during query compilation: %q", tr.Outputs["new-regr"])
+	}
+	if strings.Contains(tr.Outputs["orig-regr"], "ERROR") {
+		t.Errorf("orig version must execute the query: %q", tr.Outputs["orig-regr"])
+	}
+	if strings.Contains(tr.Outputs["new-correct"], "ERROR") {
+		t.Errorf("correct query must compile on the new version: %q", tr.Outputs["new-correct"])
+	}
+	// Multithreading: multiple thread views must exist.
+	ids := tr.OrigRegr.ThreadIDs()
+	if len(ids) < 3 {
+		t.Errorf("expected >= 3 threads, got %v", ids)
+	}
+}
+
+func TestRhinoInterpreter(t *testing.T) {
+	prog := lang.MustParse(RhinoSource())
+	if err := lang.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(prog, interp.Options{
+		Args: []string{"let:a:3 4 +;out:a 2 *;let:b:a 1 -;out:b b +;out:a b %;"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("runtime error: %v\n%s", res.Err, res.Output)
+	}
+	// a = 7; print 14; b = 6; print 12; print 7 % 6 = 1.
+	want := "14\n12\n1\ndone 5\n"
+	if res.Output != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestGenScriptDeterministicAndRunnable(t *testing.T) {
+	if GenScript(20, 1) != GenScript(20, 1) {
+		t.Error("GenScript not deterministic")
+	}
+	if GenScript(20, 1) == GenScript(20, 2) {
+		t.Error("different seeds should differ")
+	}
+	prog := lang.MustParse(RhinoSource())
+	for seed := int64(1); seed <= 5; seed++ {
+		script := GenScript(40, seed)
+		res, err := interp.Run(prog, interp.Options{Args: []string{script}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatalf("seed %d: %v", seed, res.Err)
+		}
+		if !strings.Contains(res.Output, "done 40") {
+			t.Errorf("seed %d: compiled %s", seed, res.Output)
+		}
+		if res.Trace.Len() < 2000 {
+			t.Errorf("seed %d: trace only %d entries", seed, res.Trace.Len())
+		}
+	}
+}
+
+func TestSubjectLOC(t *testing.T) {
+	for _, s := range All() {
+		if s.LOC() < 80 {
+			t.Errorf("%s: implausibly small subject (%d lines)", s.Name, s.LOC())
+		}
+	}
+}
+
+// TestSubjectsTypeCheck runs the optional static typing pass over every
+// subject version — the subjects are meant to be realistic, well-typed
+// programs.
+func TestSubjectsTypeCheck(t *testing.T) {
+	for _, s := range All() {
+		if err := lang.TypeCheck(lang.MustParse(s.Orig)); err != nil {
+			t.Errorf("%s orig: %v", s.Name, err)
+		}
+		if err := lang.TypeCheck(lang.MustParse(s.New)); err != nil {
+			t.Errorf("%s new: %v", s.Name, err)
+		}
+	}
+	if err := lang.TypeCheck(lang.MustParse(RhinoSource())); err != nil {
+		t.Errorf("rhino: %v", err)
+	}
+}
+
+// TestSoap169 covers the footnote-5 subject: dynamic state corrupted at
+// bootstrap, manifesting only for inputs that hit the default mapping.
+func TestSoap169(t *testing.T) {
+	s := Soap169()
+	if err := lang.TypeCheck(lang.MustParse(s.Orig)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lang.TypeCheck(lang.MustParse(s.New)); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mapped types behave identically; the unmapped type regresses.
+	if !strings.Contains(tr.Outputs["orig-regr"], "zzz") {
+		t.Errorf("orig should raw-encode the fallback: %q", tr.Outputs["orig-regr"])
+	}
+	if !strings.Contains(tr.Outputs["new-regr"], "unknown custom") {
+		t.Errorf("new version should fail the fallback: %q", tr.Outputs["new-regr"])
+	}
+	an, err := regression.Analyze(regression.Input{
+		OrigCorrect: tr.OrigCorrect, NewCorrect: tr.NewCorrect,
+		OrigRegr: tr.OrigRegr, NewRegr: tr.NewRegr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := an.EvaluateAgainst(s.Sites)
+	if ev.TruePositives == 0 {
+		t.Errorf("cause not identified: %+v\n%s", ev, an.Report(5))
+	}
+}

@@ -1,0 +1,187 @@
+package subjects
+
+// Xalan1725 reproduces XALANJ-1725: a regression in Xalan's XSLT *compiler*
+// (XSLTC), which generates Java bytecode. The cause lies in incorrectly
+// generated code — the checkAttributesUnique logic emitted for literal
+// result elements — so the visible effect only manifests when the
+// generated code later executes: an extreme separation of cause and
+// effect that confounds static analysis.
+//
+// The subject models the pipeline with run-time code generation: a
+// "stylesheet compiler" builds the source text of a translet class from
+// the stylesheet, installs it with Runtime.defineClass, and then executes
+// it reflectively over a document. The new compiler version emits a wrong
+// attribute-uniqueness check (>= instead of >) in LiteralElement.translate
+// output, dropping attributes for elements that have exactly one.
+//
+// The regressing stylesheet uses a literal element with attributes; the
+// similar non-regressing test removes the triggering construct from the
+// stylesheet, leaving the rest identical (the paper's protocol for this
+// bug).
+
+const xalanCompilerShared = `
+opaque class Log {
+  Int count;
+  void addMsg(String m) { this.count = this.count + 1; return; }
+}
+
+class StylesheetParser {
+  Int pos;
+  StylesheetParser() { super(); this.pos = 0; }
+  // A stylesheet is a ; separated list of instructions:
+  //   text:<literal>   emit literal text
+  //   elem:<name>:<n>  literal result element with n attributes
+  //   value:<k>        emit k-th input token
+  String nextOp(String sheet) {
+    let n = sheet.length();
+    if (this.pos >= n) { return ""; }
+    let start = this.pos;
+    let i = this.pos;
+    let stop = 0 == 1;
+    while (i < n && !stop) {
+      if (sheet.substring(i, i + 1).equals(";")) { stop = true; } else { i = i + 1; }
+    }
+    this.pos = i + 1;
+    return sheet.substring(start, i);
+  }
+}
+`
+
+const xalanDriverShared = `
+class Main {
+  void main() {
+    let log = new Log();
+    let compiler = new Compiler(log);
+    let sheet = Sys.arg(0);
+    let doc = Sys.arg(1);
+    let className = compiler.compile(sheet);
+    log.addMsg("compiled");
+    let translet = Reflect.create(className);
+    let out = Reflect.call(translet, "transform", doc);
+    Sys.print(out);
+  }
+}
+`
+
+const xalan1725Orig = xalanCompilerShared + `
+class Compiler {
+  Log log;
+  Int emitted;
+  Compiler(Log log) { super(); this.log = log; this.emitted = 0; }
+
+  String compile(String sheet) {
+    let parser = new StylesheetParser();
+    let body = "";
+    let op = parser.nextOp(sheet);
+    while (!op.equals("")) {
+      body = body + this.translate(op);
+      this.emitted = this.emitted + 1;
+      op = parser.nextOp(sheet);
+    }
+    let src = "class Translet { String transform(String doc) { let out = \"\"; " + body + " return out; } }";
+    Runtime.defineClass(src);
+    return "Translet";
+  }
+
+  // LiteralElement.translate: emits code for one instruction. For literal
+  // elements the generated code checks attribute uniqueness by comparing
+  // the attribute index against the count with > (correct).
+  String translate(String op) {
+    this.log.addMsg("translate op");
+    if (op.startsWith("text:")) {
+      let lit = op.substring(5, op.length());
+      return "out = out + \"" + lit + "\"; ";
+    }
+    if (op.startsWith("elem:")) {
+      return this.translateElement(op);
+    }
+    if (op.startsWith("value:")) {
+      let k = op.substring(6, op.length());
+      return "out = out + doc.charAt(" + k + ") + \"!\"; ";
+    }
+    return "";
+  }
+
+  String translateElement(String op) {
+    let rest = op.substring(5, op.length());
+    let sep = rest.indexOf(":");
+    let name = rest.substring(0, sep);
+    let count = rest.substring(sep + 1, rest.length());
+    let code = "out = out + \"<" + name + "\"; ";
+    code = code + "let ac = " + count + "; let ai = 1; ";
+    code = code + "while (!(ai > ac)) { out = out + \" a\" + ai; ai = ai + 1; } ";
+    code = code + "out = out + \">\"; ";
+    return code;
+  }
+}
+` + xalanDriverShared
+
+const xalan1725New = xalanCompilerShared + `
+class Compiler {
+  Log log;
+  Int emitted;
+  Compiler(Log log) { super(); this.log = log; this.emitted = 0; }
+
+  String compile(String sheet) {
+    let parser = new StylesheetParser();
+    let body = "";
+    let op = parser.nextOp(sheet);
+    while (!op.equals("")) {
+      body = body + this.translate(op);
+      this.emitted = this.emitted + 1;
+      op = parser.nextOp(sheet);
+    }
+    let src = "class Translet { String transform(String doc) { let out = \"\"; " + body + " return out; } }";
+    Runtime.defineClass(src);
+    return "Translet";
+  }
+
+  String translate(String op) {
+    this.log.addMsg("translate op v2");
+    if (op.startsWith("text:")) {
+      let lit = op.substring(5, op.length());
+      return "out = out + \"" + lit + "\"; ";
+    }
+    if (op.startsWith("elem:")) {
+      return this.translateElement(op);
+    }
+    if (op.startsWith("value:")) {
+      let k = op.substring(6, op.length());
+      return "out = out + doc.charAt(" + k + ") + \"!\"; ";
+    }
+    return "";
+  }
+
+  // REGRESSION: the rewritten checkAttributesUnique emission uses >=
+  // instead of >, so the generated loop skips the last attribute of every
+  // literal element.
+  String translateElement(String op) {
+    let rest = op.substring(5, op.length());
+    let sep = rest.indexOf(":");
+    let name = rest.substring(0, sep);
+    let count = rest.substring(sep + 1, rest.length());
+    let code = "out = out + \"<" + name + "\"; ";
+    code = code + "let ac = " + count + "; let ai = 1; ";
+    code = code + "while (!(ai >= ac)) { out = out + \" a\" + ai; ai = ai + 1; } ";
+    code = code + "out = out + \">\"; ";
+    return code;
+  }
+}
+` + xalanDriverShared
+
+// Xalan1725 returns the code-generation subject. The regressing
+// stylesheet contains literal elements with attributes; the similar
+// non-regressing stylesheet omits them (constructed, as in the paper, by
+// removing the small triggering section from the input).
+func Xalan1725() Subject {
+	regrSheet := "text:header ;value:0;text:mid ;elem:row:3;value:1;text:tail ;elem:cell:1;text:done;"
+	correctSheet := "text:header ;value:0;text:mid ;value:1;text:tail ;text:done;"
+	return Subject{
+		Name:        "Xalan-1725",
+		Orig:        xalan1725Orig,
+		New:         xalan1725New,
+		CorrectArgs: []string{correctSheet, "XYZDOC"},
+		RegrArgs:    []string{regrSheet, "XYZDOC"},
+		Sites:       []string{"translateElement", "Translet"},
+	}
+}

@@ -1,0 +1,301 @@
+package subjects
+
+// Xalan1802 reproduces XALANJ-1802: a regression caused not by a small
+// incremental change but by a corner-case bug inside a completely
+// re-architected namespace-handling module, amid heavy general code
+// churn (79K changed lines over 12 months in the original). The subject's
+// new version rewrites the namespace module wholesale — classes and
+// methods renamed, data structure replaced — exercising the relaxed
+// (context-sensitive) view correlation of §5. The corner case: when a
+// nested element redeclares (shadows) a prefix, popping the inner scope
+// loses the outer binding, so later references resolve to nothing.
+//
+// The document language: ';'-separated ops —
+//   open:<elem>       open element
+//   decl:<pfx>:<uri>  declare prefix in current scope
+//   use:<pfx>         emit resolution of prefix
+//   close             close element (pop scope)
+
+const xalanDocShared = `
+opaque class Log {
+  Int count;
+  void addMsg(String m) { this.count = this.count + 1; return; }
+}
+
+class DocReader {
+  Int pos;
+  DocReader() { super(); this.pos = 0; }
+  String next(String doc) {
+    let n = doc.length();
+    if (this.pos >= n) { return ""; }
+    let start = this.pos;
+    let i = this.pos;
+    let stop = false;
+    while (i < n && !stop) {
+      if (doc.substring(i, i + 1).equals(";")) { stop = true; } else { i = i + 1; }
+    }
+    this.pos = i + 1;
+    return doc.substring(start, i);
+  }
+}
+`
+
+const xalan1802Orig = xalanDocShared + `
+// Original architecture: a linked stack of bindings, each tagged with the
+// depth it was declared at; popping removes only bindings of the closing
+// depth, so shadowed outer bindings survive.
+class Binding {
+  String prefix;
+  String uri;
+  Int depth;
+  Binding next;
+  Binding(String p, String u, Int d, Binding nx) {
+    super();
+    this.prefix = p;
+    this.uri = u;
+    this.depth = d;
+    this.next = nx;
+  }
+}
+
+class NamespaceSupport {
+  Binding head;
+  Int depth;
+  Log log;
+  NamespaceSupport(Log log) { super(); this.log = log; this.depth = 0; }
+  void pushContext() {
+    this.depth = this.depth + 1;
+    return;
+  }
+  void declarePrefix(String pfx, String uri) {
+    this.head = new Binding(pfx, uri, this.depth, this.head);
+    return;
+  }
+  String getURI(String pfx) {
+    let b = this.head;
+    while (b != null) {
+      if (b.prefix.equals(pfx)) { return b.uri; }
+      b = b.next;
+    }
+    return "(undefined)";
+  }
+  void popContext() {
+    let b = this.head;
+    let keep = true;
+    while (b != null && keep) {
+      if (b.depth == this.depth) { b = b.next; } else { keep = false; }
+    }
+    this.head = b;
+    this.depth = this.depth - 1;
+    return;
+  }
+}
+
+class Processor {
+  NamespaceSupport ns;
+  Log log;
+  Processor(Log log) {
+    super();
+    this.log = log;
+    this.ns = new NamespaceSupport(log);
+  }
+  String handle(String op) {
+    if (op.startsWith("open:")) {
+      this.ns.pushContext();
+      return "<" + op.substring(5, op.length()) + ">";
+    }
+    if (op.startsWith("decl:")) {
+      let rest = op.substring(5, op.length());
+      let sep = rest.indexOf(":");
+      this.ns.declarePrefix(rest.substring(0, sep), rest.substring(sep + 1, rest.length()));
+      return "";
+    }
+    if (op.startsWith("use:")) {
+      let pfx = op.substring(4, op.length());
+      return "[" + pfx + "=" + this.ns.getURI(pfx) + "]";
+    }
+    if (op.equals("close")) {
+      this.ns.popContext();
+      return "</>";
+    }
+    return "";
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let p = new Processor(log);
+    let reader = new DocReader();
+    let doc = Sys.arg(0);
+    let out = "";
+    let op = reader.next(doc);
+    while (!op.equals("")) {
+      out = out + p.handle(op);
+      log.addMsg("op handled");
+      op = reader.next(doc);
+    }
+    Sys.print(out);
+  }
+}
+`
+
+const xalan1802New = xalanDocShared + `
+// Re-architected module: scoped contexts chained parent-wise, each with a
+// small fixed-capacity table. REGRESSION (corner case): NSResolver.leave
+// discards every binding for prefixes the inner scope declared — including
+// shadowed outer bindings — because undeclare removes from the *parent*
+// chain as well.
+class NSEntry {
+  String pfx;
+  String uri;
+  NSEntry(String p, String u) { super(); this.pfx = p; this.uri = u; }
+}
+
+class NSContext {
+  NSEntry e0;
+  NSEntry e1;
+  NSEntry e2;
+  Int size;
+  NSContext parent;
+  NSContext(NSContext parent) { super(); this.parent = parent; this.size = 0; }
+  void put(String pfx, String uri) {
+    let e = new NSEntry(pfx, uri);
+    if (this.size == 0) { this.e0 = e; }
+    if (this.size == 1) { this.e1 = e; }
+    if (this.size == 2) { this.e2 = e; }
+    this.size = this.size + 1;
+    return;
+  }
+  NSEntry at(Int k) {
+    if (k == 0) { return this.e0; }
+    if (k == 1) { return this.e1; }
+    return this.e2;
+  }
+  String lookup(String pfx) {
+    let k = 0;
+    while (k < this.size) {
+      let e = this.at(k);
+      if (e.pfx.equals(pfx)) { return e.uri; }
+      k = k + 1;
+    }
+    if (this.parent != null) {
+      let p = this.parent;
+      return p.lookup(pfx);
+    }
+    return "(undefined)";
+  }
+  void erase(String pfx) {
+    let k = 0;
+    while (k < this.size) {
+      let e = this.at(k);
+      if (e.pfx.equals(pfx)) { e.uri = "(undefined)"; }
+      k = k + 1;
+    }
+    if (this.parent != null) {
+      let p = this.parent;
+      p.erase(pfx);
+    }
+    return;
+  }
+}
+
+class NSResolver {
+  NSContext current;
+  Log log;
+  NSResolver(Log log) { super(); this.log = log; this.current = new NSContext(null); }
+  void enter() {
+    this.current = new NSContext(this.current);
+    return;
+  }
+  void declare(String pfx, String uri) {
+    let c = this.current;
+    c.put(pfx, uri);
+    return;
+  }
+  String resolve(String pfx) {
+    let c = this.current;
+    return c.lookup(pfx);
+  }
+  void leave() {
+    let c = this.current;
+    // Corner case bug: erase propagates into parent contexts, wiping
+    // shadowed outer declarations of the same prefix.
+    let k = 0;
+    while (k < c.size) {
+      let e = c.at(k);
+      let parent = c.parent;
+      if (parent != null) { parent.erase(e.pfx); }
+      k = k + 1;
+    }
+    this.current = c.parent;
+    return;
+  }
+}
+
+class Processor {
+  NSResolver ns;
+  Log log;
+  Processor(Log log) {
+    super();
+    this.log = log;
+    this.ns = new NSResolver(log);
+  }
+  String handle(String op) {
+    if (op.startsWith("open:")) {
+      this.ns.enter();
+      return "<" + op.substring(5, op.length()) + ">";
+    }
+    if (op.startsWith("decl:")) {
+      let rest = op.substring(5, op.length());
+      let sep = rest.indexOf(":");
+      this.ns.declare(rest.substring(0, sep), rest.substring(sep + 1, rest.length()));
+      return "";
+    }
+    if (op.startsWith("use:")) {
+      let pfx = op.substring(4, op.length());
+      return "[" + pfx + "=" + this.ns.resolve(pfx) + "]";
+    }
+    if (op.equals("close")) {
+      this.ns.leave();
+      return "</>";
+    }
+    return "";
+  }
+}
+
+class Main {
+  void main() {
+    let log = new Log();
+    let p = new Processor(log);
+    let reader = new DocReader();
+    let doc = Sys.arg(0);
+    let out = "";
+    let op = reader.next(doc);
+    while (!op.equals("")) {
+      out = out + p.handle(op);
+      log.addMsg("op handled");
+      op = reader.next(doc);
+    }
+    Sys.print(out);
+  }
+}
+`
+
+// Xalan1802 returns the re-architecture subject. The regressing document
+// shadows prefix p in a nested element and uses it again after the inner
+// element closes; the similar non-regressing document uses a different
+// inner prefix (no shadowing), so both architectures agree on it.
+func Xalan1802() Subject {
+	common := "open:root;decl:p:uriA;use:p;open:head;decl:q:uriH;use:q;close;use:p;"
+	regr := common + "open:body;decl:p:uriB;use:p;close;use:p;close;"
+	correct := common + "open:body;decl:r:uriB;use:r;close;use:p;close;"
+	return Subject{
+		Name:        "Xalan-1802",
+		Orig:        xalan1802Orig,
+		New:         xalan1802New,
+		CorrectArgs: []string{correct},
+		RegrArgs:    []string{regr},
+		Sites:       []string{"leave", "erase"},
+	}
+}

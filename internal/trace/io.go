@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Encode serializes the trace in a binary format (gob) suitable for the
+// offline analysis pipeline: RPRISM collects traces during execution and
+// analyzes them after they have been serialized to disk (§5).
+func (t *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(t); err != nil {
+		return fmt.Errorf("trace: encode %q: %w", t.Name, err)
+	}
+	return bw.Flush()
+}
+
+// ReadFrom deserializes a trace previously written with Encode.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Save writes the trace to a file.
+func (t *Trace) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: save: %w", err)
+	}
+	defer f.Close()
+	if err := t.Encode(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file written by Save.
+func Load(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: load: %w", err)
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL interchange: one entry per line, for consumption by external
+// tooling (spreadsheets, jq, notebook analysis). The gob format of
+// Encode/ReadFrom remains the canonical on-disk form; JSONL is lossless
+// too and round-trips through ReadJSONL.
+
+type jsonEntry struct {
+	EID    EntryID   `json:"eid"`
+	TID    ThreadID  `json:"tid"`
+	Method string    `json:"method,omitempty"`
+	Self   *Repr     `json:"self,omitempty"`
+	Kind   string    `json:"kind"`
+	Target *Repr     `json:"target,omitempty"`
+	Member string    `json:"member,omitempty"`
+	Args   []Repr    `json:"args,omitempty"`
+	Stack  []Frame   `json:"stack,omitempty"`
+}
+
+var kindByName = map[string]EventKind{}
+
+func init() {
+	for k := KindEOF; k <= KindEnd; k++ {
+		kindByName[k.String()] = k
+	}
+}
+
+// WriteJSONL writes the trace as JSON lines.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range t.Entries {
+		je := jsonEntry{
+			EID: e.EID, TID: e.TID, Method: e.Method,
+			Kind: e.Event.Kind.String(), Member: e.Event.Member,
+			Args: e.Event.Args, Stack: e.Event.Stack,
+		}
+		if !e.Self.IsZero() {
+			self := e.Self
+			je.Self = &self
+		}
+		if !e.Event.Target.IsZero() {
+			target := e.Event.Target
+			je.Target = &target
+		}
+		if err := enc.Encode(je); err != nil {
+			return fmt.Errorf("trace: jsonl encode entry %d: %w", e.EID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL reconstructs a trace written by WriteJSONL.
+func ReadJSONL(name string, r io.Reader) (*Trace, error) {
+	t := New(name)
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var je jsonEntry
+		if err := dec.Decode(&je); err == io.EOF {
+			return t, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl decode: %w", err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: jsonl: unknown event kind %q", je.Kind)
+		}
+		e := Entry{
+			EID: je.EID, TID: je.TID, Method: je.Method,
+			Event: Event{Kind: kind, Member: je.Member, Args: je.Args, Stack: je.Stack},
+		}
+		if je.Self != nil {
+			e.Self = *je.Self
+		}
+		if je.Target != nil {
+			e.Event.Target = *je.Target
+		}
+		t.Entries = append(t.Entries, e)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// MaxReprString is the truncation limit for the human-readable part of a
+// value representation. RPRISM truncated Java toString output to 128
+// characters (§5); we keep the same bound.
+const MaxReprString = 128
+
+// Serialization is the recursive value representation r of Fig. 8:
+// either a primitive D:[d] or a class form C:[r̄] over the field values.
+type Serialization struct {
+	Type   string
+	Prim   string          // primitive literal, when Fields is nil
+	Fields []Serialization // field serializations, for class forms
+	IsPrim bool
+}
+
+// Prim returns a primitive serialization D:[d].
+func Prim(typeName, literal string) Serialization {
+	return Serialization{Type: typeName, Prim: literal, IsPrim: true}
+}
+
+// Object returns a class serialization C:[r̄].
+func Object(class string, fields []Serialization) Serialization {
+	return Serialization{Type: class, Fields: fields}
+}
+
+// String renders the serialization in the C:[…] / D:[d] notation of Fig. 8,
+// truncated to MaxReprString characters.
+func (s Serialization) String() string {
+	var b strings.Builder
+	s.render(&b)
+	out := b.String()
+	if len(out) > MaxReprString {
+		out = out[:MaxReprString]
+	}
+	return out
+}
+
+func (s Serialization) render(b *strings.Builder) {
+	if b.Len() > MaxReprString {
+		return // already beyond the truncation point; stop descending
+	}
+	b.WriteString(s.Type)
+	b.WriteString(":[")
+	if s.IsPrim {
+		b.WriteString(s.Prim)
+	} else {
+		for i, f := range s.Fields {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			f.render(b)
+		}
+	}
+	b.WriteByte(']')
+}
+
+// HashValue returns a 64-bit fingerprint of the full (untruncated)
+// serialization. A zero result is remapped so that 0 can mean "empty
+// representation".
+func (s Serialization) HashValue() uint64 {
+	h := fnv.New64a()
+	s.feed(h)
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+func (s Serialization) feed(h interface{ Write([]byte) (int, error) }) {
+	_, _ = h.Write([]byte(s.Type))
+	_, _ = h.Write([]byte{'('})
+	if s.IsPrim {
+		_, _ = h.Write([]byte(s.Prim))
+	} else {
+		for _, f := range s.Fields {
+			f.feed(h)
+			_, _ = h.Write([]byte{','})
+		}
+	}
+	_, _ = h.Write([]byte{')'})
+}
+
+// PrimRepr builds the representation of a primitive value:
+// E′#(D(d)) = ⟨·, D:[d]⟩.
+func PrimRepr(typeName string, literal string) Repr {
+	s := Prim(typeName, literal)
+	return Repr{Loc: NoLoc, Class: typeName, Hash: s.HashValue(), Str: s.String()}
+}
+
+// ObjectRepr builds the representation of a heap object from its location,
+// class, creation sequence number, and recursive serialization. If
+// hasValue is false the value representation is forced empty, modelling
+// objects whose hashCode/toString are not meaningful across versions (§5).
+func ObjectRepr(loc Loc, class string, seq int, s Serialization, hasValue bool) Repr {
+	r := Repr{Loc: loc, Class: class, Seq: seq}
+	if hasValue {
+		r.Hash = s.HashValue()
+		r.Str = s.String()
+	}
+	return r
+}
+
+// FormatEntries renders a compact, line-per-entry text dump of a slice of
+// entries — handy in goldens, error messages, and the CLI.
+func FormatEntries(entries []Entry) string {
+	var b strings.Builder
+	for _, e := range entries {
+		fmt.Fprintln(&b, e.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SegmentWriter implements RPRISM's smart trace segmentation (§5): long
+// executions are recorded as a series of relatively short trace segments;
+// once a segment finishes, its data is offloaded to disk and the tracing
+// memory reclaimed. Entry ids remain globally consecutive across segments
+// so that view links (which are trace indices) survive segmentation.
+type SegmentWriter struct {
+	dir     string
+	name    string
+	limit   int // entries per segment before a flush
+	current *Trace
+	base    EntryID // eid of the first entry in the current segment
+	next    EntryID
+	flushed int
+}
+
+// NewSegmentWriter creates a writer that stores segments of at most limit
+// entries under dir. A limit of 0 means unbounded (a single segment).
+func NewSegmentWriter(dir, name string, limit int) (*SegmentWriter, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: segment dir: %w", err)
+	}
+	return &SegmentWriter{dir: dir, name: name, limit: limit, current: New(name)}, nil
+}
+
+// Append records an entry, flushing the current segment to disk when the
+// segment limit is reached. It returns the globally consecutive entry id.
+func (w *SegmentWriter) Append(tid ThreadID, method string, self Repr, ev Event) (EntryID, error) {
+	id := w.next
+	w.next++
+	w.current.Entries = append(w.current.Entries, Entry{
+		EID: id, TID: tid, Method: method, Self: self, Event: ev,
+	})
+	if w.limit > 0 && len(w.current.Entries) >= w.limit {
+		if err := w.Flush(); err != nil {
+			return id, err
+		}
+	}
+	return id, nil
+}
+
+// Flush writes the current segment to disk and starts a fresh one.
+func (w *SegmentWriter) Flush() error {
+	if len(w.current.Entries) == 0 {
+		return nil
+	}
+	path := filepath.Join(w.dir, fmt.Sprintf("%s.%06d.seg", w.name, w.flushed))
+	if err := w.current.Save(path); err != nil {
+		return err
+	}
+	w.flushed++
+	w.base = w.next
+	w.current = New(w.name)
+	return nil
+}
+
+// Close flushes any remaining entries.
+func (w *SegmentWriter) Close() error { return w.Flush() }
+
+// LoadSegments reassembles a segmented trace written by SegmentWriter,
+// verifying that entry ids are globally consecutive.
+func LoadSegments(dir, name string) (*Trace, error) {
+	pattern := filepath.Join(dir, name+".*.seg")
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("trace: glob %q: %w", pattern, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trace: no segments match %q", pattern)
+	}
+	sort.Strings(paths)
+	out := New(name)
+	for _, p := range paths {
+		seg, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range seg.Entries {
+			if int(e.EID) != len(out.Entries) {
+				return nil, fmt.Errorf("trace: segment %s: entry id %d out of order (want %d)",
+					p, e.EID, len(out.Entries))
+			}
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats summarizes a trace: entry counts by kind, thread count, and the
+// number of distinct methods and objects observed. rprism-bench prints
+// these as the "Trace Entries" style columns of Table 1.
+type Stats struct {
+	Entries  int
+	ByKind   map[EventKind]int
+	Threads  int
+	Methods  int
+	Objects  int
+	Classes  int
+	MaxDepth int // deepest fork ancestry observed
+}
+
+// ComputeStats scans the trace once and returns its statistics.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{ByKind: make(map[EventKind]int)}
+	threads := make(map[ThreadID]bool)
+	methods := make(map[string]bool)
+	objects := make(map[Loc]bool)
+	classes := make(map[string]bool)
+	for _, e := range t.Entries {
+		if e.IsEOF() {
+			continue
+		}
+		s.Entries++
+		s.ByKind[e.Event.Kind]++
+		threads[e.TID] = true
+		if e.Method != "" {
+			methods[e.Method] = true
+		}
+		if e.Event.Kind == KindCall || e.Event.Kind == KindReturn {
+			methods[e.Event.Member] = true
+		}
+		if e.Event.Target.Loc != NoLoc {
+			objects[e.Event.Target.Loc] = true
+			classes[e.Event.Target.Class] = true
+		}
+		if e.Self.Loc != NoLoc {
+			objects[e.Self.Loc] = true
+			classes[e.Self.Class] = true
+		}
+		if n := len(e.Event.Stack); n > s.MaxDepth {
+			s.MaxDepth = n
+		}
+	}
+	s.Threads = len(threads)
+	s.Methods = len(methods)
+	s.Objects = len(objects)
+	s.Classes = len(classes)
+	return s
+}
+
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "entries=%d threads=%d methods=%d objects=%d classes=%d",
+		s.Entries, s.Threads, s.Methods, s.Objects, s.Classes)
+	for k := KindGet; k <= KindEnd; k++ {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(&b, " %s=%d", k, n)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package views
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Correlation functions Xτ (§3.1) decide whether the views of a given type
+// of two trace entries — one from each program version — semantically
+// correspond. They accept entries rather than view names because the
+// decision may be context-sensitive (value representations).
+//
+// They are heuristics: the experimental results show they are effective
+// for regression cause analysis (§3.1).
+
+// CorrelateMethod implements XCM: two method views correspond when the
+// fully qualified method names (signatures, including arity) are equal.
+func CorrelateMethod(a, b trace.Entry) bool {
+	return a.Method != "" && a.Method == b.Method
+}
+
+// CorrelateTarget implements XTO: the target objects of the two entries
+// correspond when their value representations are equal, or when their
+// class-specific object creation sequence numbers (and classes) are equal.
+func CorrelateTarget(a, b trace.Entry) bool {
+	return objectsCorrelate(a.Event.Target, b.Event.Target)
+}
+
+// CorrelateActive implements XAO on the executing receivers ρ.
+func CorrelateActive(a, b trace.Entry) bool {
+	return objectsCorrelate(a.Self, b.Self)
+}
+
+func objectsCorrelate(x, y trace.Repr) bool {
+	if x.Class != y.Class {
+		return false
+	}
+	if x.Loc == trace.NoLoc && y.Loc == trace.NoLoc {
+		// Value objects: correlate by value only.
+		return x.HasValue() && x.ValueEqual(y)
+	}
+	if x.Loc == trace.NoLoc || y.Loc == trace.NoLoc {
+		return false
+	}
+	if x.HasValue() && y.HasValue() && x.ValueEqual(y) {
+		return true
+	}
+	return x.Seq != 0 && x.Seq == y.Seq
+}
+
+// ThreadMatch pairs the threads of two traces — XTH. Threads are matched
+// by the similarity of their spawn-point call-stack ancestry (and their
+// ancestors'), taking the closest match; the main thread of each trace
+// (the one with no fork ancestry) always matches the other main thread.
+type ThreadMatch struct {
+	// Pairs maps left-trace thread ids to right-trace thread ids.
+	Pairs map[trace.ThreadID]trace.ThreadID
+	// LeftOnly and RightOnly list unmatched threads.
+	LeftOnly  []trace.ThreadID
+	RightOnly []trace.ThreadID
+}
+
+type threadDesc struct {
+	id       trace.ThreadID
+	ancestry []trace.Frame
+	order    int
+}
+
+// describeThreads extracts each thread's spawn ancestry from the trace's
+// fork events; the thread that is never forked (the main thread) gets an
+// empty ancestry.
+func describeThreads(t *trace.Trace) []threadDesc {
+	forked := make(map[trace.ThreadID][]trace.Frame)
+	for _, e := range t.Entries {
+		if e.Event.Kind != trace.KindFork {
+			continue
+		}
+		var child trace.ThreadID
+		for _, c := range e.Event.Member {
+			child = child*10 + trace.ThreadID(c-'0')
+		}
+		forked[child] = e.Event.Stack
+	}
+	var out []threadDesc
+	for i, id := range t.ThreadIDs() {
+		out = append(out, threadDesc{id: id, ancestry: forked[id], order: i})
+	}
+	return out
+}
+
+// MatchThreads computes XTH between two traces. Matching is greedy on
+// descending similarity with spawn order as the tiebreaker, so it is
+// deterministic.
+func MatchThreads(l, r *trace.Trace) ThreadMatch {
+	lt, rt := describeThreads(l), describeThreads(r)
+	type cand struct {
+		li, ri int
+		score  float64
+	}
+	var cands []cand
+	for i, a := range lt {
+		for j, b := range rt {
+			// Only threads of equal "kind" may pair: main with main
+			// (no ancestry), forked with forked.
+			if (len(a.ancestry) == 0) != (len(b.ancestry) == 0) {
+				continue
+			}
+			score := trace.StackSimilarity(a.ancestry, b.ancestry)
+			if len(a.ancestry) == 0 {
+				score = 1 // main threads always correlate
+			}
+			if score <= 0 {
+				continue
+			}
+			cands = append(cands, cand{i, j, score})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		if cands[i].li != cands[j].li {
+			return cands[i].li < cands[j].li
+		}
+		return cands[i].ri < cands[j].ri
+	})
+	m := ThreadMatch{Pairs: make(map[trace.ThreadID]trace.ThreadID)}
+	usedL := make(map[int]bool)
+	usedR := make(map[int]bool)
+	for _, c := range cands {
+		if usedL[c.li] || usedR[c.ri] {
+			continue
+		}
+		usedL[c.li], usedR[c.ri] = true, true
+		m.Pairs[lt[c.li].id] = rt[c.ri].id
+	}
+	for i, d := range lt {
+		if !usedL[i] {
+			m.LeftOnly = append(m.LeftOnly, d.id)
+		}
+	}
+	for j, d := range rt {
+		if !usedR[j] {
+			m.RightOnly = append(m.RightOnly, d.id)
+		}
+	}
+	return m
+}

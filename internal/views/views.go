@@ -1,0 +1,267 @@
+// Package views implements the semantic-views trace abstraction of §2.4:
+// named projections over execution traces that selectively aggregate
+// events with shared semantic traits. Four view types are provided —
+// thread views (TH), method views (CM), target object views (TO), and
+// active object views (AO) — linked into a navigable "web" by retaining
+// the indices of the original trace inside each projected view.
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Type enumerates the view types (τ in Fig. 7).
+type Type uint8
+
+const (
+	// Thread views contain the events of one thread, in execution order.
+	Thread Type = iota
+	// Method views contain the events that occur while one fully
+	// qualified method is at the top of the call stack.
+	Method
+	// TargetObject views contain the events in which one object is the
+	// target of a method call, field access, or creation.
+	TargetObject
+	// ActiveObject views contain the events that occur while one object
+	// is on top of the call stack (the executing receiver).
+	ActiveObject
+)
+
+var typeNames = [...]string{"TH", "CM", "TO", "AO"}
+
+func (t Type) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Name identifies a specific view: ⟨τ, ν⟩ of Fig. 7.
+type Name struct {
+	Type Type
+	Key  string
+}
+
+func (n Name) String() string { return fmt.Sprintf("⟨%s,%s⟩", n.Type, n.Key) }
+
+// View is one projection: the entry ids (ascending) of the base trace
+// that belong to the view. Retaining base-trace indices is what links
+// views to each other (§2.4).
+type View struct {
+	Name Name
+	EIDs []trace.EntryID
+}
+
+// Len returns the number of entries in the view.
+func (v *View) Len() int { return len(v.EIDs) }
+
+// ObjectInfo summarizes one heap object observed in a trace.
+type ObjectInfo struct {
+	Loc      trace.Loc
+	Class    string
+	Seq      int
+	FirstEID trace.EntryID
+}
+
+// Web is the complete linked structure of all views over one trace.
+type Web struct {
+	Trace   *trace.Trace
+	views   map[Name]*View
+	byEntry [][]Name // view names per entry id (the union of the ω mappings)
+	objects map[trace.Loc]ObjectInfo
+}
+
+// Build constructs the view web in a single pass over the trace, applying
+// the view-name mapping functions ωτ of Fig. 7 to every entry.
+func Build(t *trace.Trace) *Web {
+	w := &Web{
+		Trace:   t,
+		views:   make(map[Name]*View),
+		byEntry: make([][]Name, len(t.Entries)),
+		objects: make(map[trace.Loc]ObjectInfo),
+	}
+	for _, e := range t.Entries {
+		if e.IsEOF() {
+			continue
+		}
+		names := MapEntry(e)
+		w.byEntry[e.EID] = names
+		for _, n := range names {
+			v := w.views[n]
+			if v == nil {
+				v = &View{Name: n}
+				w.views[n] = v
+			}
+			v.EIDs = append(v.EIDs, e.EID)
+		}
+		w.noteObject(e.Event.Target, e.EID)
+		w.noteObject(e.Self, e.EID)
+	}
+	return w
+}
+
+func (w *Web) noteObject(r trace.Repr, eid trace.EntryID) {
+	if r.Loc == trace.NoLoc {
+		return
+	}
+	if _, seen := w.objects[r.Loc]; !seen {
+		w.objects[r.Loc] = ObjectInfo{Loc: r.Loc, Class: r.Class, Seq: r.Seq, FirstEID: eid}
+	}
+}
+
+// MapEntry computes the set of view names an entry belongs to — the union
+// of the per-type mapping functions ωτ (Fig. 7).
+func MapEntry(e trace.Entry) []Name {
+	names := make([]Name, 0, 4)
+	names = append(names, Name{Thread, fmt.Sprintf("%d", e.TID)})
+	if e.Method != "" {
+		names = append(names, Name{Method, e.Method})
+	}
+	if key, ok := targetKey(e.Event); ok {
+		names = append(names, Name{TargetObject, key})
+	}
+	if e.Self.Loc != trace.NoLoc {
+		names = append(names, Name{ActiveObject, locKey(e.Self.Loc)})
+	}
+	return names
+}
+
+// targetKey implements ωTO: the target object's location for field, method
+// and creation events. String value objects, which have no location, are
+// grouped by value (Java strings are heap objects; ours are primitives).
+// Other primitives get no target object view.
+func targetKey(ev trace.Event) (string, bool) {
+	switch ev.Kind {
+	case trace.KindGet, trace.KindSet, trace.KindCall, trace.KindReturn, trace.KindInit:
+		t := ev.Target
+		if t.Loc != trace.NoLoc {
+			return locKey(t.Loc), true
+		}
+		if t.Class == "String" && t.HasValue() {
+			return fmt.Sprintf("str:%x", t.Hash), true
+		}
+	}
+	return "", false
+}
+
+func locKey(l trace.Loc) string { return fmt.Sprintf("l%d", l) }
+
+// LocName returns the target-object view name for a heap location.
+func LocName(l trace.Loc) Name { return Name{TargetObject, locKey(l)} }
+
+// View returns the view with the given name, or nil.
+func (w *Web) View(n Name) *View { return w.views[n] }
+
+// NamesOf returns the view names entry eid belongs to (the links).
+func (w *Web) NamesOf(eid trace.EntryID) []Name {
+	if eid < 0 || int(eid) >= len(w.byEntry) {
+		return nil
+	}
+	return w.byEntry[eid]
+}
+
+// Names returns all view names, sorted (deterministic iteration).
+func (w *Web) Names() []Name {
+	out := make([]Name, 0, len(w.views))
+	for n := range w.views {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// PosIn returns the position of entry eid inside view n, using binary
+// search over the view's ascending entry ids. This is the navigation
+// operation: "the trace index found in the entry can be used to navigate
+// from the entry found in one view to its position in another" (§2.4).
+func (w *Web) PosIn(n Name, eid trace.EntryID) (int, bool) {
+	v := w.views[n]
+	if v == nil {
+		return 0, false
+	}
+	i := sort.Search(len(v.EIDs), func(k int) bool { return v.EIDs[k] >= eid })
+	if i < len(v.EIDs) && v.EIDs[i] == eid {
+		return i, true
+	}
+	return 0, false
+}
+
+// Window returns the entry ids of view n within ±delta positions of the
+// position of eid in that view — the fixed-size window win(η,δ) of Fig. 9,
+// applied to a projected view rather than the raw trace.
+func (w *Web) Window(n Name, eid trace.EntryID, delta int) []trace.EntryID {
+	pos, ok := w.PosIn(n, eid)
+	if !ok {
+		return nil
+	}
+	v := w.views[n]
+	lo := pos - delta
+	if lo < 0 {
+		lo = 0
+	}
+	hi := pos + delta + 1
+	if hi > len(v.EIDs) {
+		hi = len(v.EIDs)
+	}
+	return v.EIDs[lo:hi]
+}
+
+// Entries materializes the trace entries of a view (testing/CLI helper).
+func (w *Web) Entries(n Name) []trace.Entry {
+	v := w.views[n]
+	if v == nil {
+		return nil
+	}
+	out := make([]trace.Entry, len(v.EIDs))
+	for i, id := range v.EIDs {
+		out[i] = w.Trace.Entries[id]
+	}
+	return out
+}
+
+// Object returns what is known about a heap location.
+func (w *Web) Object(l trace.Loc) (ObjectInfo, bool) {
+	o, ok := w.objects[l]
+	return o, ok
+}
+
+// Counts tallies views by type — the "Number of Views" columns of Table 2.
+type Counts struct {
+	Total        int
+	Thread       int
+	Method       int
+	TargetObject int
+	ActiveObject int
+}
+
+// Count computes view counts for the web.
+func (w *Web) Count() Counts {
+	var c Counts
+	for n := range w.views {
+		c.Total++
+		switch n.Type {
+		case Thread:
+			c.Thread++
+		case Method:
+			c.Method++
+		case TargetObject:
+			c.TargetObject++
+		case ActiveObject:
+			c.ActiveObject++
+		}
+	}
+	return c
+}
+
+// ThreadView returns the thread view for a tid, or nil.
+func (w *Web) ThreadView(tid trace.ThreadID) *View {
+	return w.views[Name{Thread, fmt.Sprintf("%d", tid)}]
+}

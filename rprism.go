@@ -1,0 +1,126 @@
+// Package rprism is a Go reproduction of RPRISM, the system of
+// "Semantics-Aware Trace Analysis" (Hoffman, Eugster, Jagannathan,
+// PLDI 2009): semantic views over execution traces, linear-time
+// views-based trace differencing, and automated regression-cause
+// analysis.
+//
+// The pipeline:
+//
+//	prog, _ := rprism.Compile(src)            // mini-Java program
+//	run, _  := rprism.Run(prog, rprism.RunOptions{Args: []string{...}})
+//	web     := rprism.BuildViews(run.Trace)   // linked semantic views
+//	d       := rprism.Diff(left, right, ...)  // views-based differencing
+//	an, _   := rprism.AnalyzeRegression(...)  // D = (A − B) ∩ C
+//
+// The original tool instruments Java through AspectJ load-time weaving;
+// here a tracing interpreter for a Featherweight-Java-style language
+// (extended with assignments, threads, reflection, and run-time class
+// definition) plays that role. Everything downstream of the trace
+// grammar is faithful to the paper; see DESIGN.md for the substitution
+// table and EXPERIMENTS.md for reproduced results.
+package rprism
+
+import (
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/regression"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// Program is a compiled (parsed and checked) program.
+type Program = lang.Program
+
+// Trace is an execution trace — a sequence of entries per Fig. 4 of the
+// paper.
+type Trace = trace.Trace
+
+// Entry is one trace entry.
+type Entry = trace.Entry
+
+// RunOptions configures program execution; see interp.Options.
+type RunOptions = interp.Options
+
+// RunResult carries the trace, program output, and any runtime error.
+type RunResult = interp.Result
+
+// Pointcut filters which events are recorded (AspectJ-style exclusion of
+// library internals).
+type Pointcut = interp.Pointcut
+
+// Web is the linked structure of all semantic views over one trace.
+type Web = views.Web
+
+// ViewName identifies one view: thread, method, target-object, or
+// active-object.
+type ViewName = views.Name
+
+// DiffResult is the outcome of differencing two traces: similarity sets,
+// difference sets, and difference sequences.
+type DiffResult = diff.Result
+
+// DiffOptions are the tunables of the views-based differencing semantics
+// (window size ω, exploration radius δ, relaxed correlation).
+type DiffOptions = diff.ViewOptions
+
+// LCSOptions configure the baseline LCS differencing (algorithm and
+// memory budget).
+type LCSOptions = diff.LCSOptions
+
+// RegressionInput bundles the four traces of the §4.1 analysis protocol.
+type RegressionInput = regression.Input
+
+// RegressionAnalysis is the analysis outcome: the candidate set D and the
+// regression-related difference sequences.
+type RegressionAnalysis = regression.Analysis
+
+// Compile parses and statically checks a program in the mini-Java
+// language.
+func Compile(src string) (*Program, error) {
+	p, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := lang.Check(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Run executes the program under the tracing interpreter, producing an
+// execution trace alongside the program output. Runtime failures
+// (including Sys.abort) are reported in RunResult.Err with the partial
+// trace preserved.
+func Run(p *Program, opts RunOptions) (*RunResult, error) {
+	return interp.Run(p, opts)
+}
+
+// BuildViews constructs the linked view web over a trace: thread views,
+// method views, target-object views, and active-object views (§2.4).
+func BuildViews(t *Trace) *Web { return views.Build(t) }
+
+// Diff compares two traces with the views-based differencing semantics of
+// Fig. 12 — linear in time and space.
+func Diff(left, right *Trace, opts DiffOptions) *DiffResult {
+	return diff.ViewDiff(left, right, opts)
+}
+
+// DiffLCS compares two traces with the optimized-LCS baseline of Fig. 11.
+// It returns lcs.ErrMemoryBudget when the DP table would exceed the
+// configured budget.
+func DiffLCS(left, right *Trace, opts LCSOptions) (*DiffResult, error) {
+	return diff.LCSDiff(left, right, opts)
+}
+
+// AnalyzeRegression runs the full §4.1 regression-cause analysis over the
+// four traces of the protocol.
+func AnalyzeRegression(in RegressionInput) (*RegressionAnalysis, error) {
+	return regression.Analyze(in)
+}
+
+// LoadTrace reads a trace file written by SaveTrace.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// SaveTrace writes a trace to disk for offline analysis.
+func SaveTrace(t *Trace, path string) error { return t.Save(path) }
