@@ -1,0 +1,71 @@
+package rprism
+
+// Allocation guards for the interned-symbol refactor: views.Build and
+// diff.ViewDiff must allocate strictly less than the string-keyed
+// baseline they replaced. The baseline constants were measured on this
+// exact workload (Rhino subject, GenScript(10, 3), planted arithmetic
+// bug) at the commit immediately before the refactor; the guards assert
+// a comfortable margin below them so ordinary variance cannot flake.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/subjects"
+	"repro/internal/views"
+)
+
+// Pre-refactor AllocsPerRun on the guard workload (string-keyed views,
+// fmt.Sprintf correlation keys), recorded before the symbol core landed.
+const (
+	baselineBuildAllocs    = 13771
+	baselineViewDiffAllocs = 27631
+)
+
+func guardTraces(t *testing.T) (*Trace, *Trace) {
+	t.Helper()
+	script := subjects.GenScript(10, 3)
+	run := func(src string) *Trace {
+		res, err := interp.Run(lang.MustParse(src), interp.Options{Args: []string{script}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Trace
+	}
+	l := run(subjects.RhinoSource())
+	bad := strings.Replace(subjects.RhinoSource(),
+		`if (sym.equals("+")) { return a + b; }`,
+		`if (sym.equals("+")) { return a + b + a % 13 / 12; }`, 1)
+	r := run(bad)
+	return l, r
+}
+
+func TestViewsBuildAllocsBelowStringKeyedBaseline(t *testing.T) {
+	l, _ := guardTraces(t)
+	got := testing.AllocsPerRun(10, func() { views.Build(l) })
+	if got >= baselineBuildAllocs {
+		t.Errorf("views.Build allocates %.0f/run, not below the string-keyed baseline %d",
+			got, baselineBuildAllocs)
+	}
+	// The refactor removed per-entry name slices and Sprintf keys; hold
+	// the gains, not just the letter of "strictly less".
+	if got > baselineBuildAllocs/2 {
+		t.Errorf("views.Build allocates %.0f/run, regressed past half the baseline %d",
+			got, baselineBuildAllocs)
+	}
+}
+
+func TestViewDiffAllocsBelowStringKeyedBaseline(t *testing.T) {
+	l, r := guardTraces(t)
+	got := testing.AllocsPerRun(10, func() { diff.ViewDiff(l, r, diff.ViewOptions{}) })
+	if got >= baselineViewDiffAllocs {
+		t.Errorf("diff.ViewDiff allocates %.0f/run, not below the string-keyed baseline %d",
+			got, baselineViewDiffAllocs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -80,5 +81,8 @@ func run(exp string, bugs int) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+	ss := trace.GlobalSymbolStats()
+	fmt.Printf("symbol table: %d distinct symbols, %.1f KB interned\n",
+		ss.Distinct, float64(ss.Bytes)/1024)
 	return nil
 }

@@ -234,7 +234,7 @@ func cmdViews(args []string) error {
 		fmt.Printf("%d views: %d thread, %d method, %d target-object, %d active-object\n",
 			c.Total, c.Thread, c.Method, c.TargetObject, c.ActiveObject)
 		for _, n := range web.Names() {
-			fmt.Printf("  %s:%s (%d entries)\n", n.Type, n.Key, web.View(n).Len())
+			fmt.Printf("  %s:%s (%d entries)\n", n.Type, n.KeyString(), web.View(n).Len())
 		}
 		return nil
 	}
@@ -242,20 +242,14 @@ func cmdViews(args []string) error {
 	if len(parts) != 2 {
 		return fmt.Errorf("views: -show wants TYPE:KEY")
 	}
-	var typ views.Type
-	switch parts[0] {
-	case "TH":
-		typ = views.Thread
-	case "CM":
-		typ = views.Method
-	case "TO":
-		typ = views.TargetObject
-	case "AO":
-		typ = views.ActiveObject
-	default:
+	typ, ok := views.ParseType(parts[0])
+	if !ok {
 		return fmt.Errorf("views: unknown type %q (TH, CM, TO, AO)", parts[0])
 	}
-	name := views.Name{Type: typ, Key: parts[1]}
+	name, err := views.ParseName(typ, parts[1])
+	if err != nil {
+		return err
+	}
 	v := web.View(name)
 	if v == nil {
 		return fmt.Errorf("views: no view %s", name)

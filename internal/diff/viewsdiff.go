@@ -1,7 +1,6 @@
 package diff
 
 import (
-	"fmt"
 	"sort"
 
 	"repro/internal/lcs"
@@ -150,8 +149,8 @@ func (d *differ) evalPair(lid, rid trace.ThreadID) {
 		return
 	}
 	L, R := lv.EIDs, rv.EIDs
-	thL := views.Name{Type: views.Thread, Key: fmt.Sprintf("%d", lid)}
-	thR := views.Name{Type: views.Thread, Key: fmt.Sprintf("%d", rid)}
+	thL := views.ThreadName(lid)
+	thR := views.ThreadName(rid)
 
 	var seq Sequence
 	flush := func() {
@@ -358,9 +357,10 @@ func (d *differ) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []
 	rc := d.collectLinked(d.wr, R, j)
 
 	// Index the right side by correlation keys.
-	byKey := make(map[string]linked, len(rc))
+	byKey := make(map[corrKey]linked, len(rc))
 	for _, rk := range rc {
-		for _, k := range correlationKeys(rk) {
+		keys, n := correlationKeys(rk)
+		for _, k := range keys[:n] {
 			if _, dup := byKey[k]; !dup {
 				byKey[k] = rk
 			}
@@ -379,7 +379,8 @@ func (d *differ) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []
 		if budget <= 0 {
 			break
 		}
-		for _, k := range correlationKeys(lk) {
+		keys, n := correlationKeys(lk)
+		for _, k := range keys[:n] {
 			rk, ok := byKey[k]
 			if !ok || rk.name.Type != lk.name.Type {
 				continue
@@ -412,30 +413,52 @@ func (d *differ) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []
 	return out
 }
 
-// correlationKeys renders the Xτ correlation criteria of a linked view as
-// index strings: method signature for CM; class+seq and class+value for
-// TO/AO (either criterion suffices, §3.1).
-func correlationKeys(lk linked) []string {
+// corrKey is one Xτ correlation criterion of a linked view, encoded as a
+// comparable struct of interned symbols and small integers — map keys on
+// the exploration path are built without any string formatting.
+type corrKey struct {
+	kind    uint8 // one of the ck* key kinds
+	a, b, c uint64
+}
+
+const (
+	ckInvalid   uint8 = iota
+	ckMethod          // a = method symbol
+	ckTargetSeq       // a = class symbol, b = creation seq
+	ckTargetVal       // a = class symbol, b = value hash, c = value-string symbol
+	ckActiveSeq       // a = class symbol, b = creation seq
+)
+
+// correlationKeys encodes the Xτ correlation criteria of a linked view:
+// method signature for CM; class+seq and class+value for TO; class+seq
+// for AO (either TO criterion suffices, §3.1). Returns the keys in a
+// fixed-size array to keep the exploration path allocation-free.
+func correlationKeys(lk linked) ([2]corrKey, int) {
+	var keys [2]corrKey
 	switch lk.name.Type {
 	case views.Method:
-		return []string{"m:" + lk.name.Key}
+		keys[0] = corrKey{kind: ckMethod, a: lk.name.Key}
+		return keys, 1
 	case views.TargetObject:
 		t := lk.entry.Event.Target
-		keys := make([]string, 0, 2)
+		n := 0
 		if t.Loc != trace.NoLoc && t.Seq != 0 {
-			keys = append(keys, fmt.Sprintf("ts:%s/%d", t.Class, t.Seq))
+			keys[n] = corrKey{kind: ckTargetSeq, a: uint64(t.ClassSym), b: uint64(t.Seq)}
+			n++
 		}
 		if t.HasValue() {
-			keys = append(keys, fmt.Sprintf("tv:%s/%x/%s", t.Class, t.Hash, t.Str))
+			keys[n] = corrKey{kind: ckTargetVal, a: uint64(t.ClassSym), b: t.Hash, c: uint64(t.StrSym)}
+			n++
 		}
-		return keys
+		return keys, n
 	case views.ActiveObject:
 		s := lk.entry.Self
 		if s.Loc != trace.NoLoc && s.Seq != 0 {
-			return []string{fmt.Sprintf("as:%s/%d", s.Class, s.Seq)}
+			keys[0] = corrKey{kind: ckActiveSeq, a: uint64(s.ClassSym), b: uint64(s.Seq)}
+			return keys, 1
 		}
 	}
-	return nil
+	return keys, 0
 }
 
 func anyAhead(anchors []anchor, i, j int) bool {

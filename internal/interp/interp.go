@@ -97,6 +97,25 @@ type Interp struct {
 	stopped bool
 	runErr  *RuntimeError
 	nextTID trace.ThreadID
+	// qualNames caches fully qualified method names ("C.m/2") per method
+	// body, so the tracing hot path formats each signature once per run
+	// instead of once per invocation. Safe without a lock: the scheduler
+	// runs exactly one thread at a time.
+	qualNames map[*lang.Method]string
+}
+
+// qualifiedName returns the cached "DefClass.method/arity" signature of a
+// resolved method body.
+func (i *Interp) qualifiedName(m *lang.Method, defClass, method string) string {
+	if q, ok := i.qualNames[m]; ok {
+		return q
+	}
+	q := fmt.Sprintf("%s.%s/%d", defClass, method, m.Arity())
+	if i.qualNames == nil {
+		i.qualNames = make(map[*lang.Method]string)
+	}
+	i.qualNames[m] = q
+	return q
 }
 
 // Run executes the program: new Main().main(). Setup failures (missing
@@ -565,7 +584,7 @@ func (th *threadState) runCtor(class string, obj Value, args []Value, pos lang.P
 	}
 	th.frames = append(th.frames, &frame{
 		defClass:  class,
-		qualified: fmt.Sprintf("%s.<init>/%d", class, ctor.Arity()),
+		qualified: th.i.qualifiedName(ctor, class, "<init>"),
 		self:      obj,
 		locals:    locals,
 	})
@@ -619,7 +638,7 @@ func (th *threadState) invoke(recv Value, method string, args []Value, pos lang.
 	if len(args) != m.Arity() {
 		th.failf(pos, "%s.%s expects %d argument(s), got %d", defClass, method, m.Arity(), len(args))
 	}
-	qualified := fmt.Sprintf("%s.%s/%d", defClass, method, m.Arity())
+	qualified := i.qualifiedName(m, defClass, method)
 	targetRepr := i.reprOf(recv, i.opts.ReprDepth)
 	th.tick()
 	th.record(trace.Event{

@@ -168,18 +168,36 @@ func relatedSequences(a *diff.Result, d []Ref) []int {
 	return out
 }
 
-// EntrySignature canonicalizes a difference entry for cross-execution
-// comparison: event kind, member, target class, and enclosing method.
-// Run-specific details — locations, sequence numbers, and concrete values
-// (which differ across test inputs) — are excluded so that the same
-// program-level difference observed under different inputs matches.
-func EntrySignature(e trace.Entry) string {
-	ev := e.Event
-	return fmt.Sprintf("%s|%s|%s|%s|%d", ev.Kind, ev.Member, ev.Target.Class, e.Method, len(ev.Args))
+// Signature canonicalizes a difference entry for cross-execution
+// comparison: event kind, member, target class, and enclosing method —
+// all as interned symbols, so signature sets are built and probed with
+// word-sized keys instead of formatted strings. Run-specific details —
+// locations, sequence numbers, and concrete values (which differ across
+// test inputs) — are excluded so that the same program-level difference
+// observed under different inputs matches.
+type Signature struct {
+	Kind   trace.EventKind
+	Member trace.Sym
+	Class  trace.Sym
+	Method trace.Sym
+	NArgs  int
 }
 
-func sigSet(t *trace.Trace, eids []trace.EntryID) map[string]bool {
-	out := make(map[string]bool, len(eids))
+// EntrySignature computes the signature of an entry, interning any
+// symbol fields a hand-built entry may still be missing.
+func EntrySignature(e trace.Entry) Signature {
+	ev := e.Event
+	return Signature{
+		Kind:   ev.Kind,
+		Member: trace.EnsureSym(ev.MemberSym, ev.Member),
+		Class:  trace.EnsureSym(ev.Target.ClassSym, ev.Target.Class),
+		Method: trace.EnsureSym(e.MethodSym, e.Method),
+		NArgs:  len(ev.Args),
+	}
+}
+
+func sigSet(t *trace.Trace, eids []trace.EntryID) map[Signature]bool {
+	out := make(map[Signature]bool, len(eids))
 	for _, eid := range eids {
 		out[EntrySignature(t.Entries[eid])] = true
 	}

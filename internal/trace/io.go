@@ -11,6 +11,11 @@ import (
 // Encode serializes the trace in a binary format (gob) suitable for the
 // offline analysis pipeline: RPRISM collects traces during execution and
 // analyzes them after they have been serialized to disk (§5).
+//
+// The entries' process-local Sym fields ride along (gob has no field
+// exclusion) and are discarded by ReadFrom's re-interning; stripping
+// them would cost a deep copy of every entry on save, so the few bytes
+// per entry are accepted. Readers must never trust stored Sym values.
 func (t *Trace) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if err := gob.NewEncoder(bw).Encode(t); err != nil {
@@ -19,12 +24,16 @@ func (t *Trace) Encode(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadFrom deserializes a trace previously written with Encode.
+// ReadFrom deserializes a trace previously written with Encode. The gob
+// stream carries the canonical strings; Sym fields stored by the writing
+// process are ids into *its* symbol table, so they are re-interned into
+// this process's table here.
 func ReadFrom(r io.Reader) (*Trace, error) {
 	var t Trace
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&t); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
+	t.RehashSyms()
 	return &t, nil
 }
 

@@ -7,21 +7,73 @@ import (
 	"io"
 )
 
-// JSONL interchange: one entry per line, for consumption by external
-// tooling (spreadsheets, jq, notebook analysis). The gob format of
-// Encode/ReadFrom remains the canonical on-disk form; JSONL is lossless
-// too and round-trips through ReadJSONL.
+// JSONL interchange: one record per line, for consumption by external
+// tooling (spreadsheets, jq, notebook analysis) and for streaming traces
+// between processes. The gob format of Encode/ReadFrom remains the
+// canonical on-disk form; JSONL is lossless too and round-trips through
+// ReadJSONL.
+//
+// Version 2 (current): the first line is a header record carrying the
+// trace name and a compact symbol block — the distinct strings referenced
+// by the trace, in order of first appearance. Entry lines then reference
+// symbols by their 1-based index into that block, so a reader interns
+// each distinct string exactly once and streams the (much smaller) entry
+// lines without re-interning or re-hashing per line.
+//
+// Version 1 (legacy, still readable): no header; every line is one entry
+// with all strings inlined. ReadJSONL detects the format from the first
+// record, so traces saved by the old writer remain loadable.
 
-type jsonEntry struct {
-	EID    EntryID   `json:"eid"`
-	TID    ThreadID  `json:"tid"`
-	Method string    `json:"method,omitempty"`
-	Self   *Repr     `json:"self,omitempty"`
-	Kind   string    `json:"kind"`
-	Target *Repr     `json:"target,omitempty"`
-	Member string    `json:"member,omitempty"`
-	Args   []Repr    `json:"args,omitempty"`
-	Stack  []Frame   `json:"stack,omitempty"`
+const (
+	jsonlFormat  = "rprism-trace"
+	jsonlVersion = 2
+)
+
+type jsonHeader struct {
+	Format  string   `json:"format"`
+	Version int      `json:"version"`
+	Name    string   `json:"name"`
+	Symbols []string `json:"symbols"`
+}
+
+// jsonEntryV1 is the legacy self-contained entry line.
+type jsonEntryV1 struct {
+	EID    EntryID  `json:"eid"`
+	TID    ThreadID `json:"tid"`
+	Method string   `json:"method,omitempty"`
+	Self   *Repr    `json:"self,omitempty"`
+	Kind   string   `json:"kind"`
+	Target *Repr    `json:"target,omitempty"`
+	Member string   `json:"member,omitempty"`
+	Args   []Repr   `json:"args,omitempty"`
+	Stack  []Frame  `json:"stack,omitempty"`
+}
+
+// jsonRepr is the v2 wire form of Repr: strings become symbol refs.
+type jsonRepr struct {
+	Loc  Loc    `json:"l,omitempty"`
+	Cls  uint32 `json:"c,omitempty"`
+	Hash uint64 `json:"h,omitempty"`
+	Str  uint32 `json:"s,omitempty"`
+	Seq  int    `json:"q,omitempty"`
+}
+
+type jsonFrame struct {
+	Method uint32    `json:"m,omitempty"`
+	Caller *jsonRepr `json:"cr,omitempty"`
+	Callee *jsonRepr `json:"ce,omitempty"`
+}
+
+type jsonEntryV2 struct {
+	EID    EntryID     `json:"eid"`
+	TID    ThreadID    `json:"tid"`
+	Method uint32      `json:"m,omitempty"`
+	Self   *jsonRepr   `json:"self,omitempty"`
+	Kind   string      `json:"kind"`
+	Target *jsonRepr   `json:"t,omitempty"`
+	Member uint32      `json:"mem,omitempty"`
+	Args   []jsonRepr  `json:"args,omitempty"`
+	Stack  []jsonFrame `json:"stack,omitempty"`
 }
 
 var kindByName = map[string]EventKind{}
@@ -32,37 +84,163 @@ func init() {
 	}
 }
 
-// WriteJSONL writes the trace as JSON lines.
+// fileSyms assigns compact 1-based file-local symbol ids in order of
+// first appearance, independent of the process-wide Sym values.
+type fileSyms struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+func (fs *fileSyms) id(s string) uint32 {
+	if s == "" {
+		return 0
+	}
+	if id, ok := fs.ids[s]; ok {
+		return id
+	}
+	if fs.ids == nil {
+		fs.ids = make(map[string]uint32)
+	}
+	id := uint32(len(fs.strs) + 1)
+	fs.ids[s] = id
+	fs.strs = append(fs.strs, s)
+	return id
+}
+
+func (fs *fileSyms) repr(r Repr) *jsonRepr {
+	if r.IsZero() {
+		return nil
+	}
+	return &jsonRepr{Loc: r.Loc, Cls: fs.id(r.Class), Hash: r.Hash, Str: fs.id(r.Str), Seq: r.Seq}
+}
+
+// collect registers every symbol-bearing string of an entry, in the
+// same field order the encoder references them (so file ids read as
+// "first appearance" order).
+func (fs *fileSyms) collect(e *Entry) {
+	fs.id(e.Method)
+	fs.id(e.Self.Class)
+	fs.id(e.Self.Str)
+	fs.id(e.Event.Target.Class)
+	fs.id(e.Event.Target.Str)
+	fs.id(e.Event.Member)
+	for i := range e.Event.Args {
+		fs.id(e.Event.Args[i].Class)
+		fs.id(e.Event.Args[i].Str)
+	}
+	for i := range e.Event.Stack {
+		f := &e.Event.Stack[i]
+		fs.id(f.Method)
+		fs.id(f.Caller.Class)
+		fs.id(f.Caller.Str)
+		fs.id(f.Callee.Class)
+		fs.id(f.Callee.Str)
+	}
+}
+
+// WriteJSONL writes the trace as JSON lines in the v2 format: a symbol
+// header followed by symbol-referencing entry lines. Two passes — a
+// symbol-collection scan, then direct encoding — so the extra memory is
+// O(distinct symbols), not a second copy of the trace.
 func (t *Trace) WriteJSONL(w io.Writer) error {
+	fs := &fileSyms{}
+	for i := range t.Entries {
+		fs.collect(&t.Entries[i])
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	for _, e := range t.Entries {
-		je := jsonEntry{
-			EID: e.EID, TID: e.TID, Method: e.Method,
-			Kind: e.Event.Kind.String(), Member: e.Event.Member,
-			Args: e.Event.Args, Stack: e.Event.Stack,
+	hdr := jsonHeader{Format: jsonlFormat, Version: jsonlVersion, Name: t.Name, Symbols: fs.strs}
+	if err := enc.Encode(hdr); err != nil {
+		return fmt.Errorf("trace: jsonl encode header: %w", err)
+	}
+	var je jsonEntryV2
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		je = jsonEntryV2{
+			EID: e.EID, TID: e.TID,
+			Method: fs.id(e.Method),
+			Self:   fs.repr(e.Self),
+			Kind:   e.Event.Kind.String(),
+			Target: fs.repr(e.Event.Target),
+			Member: fs.id(e.Event.Member),
 		}
-		if !e.Self.IsZero() {
-			self := e.Self
-			je.Self = &self
+		if len(e.Event.Args) > 0 {
+			je.Args = make([]jsonRepr, len(e.Event.Args))
+			for k, a := range e.Event.Args {
+				je.Args[k] = jsonRepr{Loc: a.Loc, Cls: fs.id(a.Class), Hash: a.Hash, Str: fs.id(a.Str), Seq: a.Seq}
+			}
 		}
-		if !e.Event.Target.IsZero() {
-			target := e.Event.Target
-			je.Target = &target
+		if len(e.Event.Stack) > 0 {
+			je.Stack = make([]jsonFrame, len(e.Event.Stack))
+			for k, f := range e.Event.Stack {
+				je.Stack[k] = jsonFrame{Method: fs.id(f.Method), Caller: fs.repr(f.Caller), Callee: fs.repr(f.Callee)}
+			}
 		}
 		if err := enc.Encode(je); err != nil {
-			return fmt.Errorf("trace: jsonl encode entry %d: %w", e.EID, err)
+			return fmt.Errorf("trace: jsonl encode entry %d: %w", je.EID, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadJSONL reconstructs a trace written by WriteJSONL.
+// ReadJSONL reconstructs a trace written by WriteJSONL — either format
+// version. The name parameter is used when the stream carries no header
+// (v1) or an empty header name.
 func ReadJSONL(name string, r io.Reader) (*Trace, error) {
-	t := New(name)
 	dec := json.NewDecoder(bufio.NewReader(r))
+	var first json.RawMessage
+	if err := dec.Decode(&first); err == io.EOF {
+		return New(name), nil
+	} else if err != nil {
+		return nil, fmt.Errorf("trace: jsonl decode: %w", err)
+	}
+	var hdr jsonHeader
+	if err := json.Unmarshal(first, &hdr); err == nil && hdr.Format == jsonlFormat {
+		if hdr.Version != jsonlVersion {
+			return nil, fmt.Errorf("trace: jsonl: unsupported version %d", hdr.Version)
+		}
+		if hdr.Name != "" {
+			name = hdr.Name
+		}
+		return readJSONLv2(name, hdr.Symbols, dec)
+	}
+	return readJSONLv1(name, first, dec)
+}
+
+// readJSONLv2 interns the symbol block once, then streams entry lines,
+// resolving symbol refs by array index — no per-line hashing.
+func readJSONLv2(name string, symbols []string, dec *json.Decoder) (*Trace, error) {
+	syms := make([]Sym, len(symbols)+1)
+	strs := make([]string, len(symbols)+1)
+	for i, s := range symbols {
+		sym := Intern(s)
+		syms[i+1] = sym
+		strs[i+1] = SymStr(sym) // share the table's backing string
+	}
+	resolve := func(id uint32) (Sym, string, error) {
+		if int(id) >= len(syms) {
+			return NoSym, "", fmt.Errorf("trace: jsonl: symbol ref %d out of range (%d symbols)", id, len(symbols))
+		}
+		return syms[id], strs[id], nil
+	}
+	repr := func(jr *jsonRepr) (Repr, error) {
+		if jr == nil {
+			return Repr{}, nil
+		}
+		cls, clsStr, err := resolve(jr.Cls)
+		if err != nil {
+			return Repr{}, err
+		}
+		str, strStr, err := resolve(jr.Str)
+		if err != nil {
+			return Repr{}, err
+		}
+		return Repr{Loc: jr.Loc, Class: clsStr, Hash: jr.Hash, Str: strStr, Seq: jr.Seq,
+			ClassSym: cls, StrSym: str}, nil
+	}
+	t := New(name)
 	for {
-		var je jsonEntry
+		var je jsonEntryV2
 		if err := dec.Decode(&je); err == io.EOF {
 			return t, nil
 		} else if err != nil {
@@ -71,6 +249,67 @@ func ReadJSONL(name string, r io.Reader) (*Trace, error) {
 		kind, ok := kindByName[je.Kind]
 		if !ok {
 			return nil, fmt.Errorf("trace: jsonl: unknown event kind %q", je.Kind)
+		}
+		mSym, mStr, err := resolve(je.Method)
+		if err != nil {
+			return nil, err
+		}
+		memSym, memStr, err := resolve(je.Member)
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{
+			EID: je.EID, TID: je.TID, Method: mStr, MethodSym: mSym,
+			Event: Event{Kind: kind, Member: memStr, MemberSym: memSym},
+		}
+		if e.Self, err = repr(je.Self); err != nil {
+			return nil, err
+		}
+		if e.Event.Target, err = repr(je.Target); err != nil {
+			return nil, err
+		}
+		if len(je.Args) > 0 {
+			e.Event.Args = make([]Repr, len(je.Args))
+			for k := range je.Args {
+				if e.Event.Args[k], err = repr(&je.Args[k]); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if len(je.Stack) > 0 {
+			e.Event.Stack = make([]Frame, len(je.Stack))
+			for k := range je.Stack {
+				jf := &je.Stack[k]
+				fmSym, fmStr, err := resolve(jf.Method)
+				if err != nil {
+					return nil, err
+				}
+				f := Frame{Method: fmStr, MethodSym: fmSym}
+				if f.Caller, err = repr(jf.Caller); err != nil {
+					return nil, err
+				}
+				if f.Callee, err = repr(jf.Callee); err != nil {
+					return nil, err
+				}
+				e.Event.Stack[k] = f
+			}
+		}
+		t.Entries = append(t.Entries, e)
+	}
+}
+
+// readJSONLv1 reads the legacy headerless format, starting from the
+// already-consumed first record. Entries are interned on the way in.
+func readJSONLv1(name string, first json.RawMessage, dec *json.Decoder) (*Trace, error) {
+	t := New(name)
+	appendV1 := func(raw []byte) error {
+		var je jsonEntryV1
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return fmt.Errorf("trace: jsonl decode: %w", err)
+		}
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return fmt.Errorf("trace: jsonl: unknown event kind %q", je.Kind)
 		}
 		e := Entry{
 			EID: je.EID, TID: je.TID, Method: je.Method,
@@ -82,6 +321,22 @@ func ReadJSONL(name string, r io.Reader) (*Trace, error) {
 		if je.Target != nil {
 			e.Event.Target = *je.Target
 		}
+		internEntry(&e, true)
 		t.Entries = append(t.Entries, e)
+		return nil
+	}
+	if err := appendV1(first); err != nil {
+		return nil, err
+	}
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			return t, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: jsonl decode: %w", err)
+		}
+		if err := appendV1(raw); err != nil {
+			return nil, err
+		}
 	}
 }

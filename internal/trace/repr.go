@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"strings"
+	"unicode/utf8"
 )
 
 // MaxReprString is the truncation limit for the human-readable part of a
@@ -31,13 +32,20 @@ func Object(class string, fields []Serialization) Serialization {
 }
 
 // String renders the serialization in the C:[…] / D:[d] notation of Fig. 8,
-// truncated to MaxReprString characters.
+// truncated to at most MaxReprString bytes on a rune boundary (a cut
+// inside a multi-byte UTF-8 rune would make the two halves of a split
+// rune render as garbage and, worse, make truncated representations of
+// equal prefixes compare unequal).
 func (s Serialization) String() string {
 	var b strings.Builder
 	s.render(&b)
 	out := b.String()
 	if len(out) > MaxReprString {
-		out = out[:MaxReprString]
+		cut := MaxReprString
+		for cut > 0 && !utf8.RuneStart(out[cut]) {
+			cut--
+		}
+		out = out[:cut]
 	}
 	return out
 }

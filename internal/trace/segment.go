@@ -36,9 +36,9 @@ func NewSegmentWriter(dir, name string, limit int) (*SegmentWriter, error) {
 func (w *SegmentWriter) Append(tid ThreadID, method string, self Repr, ev Event) (EntryID, error) {
 	id := w.next
 	w.next++
-	w.current.Entries = append(w.current.Entries, Entry{
-		EID: id, TID: tid, Method: method, Self: self, Event: ev,
-	})
+	e := Entry{EID: id, TID: tid, Method: method, Self: self, Event: ev}
+	internEntry(&e, false)
+	w.current.Entries = append(w.current.Entries, e)
 	if w.limit > 0 && len(w.current.Entries) >= w.limit {
 		if err := w.Flush(); err != nil {
 			return id, err

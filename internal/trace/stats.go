@@ -22,9 +22,9 @@ type Stats struct {
 func ComputeStats(t *Trace) Stats {
 	s := Stats{ByKind: make(map[EventKind]int)}
 	threads := make(map[ThreadID]bool)
-	methods := make(map[string]bool)
+	methods := make(map[Sym]bool)
 	objects := make(map[Loc]bool)
-	classes := make(map[string]bool)
+	classes := make(map[Sym]bool)
 	for _, e := range t.Entries {
 		if e.IsEOF() {
 			continue
@@ -33,18 +33,18 @@ func ComputeStats(t *Trace) Stats {
 		s.ByKind[e.Event.Kind]++
 		threads[e.TID] = true
 		if e.Method != "" {
-			methods[e.Method] = true
+			methods[EnsureSym(e.MethodSym, e.Method)] = true
 		}
 		if e.Event.Kind == KindCall || e.Event.Kind == KindReturn {
-			methods[e.Event.Member] = true
+			methods[EnsureSym(e.Event.MemberSym, e.Event.Member)] = true
 		}
 		if e.Event.Target.Loc != NoLoc {
 			objects[e.Event.Target.Loc] = true
-			classes[e.Event.Target.Class] = true
+			classes[EnsureSym(e.Event.Target.ClassSym, e.Event.Target.Class)] = true
 		}
 		if e.Self.Loc != NoLoc {
 			objects[e.Self.Loc] = true
-			classes[e.Self.Class] = true
+			classes[EnsureSym(e.Self.ClassSym, e.Self.Class)] = true
 		}
 		if n := len(e.Event.Stack); n > s.MaxDepth {
 			s.MaxDepth = n

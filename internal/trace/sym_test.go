@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSymbolTableRoundTrip(t *testing.T) {
+	st := NewSymbolTable()
+	words := []string{"Main.main/0", "C", "Int:[42]", "Log.add/1", "C"}
+	ids := make([]Sym, len(words))
+	for i, w := range words {
+		ids[i] = st.Intern(w)
+	}
+	for i, w := range words {
+		if got := st.Str(ids[i]); got != w {
+			t.Errorf("Str(Intern(%q)) = %q", w, got)
+		}
+	}
+	if ids[1] != ids[4] {
+		t.Error("re-interning the same string must return the same symbol")
+	}
+	if ids[0] == ids[1] || ids[1] == ids[2] {
+		t.Error("distinct strings must get distinct symbols")
+	}
+	if st.Len() != 4 {
+		t.Errorf("Len = %d, want 4 distinct symbols", st.Len())
+	}
+	wantBytes := int64(len("Main.main/0") + len("C") + len("Int:[42]") + len("Log.add/1"))
+	if st.Bytes() != wantBytes {
+		t.Errorf("Bytes = %d, want %d", st.Bytes(), wantBytes)
+	}
+}
+
+func TestSymbolTableEmptyString(t *testing.T) {
+	st := NewSymbolTable()
+	if st.Intern("") != NoSym {
+		t.Error("empty string must intern to NoSym")
+	}
+	if st.Str(NoSym) != "" {
+		t.Error("NoSym must resolve to the empty string")
+	}
+	if st.Hash(NoSym) != 0 {
+		t.Error("NoSym must hash to 0")
+	}
+	if _, ok := st.Lookup("never-interned"); ok {
+		t.Error("Lookup must not intern")
+	}
+}
+
+func TestSymbolTableHashesPrecomputed(t *testing.T) {
+	st := NewSymbolTable()
+	id := st.Intern("some.method/2")
+	if st.Hash(id) == 0 {
+		t.Error("interned symbol must carry a nonzero hash")
+	}
+	if st.Hash(id) != fnv64a("some.method/2") {
+		t.Error("precomputed hash must be the FNV-1a of the string")
+	}
+}
+
+// TestSymbolTableCollisionSafety: symbol identity is keyed by the string,
+// not its 64-bit hash, so strings that collide in hash space must still
+// receive distinct symbols that round-trip independently.
+func TestSymbolTableCollisionSafety(t *testing.T) {
+	st := NewSymbolTable()
+	// Brute-forcing a real FNV-64 collision is impractical here; instead
+	// verify the structural property the map-keyed design guarantees:
+	// many strings, all distinct ids, all round-tripping — regardless of
+	// their hash values (including any incidental collisions).
+	seen := make(map[Sym]string)
+	for i := 0; i < 10000; i++ {
+		s := fmt.Sprintf("sym-%d", i)
+		id := st.Intern(s)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("id %d issued for both %q and %q", id, prev, s)
+		}
+		seen[id] = s
+	}
+	for id, s := range seen {
+		if st.Str(id) != s {
+			t.Fatalf("Str(%d) = %q, want %q", id, st.Str(id), s)
+		}
+	}
+}
+
+func TestSymbolTableConcurrentIntern(t *testing.T) {
+	st := NewSymbolTable()
+	var wg sync.WaitGroup
+	const workers = 8
+	ids := make([][]Sym, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids[w] = make([]Sym, 100)
+			for i := 0; i < 100; i++ {
+				ids[w][i] = st.Intern(fmt.Sprintf("shared-%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range ids[w] {
+			if ids[w][i] != ids[0][i] {
+				t.Fatalf("worker %d got id %d for shared-%d, worker 0 got %d",
+					w, ids[w][i], i, ids[0][i])
+			}
+		}
+	}
+	if st.Len() != 100 {
+		t.Errorf("Len = %d, want 100", st.Len())
+	}
+}
+
+func TestEnsureSymsBackfillsHandBuiltEntries(t *testing.T) {
+	tr := New("hand")
+	// Bypass Append to simulate an external producer.
+	tr.Entries = append(tr.Entries, Entry{
+		EID: 0, TID: 1, Method: "C.m/0",
+		Self: Repr{Loc: 1, Class: "C"},
+		Event: Event{Kind: KindCall, Member: "D.n/1",
+			Target: Repr{Loc: 2, Class: "D", Hash: 5, Str: "D:[]"},
+			Args:   []Repr{{Class: "Int", Hash: 9, Str: "Int:[3]"}},
+			Stack:  []Frame{{Method: "C.m/0", Callee: Repr{Class: "C"}}},
+		},
+	})
+	tr.EnsureSyms()
+	e := tr.Entries[0]
+	if e.MethodSym == NoSym || e.Event.MemberSym == NoSym {
+		t.Error("method/member symbols not backfilled")
+	}
+	if e.Self.ClassSym == NoSym || e.Event.Target.ClassSym == NoSym || e.Event.Target.StrSym == NoSym {
+		t.Error("repr symbols not backfilled")
+	}
+	if e.Event.Args[0].ClassSym == NoSym || e.Event.Stack[0].MethodSym == NoSym ||
+		e.Event.Stack[0].Callee.ClassSym == NoSym {
+		t.Error("arg/stack symbols not backfilled")
+	}
+	if SymStr(e.MethodSym) != "C.m/0" {
+		t.Errorf("method symbol resolves to %q", SymStr(e.MethodSym))
+	}
+	// Symbols must agree with Append-interned entries for equal strings.
+	tr2 := New("appended")
+	tr2.Append(1, "C.m/0", Repr{}, Event{Kind: KindCall, Member: "D.n/1"})
+	if tr2.Entries[0].MethodSym != e.MethodSym {
+		t.Error("same string interned to different symbols across traces")
+	}
+}
+
+func TestAppendInternsSymbols(t *testing.T) {
+	tr := New("t")
+	tr.Append(0, "Main.main/0", Repr{Loc: 1, Class: "Main"}, Event{
+		Kind: KindSet, Target: Repr{Loc: 1, Class: "Main"}, Member: "f",
+		Args: []Repr{PrimRepr("Int", "1")},
+	})
+	e := tr.Entries[0]
+	if e.MethodSym == NoSym || e.Event.MemberSym == NoSym ||
+		e.Self.ClassSym == NoSym || e.Event.Target.ClassSym == NoSym {
+		t.Errorf("Append left symbols unfilled: %+v", e)
+	}
+	if e.Self.ClassSym != e.Event.Target.ClassSym {
+		t.Error("same class must intern to the same symbol")
+	}
+}

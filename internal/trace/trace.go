@@ -73,6 +73,12 @@ type Repr struct {
 	Hash  uint64
 	Str   string
 	Seq   int
+	// ClassSym and StrSym are the interned forms of Class and Str,
+	// assigned by Trace.Append (or EnsureSyms for hand-built entries).
+	// Hot paths compare these single words; the strings remain populated
+	// for rendering and as the canonical identity.
+	ClassSym Sym `json:"-"`
+	StrSym   Sym `json:"-"`
 }
 
 // IsZero reports whether r is the zero representation (no object at all,
@@ -88,9 +94,25 @@ func (r Repr) HasValue() bool { return r.Hash != 0 || r.Str != "" }
 // ValueEqual compares the version-stable parts of two representations:
 // class name and recursive value representation. Locations and sequence
 // numbers are deliberately ignored (§3.1: "locations by themselves are
-// unsuitable for comparison across different program versions").
+// unsuitable for comparison across different program versions"). When
+// both sides carry interned symbols the comparison is three word
+// compares; otherwise it falls back to the strings.
 func (r Repr) ValueEqual(o Repr) bool {
-	return r.Class == o.Class && r.Hash == o.Hash && r.Str == o.Str
+	if r.Hash != o.Hash {
+		return false
+	}
+	return symEqual(r.ClassSym, o.ClassSym, r.Class, o.Class) &&
+		symEqual(r.StrSym, o.StrSym, r.Str, o.Str)
+}
+
+// symEqual compares two symbol-bearing fields: by Sym when both are
+// interned, by string otherwise. Correct in the mixed case because a
+// non-interned side simply falls back to the canonical string identity.
+func symEqual(sa, sb Sym, a, b string) bool {
+	if sa != NoSym && sb != NoSym {
+		return sa == sb
+	}
+	return a == b
 }
 
 func (r Repr) String() string {
@@ -113,6 +135,8 @@ type Frame struct {
 	Method string
 	Caller Repr
 	Callee Repr
+	// MethodSym is the interned form of Method.
+	MethodSym Sym `json:"-"`
 }
 
 func (f Frame) String() string {
@@ -135,6 +159,8 @@ type Event struct {
 	Member string
 	Args   []Repr
 	Stack  []Frame
+	// MemberSym is the interned form of Member.
+	MemberSym Sym `json:"-"`
 }
 
 // Entry is one trace entry: entry(eid, tid, m, ρ, e). Method and Self form
@@ -146,6 +172,8 @@ type Entry struct {
 	Method string
 	Self   Repr
 	Event  Event
+	// MethodSym is the interned form of Method.
+	MethodSym Sym `json:"-"`
 }
 
 // IsEOF reports whether the entry is trace padding.
@@ -195,11 +223,64 @@ func New(name string) *Trace { return &Trace{Name: name} }
 func (t *Trace) Len() int { return len(t.Entries) }
 
 // Append adds an entry, assigning its EID as the next index, and returns
-// that EID.
+// that EID. All symbol-bearing fields are interned here, once, so the
+// entry enters the pipeline fully keyed by integer Syms.
 func (t *Trace) Append(tid ThreadID, method string, self Repr, ev Event) EntryID {
 	id := EntryID(len(t.Entries))
-	t.Entries = append(t.Entries, Entry{EID: id, TID: tid, Method: method, Self: self, Event: ev})
+	e := Entry{EID: id, TID: tid, Method: method, Self: self, Event: ev}
+	internEntry(&e, false)
+	t.Entries = append(t.Entries, e)
 	return id
+}
+
+// EnsureSyms backfills the Sym fields of every entry whose symbols are
+// still zero — the path for traces built by hand or read by loaders that
+// do not carry a symbol block. Entries already interned are left alone,
+// so repeated calls after the first are a cheap scan.
+func (t *Trace) EnsureSyms() {
+	for i := range t.Entries {
+		internEntry(&t.Entries[i], false)
+	}
+}
+
+// RehashSyms re-interns every entry's symbols from their strings,
+// overwriting any existing Sym values. Loaders use it when the stored Sym
+// ids come from a different process (and are therefore meaningless here).
+func (t *Trace) RehashSyms() {
+	for i := range t.Entries {
+		internEntry(&t.Entries[i], true)
+	}
+}
+
+// internEntry interns the symbol-bearing fields of one entry in place.
+// With force, existing Sym values are overwritten from the strings.
+func internEntry(e *Entry, force bool) {
+	internSym(&e.MethodSym, e.Method, force)
+	internRepr(&e.Self, force)
+	internSym(&e.Event.MemberSym, e.Event.Member, force)
+	internRepr(&e.Event.Target, force)
+	for i := range e.Event.Args {
+		internRepr(&e.Event.Args[i], force)
+	}
+	for i := range e.Event.Stack {
+		f := &e.Event.Stack[i]
+		internSym(&f.MethodSym, f.Method, force)
+		internRepr(&f.Caller, force)
+		internRepr(&f.Callee, force)
+	}
+}
+
+func internRepr(r *Repr, force bool) {
+	internSym(&r.ClassSym, r.Class, force)
+	internSym(&r.StrSym, r.Str, force)
+}
+
+func internSym(dst *Sym, s string, force bool) {
+	if (*dst == NoSym || force) && s != "" {
+		*dst = Intern(s)
+	} else if force && s == "" {
+		*dst = NoSym
+	}
 }
 
 // At returns the entry with the given id, or false if out of range.

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func intRepr(v int64) Repr {
@@ -226,6 +228,25 @@ func TestSerializationTruncation(t *testing.T) {
 	}
 	if got := s.String(); len(got) > MaxReprString {
 		t.Errorf("rendered length %d exceeds cap %d", len(got), MaxReprString)
+	}
+}
+
+func TestSerializationTruncatesOnRuneBoundary(t *testing.T) {
+	// A primitive whose literal is all multi-byte runes: a naive byte cut
+	// at MaxReprString would split one in half.
+	lit := strings.Repeat("é", MaxReprString) // 2 bytes each
+	s := Prim("Str", lit)
+	got := s.String()
+	if len(got) > MaxReprString {
+		t.Fatalf("rendered length %d exceeds cap %d", len(got), MaxReprString)
+	}
+	if !utf8.ValidString(got) {
+		t.Errorf("truncated rendering is not valid UTF-8: %q", got)
+	}
+	// Three-byte runes land the cut differently; must still be valid.
+	s3 := Prim("Str", strings.Repeat("€", MaxReprString))
+	if got := s3.String(); !utf8.ValidString(got) || len(got) > MaxReprString {
+		t.Errorf("3-byte rune truncation broken: len=%d valid=%v", len(got), utf8.ValidString(got))
 	}
 }
 

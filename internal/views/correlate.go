@@ -17,7 +17,13 @@ import (
 // CorrelateMethod implements XCM: two method views correspond when the
 // fully qualified method names (signatures, including arity) are equal.
 func CorrelateMethod(a, b trace.Entry) bool {
-	return a.Method != "" && a.Method == b.Method
+	if a.Method == "" {
+		return false
+	}
+	if a.MethodSym != trace.NoSym && b.MethodSym != trace.NoSym {
+		return a.MethodSym == b.MethodSym
+	}
+	return a.Method == b.Method
 }
 
 // CorrelateTarget implements XTO: the target objects of the two entries
@@ -33,7 +39,11 @@ func CorrelateActive(a, b trace.Entry) bool {
 }
 
 func objectsCorrelate(x, y trace.Repr) bool {
-	if x.Class != y.Class {
+	if x.ClassSym != trace.NoSym && y.ClassSym != trace.NoSym {
+		if x.ClassSym != y.ClassSym {
+			return false
+		}
+	} else if x.Class != y.Class {
 		return false
 	}
 	if x.Loc == trace.NoLoc && y.Loc == trace.NoLoc {

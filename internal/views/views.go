@@ -4,11 +4,18 @@
 // thread views (TH), method views (CM), target object views (TO), and
 // active object views (AO) — linked into a navigable "web" by retaining
 // the indices of the original trace inside each projected view.
+//
+// View names are keyed by integers (thread ids, interned method symbols,
+// heap locations, value hashes), never by formatted strings: the web over
+// a trace of n entries is built with O(n) word-sized map operations and
+// no per-entry string formatting.
 package views
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/trace"
 )
@@ -39,13 +46,110 @@ func (t Type) String() string {
 	return fmt.Sprintf("Type(%d)", uint8(t))
 }
 
-// Name identifies a specific view: ⟨τ, ν⟩ of Fig. 7.
-type Name struct {
-	Type Type
-	Key  string
+// ParseType resolves a view-type mnemonic (TH, CM, TO, AO).
+func ParseType(s string) (Type, bool) {
+	for i, n := range typeNames {
+		if n == s {
+			return Type(i), true
+		}
+	}
+	return 0, false
 }
 
-func (n Name) String() string { return fmt.Sprintf("⟨%s,%s⟩", n.Type, n.Key) }
+// strValueBit tags TargetObject keys that identify a value object by its
+// value hash rather than a heap location (heap locations are small
+// positive integers; bit 63 is never set for them).
+const strValueBit = uint64(1) << 63
+
+// Name identifies a specific view: ⟨τ, ν⟩ of Fig. 7. Key is an integer in
+// a per-type keyspace: the thread id for TH, the interned method symbol
+// for CM, the heap location (or tagged value hash) for TO, and the heap
+// location for AO.
+type Name struct {
+	Type Type
+	Key  uint64
+}
+
+func (n Name) String() string { return fmt.Sprintf("⟨%s,%s⟩", n.Type, n.KeyString()) }
+
+// KeyString renders the key in the human-readable notation used by the
+// CLI: a decimal thread id, a qualified method name, "l<loc>" for heap
+// objects, or "str:<hex hash>" for value objects.
+func (n Name) KeyString() string {
+	switch n.Type {
+	case Thread:
+		return strconv.FormatUint(n.Key, 10)
+	case Method:
+		return trace.SymStr(trace.Sym(n.Key))
+	case TargetObject:
+		if n.Key&strValueBit != 0 {
+			return fmt.Sprintf("str:%x", n.Key&^strValueBit)
+		}
+		return fmt.Sprintf("l%d", n.Key)
+	case ActiveObject:
+		return fmt.Sprintf("l%d", n.Key)
+	}
+	return strconv.FormatUint(n.Key, 10)
+}
+
+// ThreadName returns the thread view name for a thread id.
+func ThreadName(tid trace.ThreadID) Name { return Name{Thread, uint64(tid)} }
+
+// MethodName returns the method view name for a qualified method
+// signature, interning it if needed.
+func MethodName(qualified string) Name {
+	return Name{Method, uint64(trace.Intern(qualified))}
+}
+
+// LocName returns the target-object view name for a heap location.
+func LocName(l trace.Loc) Name { return Name{TargetObject, uint64(l)} }
+
+// ActiveName returns the active-object view name for a heap location.
+func ActiveName(l trace.Loc) Name { return Name{ActiveObject, uint64(l)} }
+
+// StrValueName returns the target-object view name grouping value objects
+// by their value hash.
+func StrValueName(hash uint64) Name {
+	return Name{TargetObject, strValueBit | (hash &^ strValueBit)}
+}
+
+// ParseName parses the CLI notation produced by KeyString back into a
+// view name: TH takes a decimal tid, CM a qualified method name, TO
+// "l<loc>" or "str:<hex>", AO "l<loc>".
+func ParseName(typ Type, key string) (Name, error) {
+	switch typ {
+	case Thread:
+		tid, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			return Name{}, fmt.Errorf("views: thread key %q: %w", key, err)
+		}
+		return Name{Thread, tid}, nil
+	case Method:
+		sym, ok := trace.Symbols.Lookup(key)
+		if !ok {
+			return Name{}, fmt.Errorf("views: unknown method %q", key)
+		}
+		return Name{Method, uint64(sym)}, nil
+	case TargetObject, ActiveObject:
+		if rest, ok := strings.CutPrefix(key, "str:"); ok && typ == TargetObject {
+			h, err := strconv.ParseUint(rest, 16, 64)
+			if err != nil {
+				return Name{}, fmt.Errorf("views: value key %q: %w", key, err)
+			}
+			return StrValueName(h), nil
+		}
+		rest, ok := strings.CutPrefix(key, "l")
+		if !ok {
+			return Name{}, fmt.Errorf("views: object key %q must be l<loc> or str:<hex>", key)
+		}
+		l, err := strconv.ParseUint(rest, 10, 63)
+		if err != nil {
+			return Name{}, fmt.Errorf("views: object key %q: %w", key, err)
+		}
+		return Name{typ, l}, nil
+	}
+	return Name{}, fmt.Errorf("views: unknown view type %v", typ)
+}
 
 // View is one projection: the entry ids (ascending) of the base trace
 // that belong to the view. Retaining base-trace indices is what links
@@ -71,23 +175,36 @@ type Web struct {
 	Trace   *trace.Trace
 	views   map[Name]*View
 	byEntry [][]Name // view names per entry id (the union of the ω mappings)
+	arena   []Name   // backing storage for byEntry slices
 	objects map[trace.Loc]ObjectInfo
 }
 
 // Build constructs the view web in a single pass over the trace, applying
-// the view-name mapping functions ωτ of Fig. 7 to every entry.
+// the view-name mapping functions ωτ of Fig. 7 to every entry. The
+// per-entry name lists live in one shared arena rather than one slice
+// allocation per entry.
 func Build(t *trace.Trace) *Web {
+	t.EnsureSyms() // no-op for interpreter- or loader-produced traces
 	w := &Web{
 		Trace:   t,
 		views:   make(map[Name]*View),
 		byEntry: make([][]Name, len(t.Entries)),
 		objects: make(map[trace.Loc]ObjectInfo),
 	}
-	for _, e := range t.Entries {
-		if e.IsEOF() {
+	// First pass: size the arena exactly, so slices into it stay valid.
+	total := 0
+	for i := range t.Entries {
+		total += nameCount(&t.Entries[i])
+	}
+	w.arena = make([]Name, 0, total)
+	for i := range t.Entries {
+		e := &t.Entries[i]
+		if e.Event.Kind == trace.KindEOF {
 			continue
 		}
-		names := MapEntry(e)
+		start := len(w.arena)
+		w.arena = appendNames(w.arena, e)
+		names := w.arena[start:len(w.arena):len(w.arena)]
 		w.byEntry[e.EID] = names
 		for _, n := range names {
 			v := w.views[n]
@@ -112,45 +229,74 @@ func (w *Web) noteObject(r trace.Repr, eid trace.EntryID) {
 	}
 }
 
-// MapEntry computes the set of view names an entry belongs to — the union
-// of the per-type mapping functions ωτ (Fig. 7).
-func MapEntry(e trace.Entry) []Name {
-	names := make([]Name, 0, 4)
-	names = append(names, Name{Thread, fmt.Sprintf("%d", e.TID)})
-	if e.Method != "" {
-		names = append(names, Name{Method, e.Method})
+// nameCount returns how many view names an entry maps to, mirroring
+// appendNames.
+func nameCount(e *trace.Entry) int {
+	if e.Event.Kind == trace.KindEOF {
+		return 0
 	}
-	if key, ok := targetKey(e.Event); ok {
-		names = append(names, Name{TargetObject, key})
+	n := 1 // thread view
+	if e.MethodSym != trace.NoSym {
+		n++
+	}
+	if _, ok := targetKey(&e.Event); ok {
+		n++
 	}
 	if e.Self.Loc != trace.NoLoc {
-		names = append(names, Name{ActiveObject, locKey(e.Self.Loc)})
+		n++
 	}
-	return names
+	return n
 }
+
+// appendNames appends the view names of an entry — the union of the
+// per-type mapping functions ωτ (Fig. 7) — to dst.
+func appendNames(dst []Name, e *trace.Entry) []Name {
+	dst = append(dst, ThreadName(e.TID))
+	if e.MethodSym != trace.NoSym {
+		dst = append(dst, Name{Method, uint64(e.MethodSym)})
+	}
+	if n, ok := targetKey(&e.Event); ok {
+		dst = append(dst, n)
+	}
+	if e.Self.Loc != trace.NoLoc {
+		dst = append(dst, ActiveName(e.Self.Loc))
+	}
+	return dst
+}
+
+// MapEntry computes the set of view names an entry belongs to.
+// Hand-built entries without interned symbols work too: the two Sym
+// fields the mapping depends on are backfilled on the local copy (both
+// live directly in the Entry value, so the caller's entry — including
+// its shared Args/Stack storage — is never written).
+func MapEntry(e trace.Entry) []Name {
+	e.MethodSym = trace.EnsureSym(e.MethodSym, e.Method)
+	e.Event.Target.ClassSym = trace.EnsureSym(e.Event.Target.ClassSym, e.Event.Target.Class)
+	return appendNames(make([]Name, 0, 4), &e)
+}
+
+// symString is the interned symbol of the class name "String", resolved
+// lazily (interning in an init racing other packages' inits is fine, but
+// there is no need).
+var symString = trace.Intern("String")
 
 // targetKey implements ωTO: the target object's location for field, method
 // and creation events. String value objects, which have no location, are
 // grouped by value (Java strings are heap objects; ours are primitives).
 // Other primitives get no target object view.
-func targetKey(ev trace.Event) (string, bool) {
+func targetKey(ev *trace.Event) (Name, bool) {
 	switch ev.Kind {
 	case trace.KindGet, trace.KindSet, trace.KindCall, trace.KindReturn, trace.KindInit:
-		t := ev.Target
+		t := &ev.Target
 		if t.Loc != trace.NoLoc {
-			return locKey(t.Loc), true
+			return LocName(t.Loc), true
 		}
-		if t.Class == "String" && t.HasValue() {
-			return fmt.Sprintf("str:%x", t.Hash), true
+		if t.ClassSym == symString && t.HasValue() {
+			return StrValueName(t.Hash), true
 		}
 	}
-	return "", false
+	return Name{}, false
 }
-
-func locKey(l trace.Loc) string { return fmt.Sprintf("l%d", l) }
-
-// LocName returns the target-object view name for a heap location.
-func LocName(l trace.Loc) Name { return Name{TargetObject, locKey(l)} }
 
 // View returns the view with the given name, or nil.
 func (w *Web) View(n Name) *View { return w.views[n] }
@@ -172,6 +318,10 @@ func (w *Web) Names() []Name {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Type != out[j].Type {
 			return out[i].Type < out[j].Type
+		}
+		if out[i].Type == Method {
+			// Method views sort by name, not symbol id, for stable output.
+			return trace.SymStr(trace.Sym(out[i].Key)) < trace.SymStr(trace.Sym(out[j].Key))
 		}
 		return out[i].Key < out[j].Key
 	})
@@ -263,5 +413,5 @@ func (w *Web) Count() Counts {
 
 // ThreadView returns the thread view for a tid, or nil.
 func (w *Web) ThreadView(tid trace.ThreadID) *View {
-	return w.views[Name{Thread, fmt.Sprintf("%d", tid)}]
+	return w.views[ThreadName(tid)]
 }

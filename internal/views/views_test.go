@@ -82,13 +82,13 @@ func TestViewsPartitionByMapping(t *testing.T) {
 func TestMethodViewContents(t *testing.T) {
 	tr := runTrace(t, viewsDemo)
 	w := Build(tr)
-	mv := w.View(Name{Method, "Log.add/1"})
+	mv := w.View(MethodName("Log.add/1"))
 	if mv == nil {
 		t.Fatal("no method view for Log.add/1")
 	}
 	// Log.add executes twice; each execution contributes get+set events
 	// (count increment) recorded while Log.add is on top of the stack.
-	for _, e := range w.Entries(Name{Method, "Log.add/1"}) {
+	for _, e := range w.Entries(MethodName("Log.add/1")) {
 		if e.Method != "Log.add/1" {
 			t.Errorf("entry %d in method view has context %q", e.EID, e.Method)
 		}
@@ -136,11 +136,11 @@ func TestActiveObjectView(t *testing.T) {
 			utilLoc = e.Event.Target.Loc
 		}
 	}
-	aov := w.View(Name{ActiveObject, locKey(utilLoc)})
+	aov := w.View(ActiveName(utilLoc))
 	if aov == nil {
 		t.Fatal("no AO view for Util object")
 	}
-	for _, e := range w.Entries(Name{ActiveObject, locKey(utilLoc)}) {
+	for _, e := range w.Entries(ActiveName(utilLoc)) {
 		if e.Self.Loc != utilLoc {
 			t.Errorf("entry %d self is %d, want %d", e.EID, e.Self.Loc, utilLoc)
 		}
@@ -162,7 +162,7 @@ class Main {
 	w := Build(tr)
 	var strViews []*View
 	for _, n := range w.Names() {
-		if n.Type == TargetObject && n.Key[0] == 's' {
+		if n.Type == TargetObject && n.Key&strValueBit != 0 {
 			strViews = append(strViews, w.View(n))
 		}
 	}
@@ -177,21 +177,21 @@ func TestWindowClamping(t *testing.T) {
 	w := Build(tr)
 	tv := w.ThreadView(0)
 	first := tv.EIDs[0]
-	win := w.Window(Name{Thread, "0"}, first, 3)
+	win := w.Window(ThreadName(0), first, 3)
 	if len(win) != 4 { // position 0: itself + 3 following
 		t.Errorf("window at start = %d entries, want 4", len(win))
 	}
 	last := tv.EIDs[len(tv.EIDs)-1]
-	win = w.Window(Name{Thread, "0"}, last, 3)
+	win = w.Window(ThreadName(0), last, 3)
 	if len(win) != 4 {
 		t.Errorf("window at end = %d entries, want 4", len(win))
 	}
 	mid := tv.EIDs[10]
-	win = w.Window(Name{Thread, "0"}, mid, 3)
+	win = w.Window(ThreadName(0), mid, 3)
 	if len(win) != 7 {
 		t.Errorf("window mid = %d entries, want 7", len(win))
 	}
-	if w.Window(Name{Thread, "99"}, 0, 3) != nil {
+	if w.Window(ThreadName(99), 0, 3) != nil {
 		t.Error("window of missing view must be nil")
 	}
 }
