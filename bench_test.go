@@ -19,6 +19,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/experiments"
 	"repro/internal/interp"
@@ -344,6 +345,53 @@ func BenchmarkAblationQuickScan(b *testing.B) {
 			b.ReportMetric(float64(expl), "explorations/op")
 		})
 	}
+}
+
+// BenchmarkServeDiffConcurrent measures the rprism-serve hot path: N
+// goroutines concurrently diffing the same trace pair out of a shared
+// corpus. "cached" amortizes one view-web build per trace across every
+// request (the store's single-flight memo + diff.ViewDiffWebs); the
+// "rebuild" baseline pays two views.Build calls per request, which is
+// what serving diffs without the corpus cache would cost.
+func BenchmarkServeDiffConcurrent(b *testing.B) {
+	l, r := rhinoPair(b, 30)
+	b.Run("cached", func(b *testing.B) {
+		store, err := corpus.New(b.TempDir(), corpus.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lid, _, err := store.Put(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rid, _, err := store.Put(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				wl, err := store.Views(lid)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				wr, err := store.Views(rid)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				diff.ViewDiffWebs(wl, wr, diff.ViewOptions{})
+			}
+		})
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				diff.ViewDiff(l, r, diff.ViewOptions{})
+			}
+		})
+	})
 }
 
 // BenchmarkSegmentedTracing measures the disk-offloading trace writer

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/subjects"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// BenchRecord is one machine-readable measurement.
+type BenchRecord struct {
+	Name          string  `json:"name"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	ComparesPerOp int64   `json:"compares_per_op,omitempty"`
+	DiffsPerOp    int     `json:"diffs_per_op,omitempty"`
+}
+
+// BenchReport is the file written by -json: the perf trajectory of the
+// pipeline hot paths, trackable across PRs.
+type BenchReport struct {
+	Benchmarks []BenchRecord     `json:"benchmarks"`
+	Symbols    trace.SymbolStats `json:"symbols"`
+}
+
+// writeJSONReport measures the pipeline hot paths with testing.Benchmark
+// and writes the report to path.
+func writeJSONReport(path string) error {
+	prog := lang.MustParse(subjects.RhinoSource())
+	script := subjects.GenScript(30, 5)
+	runTrace := func(src *lang.Program) (*trace.Trace, error) {
+		res, err := interp.Run(src, interp.Options{Args: []string{script}})
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil && !res.Err.Aborted {
+			return nil, res.Err
+		}
+		return res.Trace, nil
+	}
+	l, err := runTrace(prog)
+	if err != nil {
+		return err
+	}
+	bad := lang.MustParse(strings.Replace(subjects.RhinoSource(),
+		`if (sym.equals("+")) { return a + b; }`,
+		`if (sym.equals("+")) { return a + b + a % 13 / 12; }`, 1))
+	r, err := runTrace(bad)
+	if err != nil {
+		return err
+	}
+
+	var report BenchReport
+	// record measures fn and returns the appended record so callers can
+	// attach result-derived metrics (compares, diffs) afterwards.
+	record := func(name string, fn func(b *testing.B)) *BenchRecord {
+		res := testing.Benchmark(fn)
+		report.Benchmarks = append(report.Benchmarks, BenchRecord{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+		return &report.Benchmarks[len(report.Benchmarks)-1]
+	}
+
+	record("ViewsBuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			views.Build(l)
+		}
+	})
+	var vd *diff.Result
+	rec := record("ViewDiff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			vd = diff.ViewDiff(l, r, diff.ViewOptions{})
+		}
+	})
+	rec.ComparesPerOp = vd.Stats.Compares
+	rec.DiffsPerOp = vd.NumDiffs()
+
+	// The serve hot path: diff over cached webs, amortizing Build.
+	dir, err := os.MkdirTemp("", "rprism-bench-corpus")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := corpus.New(dir, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	lid, _, err := store.Put(l)
+	if err != nil {
+		return err
+	}
+	rid, _, err := store.Put(r)
+	if err != nil {
+		return err
+	}
+	wl, err := store.Views(lid)
+	if err != nil {
+		return err
+	}
+	wr, err := store.Views(rid)
+	if err != nil {
+		return err
+	}
+	var cd *diff.Result
+	rec = record("ViewDiffCachedWebs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cd = diff.ViewDiffWebs(wl, wr, diff.ViewOptions{})
+		}
+	})
+	rec.ComparesPerOp = cd.Stats.Compares
+	rec.DiffsPerOp = cd.NumDiffs()
+
+	report.Symbols = trace.GlobalSymbolStats()
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark records to %s\n", len(report.Benchmarks), path)
+	return nil
+}

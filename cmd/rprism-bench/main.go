@@ -18,13 +18,22 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig14a, fig14b, myfaces, all")
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig14a, fig14b, myfaces, all, none")
 	bugs := flag.Int("bugs", 0, "override number of injected bugs for fig14 experiments")
+	jsonPath := flag.String("json", "", "write machine-readable hot-path measurements (ns/op, allocs/op, compares/op, symbol stats) to this file")
 	flag.Parse()
 
-	if err := run(*exp, *bugs); err != nil {
-		fmt.Fprintln(os.Stderr, "rprism-bench:", err)
-		os.Exit(1)
+	if *exp != "none" {
+		if err := run(*exp, *bugs); err != nil {
+			fmt.Fprintln(os.Stderr, "rprism-bench:", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonPath != "" {
+		if err := writeJSONReport(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "rprism-bench:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+// Command rprism-serve runs the trace-analysis service: a content-
+// addressed corpus of uploaded traces plus the views/diff/regression
+// pipeline behind an HTTP JSON API.
+//
+//	rprism-serve -addr :8372 -dir corpus -workers 8
+//
+// Quickstart:
+//
+//	rprism trace -src prog.mj -out run.trace
+//	curl -T run.trace http://localhost:8372/traces        # -> {"id": "..."}
+//	curl "http://localhost:8372/diff?left=ID1&right=ID2"
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately and in-flight analyses get a grace period.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8372", "listen address")
+	dir := flag.String("dir", "corpus", "corpus directory (created if missing)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent analyses")
+	traceCache := flag.Int("trace-cache", 16, "decoded traces kept in memory")
+	webCache := flag.Int("web-cache", 8, "built view webs kept in memory")
+	segLimit := flag.Int("segment-limit", 1<<16, "entries per on-disk segment")
+	verify := flag.Bool("verify", false, "verify digests of traces loaded from disk")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	flag.Parse()
+
+	if err := run(*addr, *dir, *workers, *traceCache, *webCache, *segLimit, *verify, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "rprism-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify bool, grace time.Duration) error {
+	store, err := corpus.New(dir, corpus.Options{
+		TraceCacheSize: traceCache,
+		WebCacheSize:   webCache,
+		SegmentLimit:   segLimit,
+		VerifyOnLoad:   verify,
+	})
+	if err != nil {
+		return err
+	}
+	srv := server.New(store, server.Options{Workers: workers})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("rprism-serve: listening on %s (corpus %s, %d traces, %d workers)",
+		addr, dir, store.Len(), workers)
+	err = srv.ListenAndServe(ctx, addr, grace)
+	log.Printf("rprism-serve: shut down")
+	return err
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	rprism "repro"
+)
+
+// loadTraceFile loads a trace for a CLI flag, translating low-level I/O
+// and gob-decode failures into actionable messages. Every subcommand
+// funnels trace reads through here so a missing or corrupt file exits
+// with a clear diagnosis and a non-zero status instead of a raw decode
+// error.
+func loadTraceFile(flagName, path string) (*rprism.Trace, error) {
+	t, err := rprism.LoadTrace(path)
+	if err == nil {
+		return t, nil
+	}
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return nil, fmt.Errorf("-%s: trace file %q does not exist (record one with 'rprism trace -src prog.mj -out %s')",
+			flagName, path, path)
+	case errors.Is(err, os.ErrPermission):
+		return nil, fmt.Errorf("-%s: trace file %q is not readable: permission denied", flagName, path)
+	case isDirectory(path):
+		return nil, fmt.Errorf("-%s: %q is a directory, not a trace file", flagName, path)
+	default:
+		return nil, fmt.Errorf("-%s: %q is not a valid trace file: %v (expected the binary format written by 'rprism trace' or SaveTrace)",
+			flagName, path, err)
+	}
+}
+
+func isDirectory(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}

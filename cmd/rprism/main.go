@@ -88,7 +88,7 @@ func cmdProtocol(args []string) error {
 	if *path == "" || *class == "" {
 		return fmt.Errorf("protocol: -trace and -class are required")
 	}
-	t, err := rprism.LoadTrace(*path)
+	t, err := loadTraceFile("trace", *path)
 	if err != nil {
 		return err
 	}
@@ -97,7 +97,7 @@ func cmdProtocol(args []string) error {
 	if *against == "" {
 		return nil
 	}
-	t2, err := rprism.LoadTrace(*against)
+	t2, err := loadTraceFile("against", *against)
 	if err != nil {
 		return err
 	}
@@ -119,11 +119,11 @@ func cmdImpact(args []string) error {
 	if *left == "" || *right == "" {
 		return fmt.Errorf("impact: -left and -right are required")
 	}
-	l, err := rprism.LoadTrace(*left)
+	l, err := loadTraceFile("left", *left)
 	if err != nil {
 		return err
 	}
-	r, err := rprism.LoadTrace(*right)
+	r, err := loadTraceFile("right", *right)
 	if err != nil {
 		return err
 	}
@@ -194,11 +194,11 @@ func cmdDiff(args []string) error {
 	if *left == "" || *right == "" {
 		return fmt.Errorf("diff: -left and -right are required")
 	}
-	l, err := rprism.LoadTrace(*left)
+	l, err := loadTraceFile("left", *left)
 	if err != nil {
 		return err
 	}
-	r, err := rprism.LoadTrace(*right)
+	r, err := loadTraceFile("right", *right)
 	if err != nil {
 		return err
 	}
@@ -224,7 +224,7 @@ func cmdViews(args []string) error {
 	if *path == "" {
 		return fmt.Errorf("views: -trace is required")
 	}
-	t, err := rprism.LoadTrace(*path)
+	t, err := loadTraceFile("trace", *path)
 	if err != nil {
 		return err
 	}
@@ -275,7 +275,7 @@ func cmdAnalyze(args []string) error {
 		if p == "" {
 			return nil, fmt.Errorf("analyze: -%s is required", what)
 		}
-		return rprism.LoadTrace(p)
+		return loadTraceFile(what, p)
 	}
 	in := rprism.RegressionInput{RemovalMode: *removal}
 	var err error

@@ -1,0 +1,482 @@
+// Package corpus is the content-addressed trace store behind
+// rprism-serve: traces are uploaded once, addressed by the digest of
+// their canonical encoding, and analyzed many times.
+//
+// Three tiers hold a trace:
+//
+//   - a disk tier of gob segments written through trace.SegmentWriter
+//     (the §5 segmentation mechanism reused as the durable format), with
+//     a small JSON sidecar of metadata per trace;
+//   - an LRU of decoded *trace.Trace values, bounding resident entries;
+//   - a memoized cache of built view webs, keyed by digest and
+//     single-flighted: when N concurrent diffs need the views of one
+//     trace, exactly one goroutine builds them and the rest wait for
+//     that build.
+//
+// Invariants the server relies on:
+//
+//   - Stored traces are immutable: Put interns all symbols before the
+//     trace becomes visible, so every later Build/diff only reads it.
+//   - A digest admitted to the index stays resolvable until Delete:
+//     eviction only drops decoded/built forms, never the disk tier.
+//   - A web handed out by Views is never mutated (see views.Build), so
+//     callers may share it freely across goroutines.
+package corpus
+
+import (
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// ErrNotFound reports a digest the store has never admitted (or has
+// deleted).
+var ErrNotFound = errors.New("corpus: trace not found")
+
+// ErrInvalidTrace reports a trace that violates the grammar's structural
+// invariants (every legitimate producer assigns dense EIDs 0..n-1; the
+// analysis pipeline indexes by EID and relies on that).
+var ErrInvalidTrace = errors.New("corpus: invalid trace")
+
+// Options configure a Store. Zero values select the defaults.
+type Options struct {
+	// TraceCacheSize bounds the decoded-trace LRU (default 16 traces).
+	TraceCacheSize int
+	// WebCacheSize bounds the built view-web cache (default 8 webs).
+	WebCacheSize int
+	// SegmentLimit is the max entries per on-disk segment (default 65536).
+	SegmentLimit int
+	// VerifyOnLoad recomputes the digest of every trace loaded from disk
+	// and rejects corrupted content. Costs one canonical-encoding pass
+	// per cache miss.
+	VerifyOnLoad bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.TraceCacheSize <= 0 {
+		o.TraceCacheSize = 16
+	}
+	if o.WebCacheSize <= 0 {
+		o.WebCacheSize = 8
+	}
+	if o.SegmentLimit <= 0 {
+		o.SegmentLimit = 1 << 16
+	}
+	return o
+}
+
+// Meta describes one stored trace.
+type Meta struct {
+	ID       string `json:"id"` // hex digest
+	Name     string `json:"name"`
+	Entries  int    `json:"entries"`
+	Segments int    `json:"segments"`
+}
+
+// Stats is a snapshot of store contents and cache behavior.
+type Stats struct {
+	Traces        int   `json:"traces"`          // traces in the index
+	EntriesOnDisk int   `json:"entries_on_disk"` // sum of entry counts
+	TraceCacheLen int   `json:"trace_cache_len"`
+	WebCacheLen   int   `json:"web_cache_len"`
+	TraceHits     int64 `json:"trace_hits"`
+	TraceMisses   int64 `json:"trace_misses"` // disk loads
+	WebHits       int64 `json:"web_hits"`     // served an already-built web
+	WebBuilds     int64 `json:"web_builds"`   // actual views.Build runs
+	WebWaits      int64 `json:"web_waits"`    // coalesced onto another goroutine's build
+	Evictions     int64 `json:"evictions"`    // trace + web LRU evictions
+	Puts          int64 `json:"puts"`
+	Dedups        int64 `json:"dedups"` // Puts that found the digest already stored
+}
+
+// Store is the concurrent content-addressed trace corpus. All methods
+// are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	// putMu serializes disk writes: without it, two Puts of the same
+	// content race os.Create truncations on the same segment files, and
+	// a failed rewrite could hole a trace the first writer admitted.
+	putMu sync.Mutex
+
+	mu       sync.Mutex
+	index    map[trace.Digest]Meta
+	traces   map[trace.Digest]*list.Element // values: *traceItem, in lru
+	traceLRU *list.List                     // front = most recent
+	webs     map[trace.Digest]*list.Element // values: *webItem, in lru
+	webLRU   *list.List
+
+	traceHits, traceMisses atomic.Int64
+	webHits, webBuilds     atomic.Int64
+	webWaits, evictions    atomic.Int64
+	puts, dedups           atomic.Int64
+}
+
+type traceItem struct {
+	id trace.Digest
+	t  *trace.Trace
+}
+
+// webItem is a single-flight slot for one trace's view web: the first
+// goroutine to claim the slot builds, everyone else blocks in once.Do
+// until the web (or the load error) is ready.
+type webItem struct {
+	id   trace.Digest
+	once sync.Once
+	done atomic.Bool // set after once.Do's function returns
+	web  *views.Web
+	err  error
+}
+
+// New opens (or creates) a store rooted at dir and indexes the traces
+// already on disk from their metadata sidecars.
+func New(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		opts:     opts.withDefaults(),
+		index:    make(map[trace.Digest]Meta),
+		traces:   make(map[trace.Digest]*list.Element),
+		traceLRU: list.New(),
+		webs:     make(map[trace.Digest]*list.Element),
+		webLRU:   list.New(),
+	}
+	metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: scan %s: %w", dir, err)
+	}
+	for _, p := range metas {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %w", err)
+		}
+		var m Meta
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("corpus: sidecar %s: %w", p, err)
+		}
+		id, err := trace.ParseDigest(m.ID)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: sidecar %s: %w", p, err)
+		}
+		if want := strings.TrimSuffix(filepath.Base(p), ".meta.json"); want != m.ID {
+			return nil, fmt.Errorf("corpus: sidecar %s names digest %s", p, m.ID)
+		}
+		s.index[id] = m
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Put admits a trace, returning its digest and whether new content was
+// stored (false: deduplicated to an existing trace). The trace is fully
+// interned before it becomes visible (making later concurrent reads
+// race-free) and written to the disk tier unless an identical trace is
+// already stored. The caller must not mutate t afterwards: the store now
+// owns it.
+func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
+	// An empty trace would write no segment files, leaving a digest
+	// that becomes unresolvable once evicted from the decoded LRU —
+	// breaking the admitted-stays-resolvable invariant.
+	if t.Len() == 0 {
+		return trace.Digest{}, false, fmt.Errorf("%w: empty trace", ErrInvalidTrace)
+	}
+	// The pipeline (views.Build's byEntry, diff navigation, segment
+	// reassembly) indexes by EID and requires the dense 0..n-1 numbering
+	// every legitimate producer emits; reject anything else before it
+	// can reach an analysis goroutine.
+	for i := range t.Entries {
+		if int(t.Entries[i].EID) != i {
+			return trace.Digest{}, false, fmt.Errorf(
+				"%w: entry %d has eid %d (entry ids must be consecutive from 0)",
+				ErrInvalidTrace, i, t.Entries[i].EID)
+		}
+	}
+	t.EnsureSyms()
+	id := t.ComputeDigest()
+	s.puts.Add(1)
+
+	// Serialize disk writes per store. Readers are unaffected (they
+	// take s.mu, not putMu), and a concurrent Put of the same content
+	// becomes a plain dedup once the first writer admits the digest.
+	s.putMu.Lock()
+	defer s.putMu.Unlock()
+
+	s.mu.Lock()
+	_, exists := s.index[id]
+	s.mu.Unlock()
+	if exists {
+		s.dedups.Add(1)
+		return id, false, nil
+	}
+
+	segPattern := filepath.Join(s.dir, id.String()+".*.seg")
+	removeSegs := func() {
+		if stale, err := filepath.Glob(segPattern); err == nil {
+			for _, p := range stale {
+				os.Remove(p)
+			}
+		}
+	}
+	// Clear orphans of an earlier failed attempt: LoadSegments and the
+	// segment count below glob by digest, so a stale high-numbered
+	// segment (e.g. from a run with a smaller SegmentLimit) would
+	// corrupt this trace.
+	removeSegs()
+
+	w, err := trace.NewSegmentWriter(s.dir, id.String(), s.opts.SegmentLimit)
+	if err != nil {
+		return id, false, err
+	}
+	writeAll := func() error {
+		for i := range t.Entries {
+			e := &t.Entries[i]
+			if _, err := w.Append(e.TID, e.Method, e.Self, e.Event); err != nil {
+				return err
+			}
+		}
+		return w.Close()
+	}
+	if err := writeAll(); err != nil {
+		removeSegs()
+		return id, false, err
+	}
+	segs, err := filepath.Glob(segPattern)
+	if err != nil {
+		return id, false, fmt.Errorf("corpus: %w", err)
+	}
+	m := Meta{ID: id.String(), Name: t.Name, Entries: t.Len(), Segments: len(segs)}
+	raw, err := json.Marshal(m)
+	if err != nil {
+		removeSegs()
+		return id, false, fmt.Errorf("corpus: %w", err)
+	}
+	if err := os.WriteFile(s.metaPath(id), raw, 0o644); err != nil {
+		removeSegs()
+		return id, false, fmt.Errorf("corpus: %w", err)
+	}
+
+	s.mu.Lock()
+	s.index[id] = m
+	s.admitTraceLocked(id, t)
+	s.mu.Unlock()
+	return id, true, nil
+}
+
+func (s *Store) metaPath(id trace.Digest) string {
+	return filepath.Join(s.dir, id.String()+".meta.json")
+}
+
+// Meta returns the metadata of a stored trace.
+func (s *Store) Meta(id trace.Digest) (Meta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.index[id]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return m, nil
+}
+
+// List returns metadata for every stored trace, sorted by id.
+func (s *Store) List() []Meta {
+	s.mu.Lock()
+	out := make([]Meta, 0, len(s.index))
+	for _, m := range s.index {
+		out = append(out, m)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of stored traces.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Get returns the decoded trace for id, loading it from the disk tier on
+// an LRU miss. The returned trace is shared and must be treated as
+// read-only.
+func (s *Store) Get(id trace.Digest) (*trace.Trace, error) {
+	s.mu.Lock()
+	if el, ok := s.traces[id]; ok {
+		s.traceLRU.MoveToFront(el)
+		t := el.Value.(*traceItem).t
+		s.mu.Unlock()
+		s.traceHits.Add(1)
+		return t, nil
+	}
+	m, ok := s.index[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	s.traceMisses.Add(1)
+
+	// Load outside the lock. Two goroutines missing on the same id both
+	// load; the second admission wins, which is harmless — both copies
+	// are immutable and identical.
+	t, err := trace.LoadSegments(s.dir, id.String())
+	if err != nil {
+		return nil, fmt.Errorf("corpus: load %s: %w", id, err)
+	}
+	t.Name = m.Name // segments are named by digest; restore the label
+	if s.opts.VerifyOnLoad {
+		if got := t.ComputeDigest(); got != id {
+			return nil, fmt.Errorf("corpus: trace %s corrupted on disk (digest %s)", id, got)
+		}
+	}
+	s.mu.Lock()
+	s.admitTraceLocked(id, t)
+	s.mu.Unlock()
+	return t, nil
+}
+
+// admitTraceLocked inserts or refreshes a decoded trace in the LRU,
+// evicting from the back past capacity. Caller holds s.mu.
+func (s *Store) admitTraceLocked(id trace.Digest, t *trace.Trace) {
+	if el, ok := s.traces[id]; ok {
+		el.Value.(*traceItem).t = t
+		s.traceLRU.MoveToFront(el)
+		return
+	}
+	s.traces[id] = s.traceLRU.PushFront(&traceItem{id: id, t: t})
+	for s.traceLRU.Len() > s.opts.TraceCacheSize {
+		oldest := s.traceLRU.Back()
+		it := oldest.Value.(*traceItem)
+		s.traceLRU.Remove(oldest)
+		delete(s.traces, it.id)
+		s.evictions.Add(1)
+	}
+}
+
+// Views returns the memoized view web of a stored trace, building it at
+// most once per cache residency no matter how many goroutines ask
+// concurrently (single-flight). The returned web is immutable; callers
+// on the diff path hand it straight to diff.ViewDiffWebs.
+func (s *Store) Views(id trace.Digest) (*views.Web, error) {
+	s.mu.Lock()
+	if _, ok := s.index[id]; !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	el, ok := s.webs[id]
+	if ok {
+		s.webLRU.MoveToFront(el)
+	} else {
+		el = s.webLRU.PushFront(&webItem{id: id})
+		s.webs[id] = el
+		for s.webLRU.Len() > s.opts.WebCacheSize {
+			oldest := s.webLRU.Back()
+			it := oldest.Value.(*webItem)
+			s.webLRU.Remove(oldest)
+			delete(s.webs, it.id)
+			s.evictions.Add(1)
+		}
+	}
+	it := el.Value.(*webItem)
+	s.mu.Unlock()
+
+	wasDone := it.done.Load()
+	built := false
+	it.once.Do(func() {
+		built = true
+		s.webBuilds.Add(1)
+		var t *trace.Trace
+		if t, it.err = s.Get(id); it.err == nil {
+			it.web = views.Build(t)
+		}
+		it.done.Store(true)
+	})
+	if !built {
+		if wasDone {
+			s.webHits.Add(1)
+		} else {
+			// We blocked inside once.Do while another goroutine built:
+			// the single-flight coalescing path.
+			s.webWaits.Add(1)
+		}
+	}
+	if it.err != nil {
+		// Failed builds must not be memoized as permanent failures:
+		// drop the slot so a later call retries.
+		s.mu.Lock()
+		if el2, ok := s.webs[id]; ok && el2.Value.(*webItem) == it {
+			s.webLRU.Remove(el2)
+			delete(s.webs, id)
+		}
+		s.mu.Unlock()
+		return nil, it.err
+	}
+	return it.web, nil
+}
+
+// Delete removes a trace from every tier, including disk.
+func (s *Store) Delete(id trace.Digest) error {
+	s.mu.Lock()
+	if _, ok := s.index[id]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.index, id)
+	if el, ok := s.traces[id]; ok {
+		s.traceLRU.Remove(el)
+		delete(s.traces, id)
+	}
+	if el, ok := s.webs[id]; ok {
+		s.webLRU.Remove(el)
+		delete(s.webs, id)
+	}
+	s.mu.Unlock()
+
+	segs, err := filepath.Glob(filepath.Join(s.dir, id.String()+".*.seg"))
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	for _, p := range append(segs, s.metaPath(id)) {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("corpus: %w", err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Traces:        len(s.index),
+		TraceCacheLen: s.traceLRU.Len(),
+		WebCacheLen:   s.webLRU.Len(),
+	}
+	for _, m := range s.index {
+		st.EntriesOnDisk += m.Entries
+	}
+	s.mu.Unlock()
+	st.TraceHits = s.traceHits.Load()
+	st.TraceMisses = s.traceMisses.Load()
+	st.WebHits = s.webHits.Load()
+	st.WebBuilds = s.webBuilds.Load()
+	st.WebWaits = s.webWaits.Load()
+	st.Evictions = s.evictions.Load()
+	st.Puts = s.puts.Load()
+	st.Dedups = s.dedups.Load()
+	return st
+}

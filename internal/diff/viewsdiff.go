@@ -72,12 +72,24 @@ func (o ViewOptions) withDefaults() ViewOptions {
 // correspondence (STEP-VIEW-NOMATCH). The union of all pairs' Δ sets
 // yields the final similarity set; differences follow by subtraction.
 func ViewDiff(l, r *trace.Trace, opts ViewOptions) *Result {
+	return ViewDiffWebs(views.Build(l), views.Build(r), opts)
+}
+
+// ViewDiffWebs runs the views-based differencing semantics over
+// pre-built view webs, skipping web construction entirely. This is the
+// entry point for callers that amortize Build across many diffs — the
+// corpus view cache hands the same *views.Web to concurrent requests.
+// The webs (and their underlying traces) are only read, never written,
+// so any number of ViewDiffWebs calls may share them; all mutable
+// differencing state is per-call.
+func ViewDiffWebs(wl, wr *views.Web, opts ViewOptions) *Result {
 	opts = opts.withDefaults()
+	l, r := wl.Trace, wr.Trace
 	d := &differ{
 		opts: opts,
 		cnt:  &counter{},
-		wl:   views.Build(l),
-		wr:   views.Build(r),
+		wl:   wl,
+		wr:   wr,
 		res: &Result{
 			Left: l, Right: r,
 			SimilarLeft:  make(map[trace.EntryID]bool),

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/diff"
 	"repro/internal/trace"
+	"repro/internal/views"
 )
 
 // Input bundles the four traces of the analysis protocol. NewRegr must be
@@ -72,12 +73,36 @@ type Analysis struct {
 	Sizes   SetSizes
 }
 
-// Analyze runs the three differencing passes and the set algebra.
+// Analyze runs the three differencing passes and the set algebra. Each
+// trace's view web is built exactly once here even though two of the
+// traces participate in two differencing passes.
 func Analyze(in Input) (*Analysis, error) {
-	a := diff.ViewDiff(in.OrigRegr, in.NewRegr, in.Opts)
-	b := diff.ViewDiff(in.OrigCorrect, in.NewCorrect, in.Opts)
-	c := diff.ViewDiff(in.NewCorrect, in.NewRegr, in.Opts)
-	return Combine(a, b, c, in.RemovalMode), nil
+	return AnalyzeWebs(Webs{
+		OrigCorrect: views.Build(in.OrigCorrect),
+		NewCorrect:  views.Build(in.NewCorrect),
+		OrigRegr:    views.Build(in.OrigRegr),
+		NewRegr:     views.Build(in.NewRegr),
+	}, in.RemovalMode, in.Opts)
+}
+
+// Webs bundles pre-built view webs for the four traces of the protocol,
+// in the same roles as Input. NewCorrect and NewRegr each feed two
+// differencing passes, so handing in cached webs (the corpus view cache)
+// saves up to four web constructions per analysis.
+type Webs struct {
+	OrigCorrect *views.Web
+	NewCorrect  *views.Web
+	OrigRegr    *views.Web
+	NewRegr     *views.Web
+}
+
+// AnalyzeWebs runs the analysis over pre-built webs. The webs are only
+// read; concurrent analyses may share them.
+func AnalyzeWebs(w Webs, removalMode bool, opts diff.ViewOptions) (*Analysis, error) {
+	a := diff.ViewDiffWebs(w.OrigRegr, w.NewRegr, opts)
+	b := diff.ViewDiffWebs(w.OrigCorrect, w.NewCorrect, opts)
+	c := diff.ViewDiffWebs(w.NewCorrect, w.NewRegr, opts)
+	return Combine(a, b, c, removalMode), nil
 }
 
 // Combine applies the set algebra to precomputed difference results:

@@ -1,0 +1,543 @@
+// Package server exposes the trace corpus and the analysis pipeline over
+// an HTTP JSON API — the long-running service face of the repo
+// (rprism-serve). Traces are uploaded once in the gob format written by
+// `rprism trace`, then addressed by content digest for any number of
+// view, diff, and regression queries; heavy analysis work runs under a
+// bounded worker pool so a burst of requests degrades to queueing, not
+// to unbounded goroutines each building webs.
+//
+// Endpoints:
+//
+//	PUT  /traces                 upload a trace (body: gob trace file)
+//	GET  /traces                 list stored traces
+//	GET  /traces/{id}            metadata of one trace
+//	GET  /traces/{id}/views      view-web summary (counts + largest views)
+//	GET  /diff?left=&right=      views-based diff of two stored traces
+//	POST /analyze                four-trace regression protocol (JSON body)
+//	GET  /stats                  corpus, cache, symbol-table, server stats
+//	GET  /healthz                liveness
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/diff"
+	"repro/internal/regression"
+	"repro/internal/trace"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Workers bounds concurrently executing heavy analyses (view builds,
+	// diffs, regressions). Default 4.
+	Workers int
+	// MaxUploadBytes caps PUT /traces request bodies (default 256 MiB).
+	MaxUploadBytes int64
+	// QueueTimeout is how long a request waits for a worker slot before
+	// 503 (default 30s).
+	QueueTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 256 << 20
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// Server serves the corpus. Create with New, mount via Handler.
+type Server struct {
+	store *corpus.Store
+	opts  Options
+	sem   chan struct{}
+
+	requests atomic.Int64
+	rejected atomic.Int64 // queue-timeout 503s
+}
+
+// New wraps a corpus store in a server.
+func New(store *corpus.Store, opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		store: store,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.Workers),
+	}
+}
+
+// Handler returns the routing handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /traces", s.handlePutTrace)
+	mux.HandleFunc("POST /traces", s.handlePutTrace)
+	mux.HandleFunc("GET /traces", s.handleListTraces)
+	mux.HandleFunc("GET /traces/{id}", s.handleGetTrace)
+	mux.HandleFunc("GET /traces/{id}/views", s.handleGetViews)
+	mux.HandleFunc("GET /diff", s.handleDiff)
+	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// ListenAndServe runs the server until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately, in-flight requests get
+// grace to finish.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, grace time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return s.Serve(ctx, ln, grace)
+}
+
+// Serve runs the server on an existing listener until ctx is canceled,
+// then shuts down gracefully within the grace period. The listener is
+// closed on return.
+func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	<-errc // always http.ErrServerClosed after Shutdown
+	return nil
+}
+
+// acquire claims a worker slot, failing with 503 if none frees up within
+// the queue timeout (or the client goes away first).
+func (s *Server) acquire(r *http.Request) error {
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueueTimeout)
+	defer cancel()
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		s.rejected.Add(1)
+		return fmt.Errorf("analysis queue full (workers=%d)", s.opts.Workers)
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// ---- wire types ----
+
+// TraceInfo is the JSON form of a stored trace's metadata.
+type TraceInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Entries  int    `json:"entries"`
+	Segments int    `json:"segments"`
+	Created  bool   `json:"created,omitempty"` // false: deduplicated
+}
+
+// ViewsSummary summarizes a trace's view web.
+type ViewsSummary struct {
+	ID     string      `json:"id"`
+	Counts ViewCounts  `json:"counts"`
+	Views  []ViewEntry `json:"views,omitempty"`
+}
+
+// ViewCounts mirrors views.Counts.
+type ViewCounts struct {
+	Total        int `json:"total"`
+	Thread       int `json:"thread"`
+	Method       int `json:"method"`
+	TargetObject int `json:"target_object"`
+	ActiveObject int `json:"active_object"`
+}
+
+// ViewEntry names one view and its size.
+type ViewEntry struct {
+	Type    string `json:"type"`
+	Key     string `json:"key"`
+	Entries int    `json:"entries"`
+}
+
+// DiffSequence is one difference sequence, entries rendered.
+type DiffSequence struct {
+	Kind  string   `json:"kind"`
+	Left  []string `json:"left,omitempty"`
+	Right []string `json:"right,omitempty"`
+}
+
+// DiffResponse is the wire form of a diff result.
+type DiffResponse struct {
+	Left          string         `json:"left"`
+	Right         string         `json:"right"`
+	NumDiffs      int            `json:"num_diffs"`
+	DiffLeft      int            `json:"diff_left"`
+	DiffRight     int            `json:"diff_right"`
+	NumSequences  int            `json:"num_sequences"`
+	Sequences     []DiffSequence `json:"sequences"`
+	MoreSequences int            `json:"more_sequences,omitempty"`
+	Compares      int64          `json:"compares"`
+	Explorations  int64          `json:"explorations"`
+}
+
+// AnalyzeRequest is the four-trace regression protocol by digest.
+type AnalyzeRequest struct {
+	OrigCorrect string `json:"orig_correct"`
+	NewCorrect  string `json:"new_correct"`
+	OrigRegr    string `json:"orig_regr"`
+	NewRegr     string `json:"new_regr"`
+	Removal     bool   `json:"removal,omitempty"`
+	MaxSeqs     int    `json:"max_sequences,omitempty"`
+}
+
+// AnalyzeResponse reports the candidate set.
+type AnalyzeResponse struct {
+	Sizes      regression.SetSizes `json:"sizes"`
+	Candidates int                 `json:"candidates"`
+	Related    []int               `json:"related_sequences"`
+	Report     string              `json:"report"`
+}
+
+// StatsResponse aggregates every statistics source.
+type StatsResponse struct {
+	Corpus  corpus.Stats      `json:"corpus"`
+	Symbols trace.SymbolStats `json:"symbols"`
+	Server  ServerStats       `json:"server"`
+}
+
+// ServerStats counts request handling.
+type ServerStats struct {
+	Workers  int   `json:"workers"`
+	InFlight int   `json:"in_flight"`
+	Requests int64 `json:"requests"`
+	Rejected int64 `json:"rejected"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
+	// Uploads go through the worker pool too: decoding holds a full
+	// trace in memory and Put serializes on the store's write lock, so
+	// a burst must queue-then-503 like any other heavy request.
+	if err := s.acquire(r); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	t, err := trace.ReadFrom(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("trace exceeds the %d-byte upload limit", tooBig.Limit))
+			return
+		}
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("body is not a gob trace (write one with 'rprism trace'): %w", err))
+		return
+	}
+	if t.Len() == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("refusing to store an empty trace"))
+		return
+	}
+	id, created, err := s.store.Put(t)
+	if err != nil {
+		if errors.Is(err, corpus.ErrInvalidTrace) {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	m, err := s.store.Meta(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, TraceInfo{
+		ID: m.ID, Name: m.Name, Entries: m.Entries, Segments: m.Segments, Created: created,
+	})
+}
+
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	metas := s.store.List()
+	out := make([]TraceInfo, len(metas))
+	for i, m := range metas {
+		out[i] = TraceInfo{ID: m.ID, Name: m.Name, Entries: m.Entries, Segments: m.Segments}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathDigest(w, r)
+	if !ok {
+		return
+	}
+	m, err := s.store.Meta(id)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TraceInfo{ID: m.ID, Name: m.Name, Entries: m.Entries, Segments: m.Segments})
+}
+
+func (s *Server) handleGetViews(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathDigest(w, r)
+	if !ok {
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	web, err := s.store.Views(id)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	c := web.Count()
+	resp := ViewsSummary{
+		ID: id.String(),
+		Counts: ViewCounts{Total: c.Total, Thread: c.Thread, Method: c.Method,
+			TargetObject: c.TargetObject, ActiveObject: c.ActiveObject},
+	}
+	// Largest views first (Names() order breaks size ties, keeping the
+	// listing deterministic), truncated to ?max=.
+	for _, n := range web.Names() {
+		resp.Views = append(resp.Views, ViewEntry{
+			Type: n.Type.String(), Key: n.KeyString(), Entries: web.View(n).Len(),
+		})
+	}
+	sort.SliceStable(resp.Views, func(i, j int) bool {
+		return resp.Views[i].Entries > resp.Views[j].Entries
+	})
+	if maxViews := intQuery(r, "max", 50); maxViews >= 0 && len(resp.Views) > maxViews {
+		resp.Views = resp.Views[:maxViews]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	left, ok := queryDigest(w, r, "left")
+	if !ok {
+		return
+	}
+	right, ok := queryDigest(w, r, "right")
+	if !ok {
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	wl, err := s.store.Views(left)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	wr, err := s.store.Views(right)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	res := diff.ViewDiffWebs(wl, wr, diff.ViewOptions{})
+	writeJSON(w, http.StatusOK, diffResponse(left, right, res, intQuery(r, "max", 20)))
+}
+
+func diffResponse(left, right trace.Digest, res *diff.Result, maxSeqs int) DiffResponse {
+	resp := DiffResponse{
+		Left: left.String(), Right: right.String(),
+		NumDiffs: res.NumDiffs(), DiffLeft: len(res.DiffLeft), DiffRight: len(res.DiffRight),
+		NumSequences: len(res.Sequences),
+		Sequences:    []DiffSequence{},
+		Compares:     res.Stats.Compares, Explorations: res.Stats.ViewExplorations,
+	}
+	for i, seq := range res.Sequences {
+		if maxSeqs >= 0 && i >= maxSeqs {
+			resp.MoreSequences = len(res.Sequences) - maxSeqs
+			break
+		}
+		ds := DiffSequence{Kind: seq.Kind.String()}
+		for _, eid := range seq.Left {
+			ds.Left = append(ds.Left, res.Left.Entries[eid].String())
+		}
+		for _, eid := range seq.Right {
+			ds.Right = append(ds.Right, res.Right.Entries[eid].String())
+		}
+		resp.Sequences = append(resp.Sequences, ds)
+	}
+	return resp
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	parse := func(field, v string) (trace.Digest, bool) {
+		d, err := trace.ParseDigest(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("field %q: %w", field, err))
+			return d, false
+		}
+		return d, true
+	}
+	oc, ok := parse("orig_correct", req.OrigCorrect)
+	if !ok {
+		return
+	}
+	nc, ok := parse("new_correct", req.NewCorrect)
+	if !ok {
+		return
+	}
+	or, ok := parse("orig_regr", req.OrigRegr)
+	if !ok {
+		return
+	}
+	nr, ok := parse("new_regr", req.NewRegr)
+	if !ok {
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	defer s.release()
+	var webs regression.Webs
+	var err error
+	if webs.OrigCorrect, err = s.store.Views(oc); err == nil {
+		if webs.NewCorrect, err = s.store.Views(nc); err == nil {
+			if webs.OrigRegr, err = s.store.Views(or); err == nil {
+				webs.NewRegr, err = s.store.Views(nr)
+			}
+		}
+	}
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	an, err := regression.AnalyzeWebs(webs, req.Removal, diff.ViewOptions{})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	maxSeqs := req.MaxSeqs
+	if maxSeqs == 0 {
+		maxSeqs = 10
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Sizes:      an.Sizes,
+		Candidates: len(an.D),
+		Related:    append([]int{}, an.Related...),
+		Report:     an.Report(maxSeqs),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Corpus:  s.store.Stats(),
+		Symbols: trace.GlobalSymbolStats(),
+		Server: ServerStats{
+			Workers:  s.opts.Workers,
+			InFlight: len(s.sem),
+			Requests: s.requests.Load(),
+			Rejected: s.rejected.Load(),
+		},
+	})
+}
+
+// ---- helpers ----
+
+func (s *Server) pathDigest(w http.ResponseWriter, r *http.Request) (trace.Digest, bool) {
+	d, err := trace.ParseDigest(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return d, false
+	}
+	return d, true
+}
+
+func queryDigest(w http.ResponseWriter, r *http.Request, key string) (trace.Digest, bool) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query parameter %q", key))
+		return trace.Digest{}, false
+	}
+	d, err := trace.ParseDigest(v)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %w", key, err))
+		return d, false
+	}
+	return d, true
+}
+
+func intQuery(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func writeStoreErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, corpus.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}

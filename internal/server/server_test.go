@@ -1,0 +1,409 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/diff"
+	"repro/internal/interp"
+	"repro/internal/lang"
+	"repro/internal/regression"
+	"repro/internal/subjects"
+	"repro/internal/trace"
+)
+
+// tracePair runs the Rhino-like subject twice — once clean, once with the
+// planted arithmetic bug — exactly like the CLI's own workloads.
+func tracePair(t *testing.T) (*trace.Trace, *trace.Trace) {
+	t.Helper()
+	// Seed 11 makes the planted bug fire even on a short script (the
+	// a%13/12 term needs an addition with a ≡ 12 mod 13 to diverge).
+	script := subjects.GenScript(8, 11)
+	run := func(src, name string) *trace.Trace {
+		res, err := interp.Run(lang.MustParse(src), interp.Options{Args: []string{script}, TraceName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		return res.Trace
+	}
+	good := run(subjects.RhinoSource(), "good")
+	bad := run(strings.Replace(subjects.RhinoSource(),
+		`if (sym.equals("+")) { return a + b; }`,
+		`if (sym.equals("+")) { return a + b + a % 13 / 12; }`, 1), "bad")
+	return good, bad
+}
+
+// gobBytes serializes a trace exactly as `rprism trace -out` would.
+func gobBytes(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
+	t.Helper()
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func doJSON(t *testing.T, method, url string, body []byte, out any) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("bad JSON from %s %s: %v\n%s", method, url, err, raw)
+		}
+	}
+	return resp.StatusCode, string(raw)
+}
+
+func upload(t *testing.T, ts *httptest.Server, tr *trace.Trace) TraceInfo {
+	t.Helper()
+	var info TraceInfo
+	status, raw := doJSON(t, http.MethodPut, ts.URL+"/traces", gobBytes(t, tr), &info)
+	if status != http.StatusCreated && status != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", status, raw)
+	}
+	return info
+}
+
+// TestEndToEndDiffMatchesCLI is the acceptance path: upload two traces
+// over HTTP and check GET /diff reports exactly the diff the CLI
+// pipeline (gob load + rprism.Diff) produces on the same pair.
+func TestEndToEndDiffMatchesCLI(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+	if gi.ID == bi.ID {
+		t.Fatal("distinct traces share a digest")
+	}
+	if !gi.Created || !bi.Created {
+		t.Errorf("fresh uploads not marked created: %+v %+v", gi, bi)
+	}
+	if gi.Entries != good.Len() {
+		t.Errorf("uploaded entry count %d, trace has %d", gi.Entries, good.Len())
+	}
+
+	// The CLI path: load the same serialized bytes and run the default
+	// views-based diff, as `rprism diff -left good -right bad` does.
+	l, err := trace.ReadFrom(bytes.NewReader(gobBytes(t, good)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.ReadFrom(bytes.NewReader(gobBytes(t, bad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := diff.ViewDiff(l, r, diff.ViewOptions{})
+
+	var got DiffResponse
+	status, raw := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/diff?left=%s&right=%s&max=-1", ts.URL, gi.ID, bi.ID), nil, &got)
+	if status != http.StatusOK {
+		t.Fatalf("diff: status %d: %s", status, raw)
+	}
+	if got.NumDiffs != want.NumDiffs() || got.DiffLeft != len(want.DiffLeft) || got.DiffRight != len(want.DiffRight) {
+		t.Errorf("diff counts: got %d/%d/%d, CLI %d/%d/%d",
+			got.NumDiffs, got.DiffLeft, got.DiffRight,
+			want.NumDiffs(), len(want.DiffLeft), len(want.DiffRight))
+	}
+	if got.NumSequences != len(want.Sequences) || len(got.Sequences) != len(want.Sequences) {
+		t.Fatalf("sequences: got %d (%d rendered), CLI %d",
+			got.NumSequences, len(got.Sequences), len(want.Sequences))
+	}
+	if got.NumDiffs == 0 {
+		t.Fatal("planted bug produced no differences")
+	}
+	for i, seq := range want.Sequences {
+		g := got.Sequences[i]
+		if g.Kind != seq.Kind.String() || len(g.Left) != len(seq.Left) || len(g.Right) != len(seq.Right) {
+			t.Fatalf("sequence %d shape mismatch: %+v vs kind=%s %d/%d",
+				i, g, seq.Kind, len(seq.Left), len(seq.Right))
+		}
+		for j, eid := range seq.Left {
+			if g.Left[j] != want.Left.Entries[eid].String() {
+				t.Fatalf("sequence %d left[%d]: %q vs %q", i, j, g.Left[j], want.Left.Entries[eid])
+			}
+		}
+		for j, eid := range seq.Right {
+			if g.Right[j] != want.Right.Entries[eid].String() {
+				t.Fatalf("sequence %d right[%d]: %q vs %q", i, j, g.Right[j], want.Right.Entries[eid])
+			}
+		}
+	}
+}
+
+func TestUploadDedupAndList(t *testing.T) {
+	good, _ := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	first := upload(t, ts, good)
+	again := upload(t, ts, good)
+	if again.Created {
+		t.Error("re-upload marked created")
+	}
+	if first.ID != again.ID {
+		t.Error("re-upload changed id")
+	}
+	var list []TraceInfo
+	if status, raw := doJSON(t, http.MethodGet, ts.URL+"/traces", nil, &list); status != http.StatusOK {
+		t.Fatalf("list: %d %s", status, raw)
+	}
+	if len(list) != 1 || list[0].ID != first.ID {
+		t.Errorf("list = %+v", list)
+	}
+	var info TraceInfo
+	if status, _ := doJSON(t, http.MethodGet, ts.URL+"/traces/"+first.ID, nil, &info); status != http.StatusOK {
+		t.Fatal("GET /traces/{id} failed")
+	}
+	if info.Name != "good" {
+		t.Errorf("trace name %q", info.Name)
+	}
+}
+
+func TestViewsSummaryEndpoint(t *testing.T) {
+	good, _ := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	gi := upload(t, ts, good)
+	var vs ViewsSummary
+	status, raw := doJSON(t, http.MethodGet, ts.URL+"/traces/"+gi.ID+"/views?max=5", nil, &vs)
+	if status != http.StatusOK {
+		t.Fatalf("views: %d %s", status, raw)
+	}
+	if vs.Counts.Total == 0 || vs.Counts.Thread == 0 || vs.Counts.Method == 0 {
+		t.Errorf("degenerate view counts: %+v", vs.Counts)
+	}
+	if len(vs.Views) != 5 {
+		t.Errorf("max=5 returned %d views", len(vs.Views))
+	}
+	// Largest views first.
+	for i := 1; i < len(vs.Views); i++ {
+		if vs.Views[i].Entries > vs.Views[i-1].Entries {
+			t.Errorf("views not sorted by size: %+v", vs.Views)
+			break
+		}
+	}
+}
+
+func TestUploadRejectsNonDenseEIDs(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	tr := trace.New("evil")
+	tr.Append(1, "M.m/0", trace.Repr{}, trace.Event{Kind: trace.KindCall, Member: "M.m/0"})
+	tr.Append(1, "M.m/0", trace.Repr{}, trace.Event{Kind: trace.KindCall, Member: "M.m/0"})
+	tr.Entries[1].EID = 1 << 20
+	status, raw := doJSON(t, http.MethodPut, ts.URL+"/traces", gobBytes(t, tr), nil)
+	if status != http.StatusBadRequest {
+		t.Errorf("crafted EIDs: status %d: %s", status, raw)
+	}
+	if !strings.Contains(raw, "consecutive") {
+		t.Errorf("unhelpful rejection: %s", raw)
+	}
+}
+
+func TestUploadTooLargeIs413(t *testing.T) {
+	good, _ := tracePair(t)
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{MaxUploadBytes: 1024})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	status, raw := doJSON(t, http.MethodPut, ts.URL+"/traces", gobBytes(t, good), nil)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: status %d: %s", status, raw)
+	}
+}
+
+func TestAnalyzeEndpointMatchesLibrary(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	body, _ := json.Marshal(AnalyzeRequest{
+		OrigCorrect: gi.ID, NewCorrect: gi.ID, OrigRegr: gi.ID, NewRegr: bi.ID,
+	})
+	var got AnalyzeResponse
+	status, raw := doJSON(t, http.MethodPost, ts.URL+"/analyze", body, &got)
+	if status != http.StatusOK {
+		t.Fatalf("analyze: %d %s", status, raw)
+	}
+
+	a := diff.ViewDiff(good, bad, diff.ViewOptions{})
+	b := diff.ViewDiff(good, good, diff.ViewOptions{})
+	c := diff.ViewDiff(good, bad, diff.ViewOptions{})
+	want := regression.Combine(a, b, c, false)
+	if got.Sizes != want.Sizes || got.Candidates != len(want.D) {
+		t.Errorf("analyze: got sizes=%+v candidates=%d, want %+v %d",
+			got.Sizes, got.Candidates, want.Sizes, len(want.D))
+	}
+	if got.Report == "" {
+		t.Error("empty report")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	good, _ := tracePair(t)
+	gi := upload(t, ts, good)
+
+	cases := []struct {
+		name, method, url string
+		body              []byte
+		want              int
+	}{
+		{"junk upload", http.MethodPut, ts.URL + "/traces", []byte("not a trace"), http.StatusBadRequest},
+		{"bad digest", http.MethodGet, ts.URL + "/traces/zzzz", nil, http.StatusBadRequest},
+		{"unknown trace", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32), nil, http.StatusNotFound},
+		{"unknown views", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32) + "/views", nil, http.StatusNotFound},
+		{"diff missing param", http.MethodGet, ts.URL + "/diff?left=" + gi.ID, nil, http.StatusBadRequest},
+		{"diff unknown right", http.MethodGet,
+			ts.URL + "/diff?left=" + gi.ID + "&right=" + strings.Repeat("cd", 32), nil, http.StatusNotFound},
+		{"analyze bad body", http.MethodPost, ts.URL + "/analyze", []byte("{"), http.StatusBadRequest},
+		{"analyze bad digest", http.MethodPost, ts.URL + "/analyze",
+			[]byte(`{"orig_correct":"xx","new_correct":"xx","orig_regr":"xx","new_regr":"xx"}`),
+			http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		status, raw := doJSON(t, tc.method, tc.url, tc.body, nil)
+		if status != tc.want {
+			t.Errorf("%s: status %d (want %d): %s", tc.name, status, tc.want, raw)
+		}
+		if !strings.Contains(raw, "error") {
+			t.Errorf("%s: no error field in %s", tc.name, raw)
+		}
+	}
+}
+
+// TestConcurrentDiffsSingleFlight fans out identical diff requests and
+// checks the web cache built each side exactly once.
+func TestConcurrentDiffsSingleFlight(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, srv := newTestServer(t, Options{Workers: 8})
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	url := fmt.Sprintf("%s/diff?left=%s&right=%s", ts.URL, gi.ID, bi.ID)
+	const G = 8
+	results := make([]DiffResponse, G)
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if status, raw := doJSON(t, http.MethodGet, url, nil, &results[g]); status != http.StatusOK {
+				t.Errorf("goroutine %d: status %d: %s", g, status, raw)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < G; g++ {
+		if results[g].NumDiffs != results[0].NumDiffs || results[g].NumSequences != results[0].NumSequences {
+			t.Errorf("goroutine %d diverged: %d/%d vs %d/%d", g,
+				results[g].NumDiffs, results[g].NumSequences, results[0].NumDiffs, results[0].NumSequences)
+		}
+	}
+	var stats StatsResponse
+	if status, raw := doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats); status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, raw)
+	}
+	if stats.Corpus.WebBuilds != 2 {
+		t.Errorf("web builds = %d under %d concurrent diffs, want 2 (single-flight)", stats.Corpus.WebBuilds, G)
+	}
+	if stats.Corpus.Traces != 2 || stats.Symbols.Distinct == 0 {
+		t.Errorf("stats sanity: %+v", stats)
+	}
+	if stats.Server.Requests == 0 || stats.Server.Workers != 8 {
+		t.Errorf("server stats: %+v", stats.Server)
+	}
+	_ = srv
+}
+
+// TestWorkerPoolRejectsWhenSaturated holds every worker slot and checks
+// the next analysis request is bounced with 503 rather than queued
+// forever.
+func TestWorkerPoolRejectsWhenSaturated(t *testing.T) {
+	good, _ := tracePair(t)
+	ts, srv := newTestServer(t, Options{Workers: 1, QueueTimeout: 50 * time.Millisecond})
+	gi := upload(t, ts, good)
+
+	srv.sem <- struct{}{} // occupy the only worker
+	defer func() { <-srv.sem }()
+	status, raw := doJSON(t, http.MethodGet, ts.URL+"/traces/"+gi.ID+"/views", nil, nil)
+	if status != http.StatusServiceUnavailable {
+		t.Errorf("saturated pool returned %d: %s", status, raw)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln, 5*time.Second) }()
+
+	url := "http://" + ln.Addr().String() + "/healthz"
+	if status, _ := doJSON(t, http.MethodGet, url, nil, nil); status != http.StatusOK {
+		t.Fatalf("healthz: %d", status)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	if _, err := http.Get(url); err == nil {
+		t.Error("listener still accepting after shutdown")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSegmented records n entries through a SegmentWriter with the given
+// per-segment limit and returns the ids it assigned.
+func writeSegmented(t *testing.T, dir, name string, n, limit int) []EntryID {
+	t.Helper()
+	w, err := NewSegmentWriter(dir, name, limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]EntryID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := w.Append(1, fmt.Sprintf("C.m%d/0", i%7),
+			Repr{Loc: Loc(i + 1), Class: "C", Seq: i + 1},
+			Event{Kind: KindCall, Member: fmt.Sprintf("C.m%d/0", i%7),
+				Target: Repr{Loc: Loc(i + 1), Class: "C", Seq: i + 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestSegmentWriterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const n, limit = 103, 10
+	ids := writeSegmented(t, dir, "run", n, limit)
+	for i, id := range ids {
+		if int(id) != i {
+			t.Fatalf("Append assigned id %d to entry %d", id, i)
+		}
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "run.*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (n + limit - 1) / limit; len(segs) != want {
+		t.Errorf("wrote %d segment files, want %d", len(segs), want)
+	}
+
+	got, err := LoadSegments(dir, "run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != n {
+		t.Fatalf("reassembled %d entries, want %d", got.Len(), n)
+	}
+	for i, e := range got.Entries {
+		if int(e.EID) != i {
+			t.Errorf("entry %d has eid %d: ids not globally consecutive", i, e.EID)
+		}
+	}
+	// Content survives: spot-check a middle entry against its generator.
+	e := got.Entries[42]
+	if e.Method != "C.m0/0" || e.Event.Target.Seq != 43 {
+		t.Errorf("entry 42 corrupted: %s", e)
+	}
+	// Loaded entries are re-interned into this process's table.
+	if e.MethodSym == NoSym || SymStr(e.MethodSym) != e.Method {
+		t.Errorf("entry 42 method symbol not re-interned: %v", e.MethodSym)
+	}
+}
+
+func TestSegmentWriterUnbounded(t *testing.T) {
+	dir := t.TempDir()
+	writeSegmented(t, dir, "one", 25, 0) // limit 0 = single segment
+	segs, _ := filepath.Glob(filepath.Join(dir, "one.*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("unbounded writer produced %d segments, want 1", len(segs))
+	}
+	got, err := LoadSegments(dir, "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 25 {
+		t.Errorf("reassembled %d entries, want 25", got.Len())
+	}
+}
+
+func TestSegmentWriterCloseIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewSegmentWriter(dir, "idem", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(1, "M.m/0", Repr{}, Event{Kind: KindCall, Member: "M.m/0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSegments(dir, "idem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Errorf("double Close duplicated entries: got %d", got.Len())
+	}
+}
+
+func TestLoadSegmentsMissing(t *testing.T) {
+	if _, err := LoadSegments(t.TempDir(), "nope"); err == nil {
+		t.Error("LoadSegments of a missing name succeeded")
+	}
+}
+
+func TestLoadSegmentsDetectsGap(t *testing.T) {
+	dir := t.TempDir()
+	writeSegmented(t, dir, "gap", 30, 10)
+	// Drop the middle segment: ids are no longer consecutive.
+	if err := os.Remove(filepath.Join(dir, "gap.000001.seg")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSegments(dir, "gap"); err == nil {
+		t.Error("LoadSegments accepted a trace with a missing segment")
+	}
+}

@@ -151,8 +151,8 @@ func EnsureSym(sym Sym, s string) Sym {
 
 // SymbolStats summarizes the process-wide table for reporting.
 type SymbolStats struct {
-	Distinct int   // distinct symbols interned
-	Bytes    int64 // total bytes of distinct interned strings
+	Distinct int   `json:"distinct"` // distinct symbols interned
+	Bytes    int64 `json:"bytes"`    // total bytes of distinct interned strings
 }
 
 // GlobalSymbolStats snapshots the process-wide table's statistics.

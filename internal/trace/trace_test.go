@@ -349,45 +349,6 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 }
 
-func TestSegmentWriterRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	w, err := NewSegmentWriter(dir, "seg", 10)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const n = 35
-	for i := 0; i < n; i++ {
-		id, err := w.Append(1, "m", Repr{}, Event{Kind: KindCall, Member: "x"})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if int(id) != i {
-			t.Fatalf("entry %d got eid %d", i, id)
-		}
-	}
-	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	got, err := LoadSegments(dir, "seg")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Len() != n {
-		t.Fatalf("reassembled %d entries, want %d", got.Len(), n)
-	}
-	for i, e := range got.Entries {
-		if int(e.EID) != i {
-			t.Fatalf("entry %d has eid %d", i, e.EID)
-		}
-	}
-}
-
-func TestLoadSegmentsMissing(t *testing.T) {
-	if _, err := LoadSegments(t.TempDir(), "nope"); err == nil {
-		t.Error("expected error for missing segments")
-	}
-}
-
 func TestThreadIDs(t *testing.T) {
 	tr := New("t")
 	tr.Append(3, "m", Repr{}, Event{Kind: KindCall, Member: "x"})

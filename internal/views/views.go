@@ -183,6 +183,16 @@ type Web struct {
 // the view-name mapping functions ωτ of Fig. 7 to every entry. The
 // per-entry name lists live in one shared arena rather than one slice
 // allocation per entry.
+//
+// The returned Web is never written again after Build returns: every
+// method on Web is read-only, so a built web may be shared by any number
+// of goroutines without synchronization. The corpus view cache relies on
+// this to hand one memoized web to N concurrent diff requests. The one
+// caveat is the trace itself: Build backfills missing Sym fields via
+// EnsureSyms, so the first Build over a given hand-built trace must not
+// race another Build of the same trace. Traces produced by the
+// interpreter or any loader are fully interned already, making EnsureSyms
+// a read-only scan and concurrent Builds safe.
 func Build(t *trace.Trace) *Web {
 	t.EnsureSyms() // no-op for interpreter- or loader-produced traces
 	w := &Web{

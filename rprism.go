@@ -106,6 +106,14 @@ func Diff(left, right *Trace, opts DiffOptions) *DiffResult {
 	return diff.ViewDiff(left, right, opts)
 }
 
+// DiffWebs compares two traces through their pre-built view webs,
+// skipping web construction. Webs are read-only during differencing, so
+// the same web can serve many concurrent diffs (the rprism-serve cache
+// path).
+func DiffWebs(left, right *Web, opts DiffOptions) *DiffResult {
+	return diff.ViewDiffWebs(left, right, opts)
+}
+
 // DiffLCS compares two traces with the optimized-LCS baseline of Fig. 11.
 // It returns lcs.ErrMemoryBudget when the DP table would exceed the
 // configured budget.
