@@ -14,6 +14,7 @@ package rprism
 //	go test -bench=. -benchmem .   everything
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -391,6 +392,54 @@ func BenchmarkServeDiffConcurrent(b *testing.B) {
 				diff.ViewDiff(l, r, diff.ViewOptions{})
 			}
 		})
+	})
+}
+
+// BenchmarkEngineDiffCached proves the Engine API adds no overhead over
+// calling diff.ViewDiffWebs by hand: both sub-benchmarks diff the same
+// corpus-cached web pair, "webs" through the free function, "engine"
+// through Engine.Diff with FromCorpus sources (source resolution, ctx
+// polling, worker accounting included). ns/op and allocs/op must stay
+// within noise of each other — compare with
+// `go test -bench=EngineDiffCached -benchmem .`.
+func BenchmarkEngineDiffCached(b *testing.B) {
+	l, r := rhinoPair(b, 30)
+	store, err := corpus.New(b.TempDir(), corpus.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lid, _, err := store.Put(l)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rid, _, err := store.Put(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := store.Views(lid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wr, err := store.Views(rid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("webs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			diff.ViewDiffWebs(wl, wr, diff.ViewOptions{})
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := NewEngine(WithCorpus(store))
+		left, right := FromCorpus(lid), FromCorpus(rid)
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Diff(ctx, left, right); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

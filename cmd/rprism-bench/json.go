@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
 	"testing"
 
+	rprism "repro"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/interp"
@@ -125,6 +127,26 @@ func writeJSONReport(path string) error {
 	})
 	rec.ComparesPerOp = cd.Stats.Compares
 	rec.DiffsPerOp = cd.NumDiffs()
+
+	// The same hot path through the Engine API: FromCorpus sources
+	// resolving against the store's web cache. Tracks the abstraction
+	// tax of the public API — it must stay within noise of
+	// ViewDiffCachedWebs (see BenchmarkEngineDiffCached).
+	eng := rprism.NewEngine(rprism.WithCorpus(store))
+	left, right := rprism.FromCorpus(lid), rprism.FromCorpus(rid)
+	ctx := context.Background()
+	var ed *diff.Result
+	rec = record("EngineDiffCached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if ed, err = eng.Diff(ctx, left, right); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.ComparesPerOp = ed.Stats.Compares
+	rec.DiffsPerOp = ed.NumDiffs()
 
 	report.Symbols = trace.GlobalSymbolStats()
 	raw, err := json.MarshalIndent(report, "", "  ")

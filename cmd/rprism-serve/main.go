@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	rprism "repro"
 	"repro/internal/corpus"
 	"repro/internal/server"
 )
@@ -38,15 +39,16 @@ func main() {
 	segLimit := flag.Int("segment-limit", 1<<16, "entries per on-disk segment")
 	verify := flag.Bool("verify", false, "verify digests of traces loaded from disk")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
+	reqTimeout := flag.Duration("request-timeout", 0, "kill analyses exceeding this deadline (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *workers, *traceCache, *webCache, *segLimit, *verify, *grace); err != nil {
+	if err := run(*addr, *dir, *workers, *traceCache, *webCache, *segLimit, *verify, *grace, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rprism-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify bool, grace time.Duration) error {
+func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify bool, grace, reqTimeout time.Duration) error {
 	store, err := corpus.New(dir, corpus.Options{
 		TraceCacheSize: traceCache,
 		WebCacheSize:   webCache,
@@ -56,13 +58,16 @@ func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify b
 	if err != nil {
 		return err
 	}
-	srv := server.New(store, server.Options{Workers: workers})
+	// One Engine per process: the server dispatches every analysis —
+	// legacy endpoints and POST /run/{analysis} alike — through it.
+	eng := rprism.NewEngine(rprism.WithCorpus(store))
+	srv := server.New(eng, server.Options{Workers: workers, RequestTimeout: reqTimeout})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	log.Printf("rprism-serve: listening on %s (corpus %s, %d traces, %d workers)",
-		addr, dir, store.Len(), workers)
+	log.Printf("rprism-serve: listening on %s (corpus %s, %d traces, %d workers, %d analyses)",
+		addr, dir, store.Len(), workers, len(rprism.Analyses()))
 	err = srv.ListenAndServe(ctx, addr, grace)
 	log.Printf("rprism-serve: shut down")
 	return err

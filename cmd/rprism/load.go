@@ -36,3 +36,14 @@ func isDirectory(path string) bool {
 	fi, err := os.Stat(path)
 	return err == nil && fi.IsDir()
 }
+
+// loadSource is loadTraceFile lifted to the Engine API: the trace is
+// read eagerly (so a bad path fails with the friendly diagnosis before
+// any analysis starts) and handed to the engine as a Source.
+func loadSource(flagName, path string) (rprism.Source, error) {
+	t, err := loadTraceFile(flagName, path)
+	if err != nil {
+		return nil, err
+	}
+	return rprism.FromTrace(t), nil
+}

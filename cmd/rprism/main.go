@@ -5,42 +5,58 @@
 //	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20]
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
+//	rprism analyses
+//
+// Every subcommand drives the shared rprism.Engine; analyses run under a
+// signal-bound context, so Ctrl-C aborts a long diff mid-loop instead of
+// leaving it burning CPU until process teardown.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	rprism "repro"
-	"repro/internal/impact"
 	"repro/internal/lang"
-	"repro/internal/protocol"
 	"repro/internal/trace"
 	"repro/internal/views"
 )
+
+// eng is the process-wide analysis engine all subcommands share.
+var eng = rprism.NewEngine()
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 	}
+	// Ctrl-C / SIGTERM cancels the in-flight analysis promptly: the
+	// engine threads this context through the differencing hot loops.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch os.Args[1] {
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "diff":
-		err = cmdDiff(os.Args[2:])
+		err = cmdDiff(ctx, os.Args[2:])
 	case "views":
-		err = cmdViews(os.Args[2:])
+		err = cmdViews(ctx, os.Args[2:])
 	case "analyze":
-		err = cmdAnalyze(os.Args[2:])
+		err = cmdAnalyze(ctx, os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "protocol":
-		err = cmdProtocol(os.Args[2:])
+		err = cmdProtocol(ctx, os.Args[2:])
 	case "impact":
-		err = cmdImpact(os.Args[2:])
+		err = cmdImpact(ctx, os.Args[2:])
+	case "analyses":
+		err = cmdAnalyses()
 	default:
 		usage()
 	}
@@ -51,8 +67,23 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rprism {trace|diff|views|analyze|check|protocol|impact} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|diff|views|analyze|check|protocol|impact|analyses} [flags]")
 	os.Exit(2)
+}
+
+// cmdAnalyses lists the analyses registered with the engine — the same
+// listing rprism-serve exposes at GET /analyses.
+func cmdAnalyses() error {
+	for _, a := range rprism.Analyses() {
+		fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		if len(a.Roles) > 0 {
+			fmt.Printf("%-12s   traces: %s\n", "", strings.Join(a.Roles, ", "))
+		}
+		if a.Params != "" {
+			fmt.Printf("%-12s   params: %s\n", "", a.Params)
+		}
+	}
+	return nil
 }
 
 // cmdCheck parses and type-checks a program without running it.
@@ -79,7 +110,7 @@ func cmdCheck(args []string) error {
 }
 
 // cmdProtocol infers the object protocol of a class from a trace.
-func cmdProtocol(args []string) error {
+func cmdProtocol(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("protocol", flag.ExitOnError)
 	path := fs.String("trace", "", "trace file")
 	class := fs.String("class", "", "class to infer the protocol of")
@@ -88,29 +119,35 @@ func cmdProtocol(args []string) error {
 	if *path == "" || *class == "" {
 		return fmt.Errorf("protocol: -trace and -class are required")
 	}
-	t, err := loadTraceFile("trace", *path)
+	src, err := loadSource("trace", *path)
 	if err != nil {
 		return err
 	}
-	model := protocol.Infer(rprism.BuildViews(t), *class)
+	model, err := eng.Infer(ctx, src, *class)
+	if err != nil {
+		return err
+	}
 	fmt.Print(model)
 	if *against == "" {
 		return nil
 	}
-	t2, err := loadTraceFile("against", *against)
+	src2, err := loadSource("against", *against)
 	if err != nil {
 		return err
 	}
-	model2 := protocol.Infer(rprism.BuildViews(t2), *class)
+	model2, err := eng.Infer(ctx, src2, *class)
+	if err != nil {
+		return err
+	}
 	fmt.Println("drift against second trace:")
-	for _, ch := range protocol.DiffModels(model, model2) {
+	for _, ch := range rprism.DiffProtocols(model, model2) {
 		fmt.Println(" ", ch)
 	}
 	return nil
 }
 
 // cmdImpact prints the impact surface of a trace pair.
-func cmdImpact(args []string) error {
+func cmdImpact(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("impact", flag.ExitOnError)
 	left := fs.String("left", "", "left trace file")
 	right := fs.String("right", "", "right trace file")
@@ -119,16 +156,19 @@ func cmdImpact(args []string) error {
 	if *left == "" || *right == "" {
 		return fmt.Errorf("impact: -left and -right are required")
 	}
-	l, err := loadTraceFile("left", *left)
+	l, err := loadSource("left", *left)
 	if err != nil {
 		return err
 	}
-	r, err := loadTraceFile("right", *right)
+	r, err := loadSource("right", *right)
 	if err != nil {
 		return err
 	}
-	res := rprism.Diff(l, r, rprism.DiffOptions{})
-	fmt.Print(impact.Compute(res).Report(*maxItems))
+	surface, err := eng.Impact(ctx, l, r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(surface.Report(*maxItems))
 	return nil
 }
 
@@ -184,7 +224,7 @@ func cmdTrace(args []string) error {
 	return rprism.SaveTrace(res.Trace, *out)
 }
 
-func cmdDiff(args []string) error {
+func cmdDiff(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	left := fs.String("left", "", "left trace file")
 	right := fs.String("right", "", "right trace file")
@@ -194,28 +234,29 @@ func cmdDiff(args []string) error {
 	if *left == "" || *right == "" {
 		return fmt.Errorf("diff: -left and -right are required")
 	}
-	l, err := loadTraceFile("left", *left)
+	l, err := loadSource("left", *left)
 	if err != nil {
 		return err
 	}
-	r, err := loadTraceFile("right", *right)
+	r, err := loadSource("right", *right)
 	if err != nil {
 		return err
 	}
 	var res *rprism.DiffResult
 	if *useLCS {
-		if res, err = rprism.DiffLCS(l, r, rprism.LCSOptions{}); err != nil {
-			return err
-		}
+		res, err = eng.DiffLCS(ctx, l, r, rprism.LCSOptions{})
 	} else {
-		res = rprism.Diff(l, r, rprism.DiffOptions{})
+		res, err = eng.Diff(ctx, l, r)
+	}
+	if err != nil {
+		return err
 	}
 	fmt.Print(res.Format(*maxSeqs))
 	fmt.Printf("compares=%d mem=%.1fMB\n", res.Stats.Compares, float64(res.Stats.MemBytes)/1e6)
 	return nil
 }
 
-func cmdViews(args []string) error {
+func cmdViews(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("views", flag.ExitOnError)
 	path := fs.String("trace", "", "trace file")
 	show := fs.String("show", "", "view to display, as TYPE:KEY (e.g. CM:Main.main/0)")
@@ -224,11 +265,14 @@ func cmdViews(args []string) error {
 	if *path == "" {
 		return fmt.Errorf("views: -trace is required")
 	}
-	t, err := loadTraceFile("trace", *path)
+	src, err := loadSource("trace", *path)
 	if err != nil {
 		return err
 	}
-	web := rprism.BuildViews(t)
+	web, err := eng.Views(ctx, src)
+	if err != nil {
+		return err
+	}
 	if *show == "" {
 		c := web.Count()
 		fmt.Printf("%d views: %d thread, %d method, %d target-object, %d active-object\n",
@@ -262,7 +306,7 @@ func cmdViews(args []string) error {
 	return nil
 }
 
-func cmdAnalyze(args []string) error {
+func cmdAnalyze(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	oc := fs.String("orig-correct", "", "original version, non-regressing test")
 	nc := fs.String("new-correct", "", "new version, non-regressing test")
@@ -271,13 +315,13 @@ func cmdAnalyze(args []string) error {
 	removal := fs.Bool("removal", false, "use (A-B)-C for code-removal regressions")
 	maxSeqs := fs.Int("max", 10, "max candidate sequences to print")
 	_ = fs.Parse(args)
-	load := func(p, what string) (*rprism.Trace, error) {
+	load := func(p, what string) (rprism.Source, error) {
 		if p == "" {
 			return nil, fmt.Errorf("analyze: -%s is required", what)
 		}
-		return loadTraceFile(what, p)
+		return loadSource(what, p)
 	}
-	in := rprism.RegressionInput{RemovalMode: *removal}
+	in := rprism.RegressionSources{Removal: *removal}
 	var err error
 	if in.OrigCorrect, err = load(*oc, "orig-correct"); err != nil {
 		return err
@@ -291,7 +335,7 @@ func cmdAnalyze(args []string) error {
 	if in.NewRegr, err = load(*nr, "new-regr"); err != nil {
 		return err
 	}
-	an, err := rprism.AnalyzeRegression(in)
+	an, err := eng.AnalyzeRegression(ctx, in)
 	if err != nil {
 		return err
 	}

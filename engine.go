@@ -1,0 +1,325 @@
+package rprism
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/corpus"
+	"repro/internal/diff"
+	"repro/internal/impact"
+	"repro/internal/protocol"
+	"repro/internal/regression"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// Engine is the shared entry point of the analysis family: construct one
+// per process (or per tenant) with functional options, feed it traces
+// through Sources, and run any registered analysis against it. The CLI,
+// the rprism-serve service, and the bench harness all drive the same
+// Engine, which owns the cross-cutting concerns the free functions never
+// could: a view-web cache shared across analyses, an optional
+// corpus-backed store, a worker budget, default differencing options —
+// and cancellation: every analysis method takes a context.Context that is
+// honored inside the hot loops (views.BuildCtx, diff.ViewDiffWebsCtx,
+// the LCS DP rows), so a canceled request stops burning CPU within
+// microseconds.
+//
+// An Engine is safe for concurrent use by any number of goroutines.
+type Engine struct {
+	store    *corpus.Store
+	symbols  *trace.SymbolTable
+	diffOpts diff.ViewOptions
+	workers  chan struct{} // nil: unbounded
+
+	mu       sync.Mutex
+	webs     map[*trace.Trace]*views.Web
+	webOrder []*trace.Trace // FIFO eviction order
+	webCap   int
+}
+
+// EngineOption configures an Engine at construction.
+type EngineOption func(*Engine)
+
+// WithCorpus backs the engine with a content-addressed trace store:
+// FromCorpus sources resolve through it, and its single-flight view-web
+// cache is shared with every other consumer of the store.
+func WithCorpus(store *corpus.Store) EngineOption {
+	return func(e *Engine) { e.store = store }
+}
+
+// WithSymbolTable sets the symbol table the engine reports stats from.
+// Interning itself is process-wide (trace.Symbols); a custom table is
+// useful for isolated accounting in multi-tenant embeddings.
+func WithSymbolTable(st *trace.SymbolTable) EngineOption {
+	return func(e *Engine) { e.symbols = st }
+}
+
+// WithWorkers bounds the number of concurrently executing analyses. A
+// caller over budget blocks until a slot frees or its context ends.
+// Zero or negative n means unbounded (the default).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithDiffOptions sets the default views-differencing tunables used by
+// Diff, AnalyzeRegression, and Impact when the caller does not override
+// them per call.
+func WithDiffOptions(o DiffOptions) EngineOption {
+	return func(e *Engine) { e.diffOpts = o }
+}
+
+// WithWebCacheSize bounds the engine's own web cache for non-corpus
+// sources (default 32 webs). Corpus-backed sources are cached by the
+// store instead and do not count against this bound.
+func WithWebCacheSize(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.webCap = n
+		}
+	}
+}
+
+// NewEngine constructs an engine. With no options it is self-contained:
+// in-process web caching, unbounded workers, default DiffOptions, the
+// process-wide symbol table, and no corpus (FromCorpus sources fail).
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{
+		webs:   make(map[*trace.Trace]*views.Web),
+		webCap: 32,
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Corpus returns the engine's trace store, or nil when it has none.
+func (e *Engine) Corpus() *corpus.Store { return e.store }
+
+// DefaultDiffOptions returns the engine's default differencing tunables.
+func (e *Engine) DefaultDiffOptions() DiffOptions { return e.diffOpts }
+
+// SymbolStats reports the engine's symbol table statistics (the
+// process-wide table unless WithSymbolTable overrode it).
+func (e *Engine) SymbolStats() trace.SymbolStats {
+	if e.symbols != nil {
+		return e.symbols.Stats()
+	}
+	return trace.GlobalSymbolStats()
+}
+
+// slotKey marks a context as already holding this engine's worker slot,
+// making acquire reentrant: an analysis that calls other engine methods
+// (RunAnalysis → DiffWith → Views) claims exactly one slot for the whole
+// call tree instead of deadlocking on itself.
+type slotKey struct{}
+
+// acquire claims a worker slot (when a budget is configured), honoring
+// ctx while waiting. It returns the context to run the analysis under —
+// tagged with the slot when one was claimed — and a release func the
+// caller must defer after a nil error.
+func (e *Engine) acquire(ctx context.Context) (context.Context, func(), error) {
+	noop := func() {}
+	if err := ctx.Err(); err != nil {
+		return ctx, noop, err
+	}
+	if e.workers == nil {
+		return ctx, noop, nil
+	}
+	if held, _ := ctx.Value(slotKey{}).(*Engine); held == e {
+		return ctx, noop, nil // reentrant: the caller's slot covers us
+	}
+	select {
+	case e.workers <- struct{}{}:
+		return context.WithValue(ctx, slotKey{}, e), func() { <-e.workers }, nil
+	case <-ctx.Done():
+		return ctx, noop, ctx.Err()
+	}
+}
+
+// cachedWeb returns the engine-cached web for a trace, building it under
+// ctx on a miss. Distinct goroutines missing on the same trace may both
+// build (webs are immutable and identical, so the second admission wins
+// harmlessly); the corpus path single-flights instead.
+func (e *Engine) cachedWeb(ctx context.Context, t *trace.Trace) (*views.Web, error) {
+	e.mu.Lock()
+	w, ok := e.webs[t]
+	e.mu.Unlock()
+	if ok {
+		return w, nil
+	}
+	w, err := views.BuildCtx(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev, ok := e.webs[t]; ok {
+		w = prev // another goroutine won the race; share its web
+	} else {
+		e.webs[t] = w
+		e.webOrder = append(e.webOrder, t)
+		for len(e.webOrder) > e.webCap {
+			delete(e.webs, e.webOrder[0])
+			e.webOrder[0] = nil // release the trace, not just the map entry
+			e.webOrder = e.webOrder[1:]
+		}
+	}
+	e.mu.Unlock()
+	return w, nil
+}
+
+// Views resolves a source to its (cached) view web — the Engine form of
+// BuildViews. Analyses that need direct web access (custom traversals,
+// view listings) start here. Web construction is heavy, so Views counts
+// against the worker budget like any other analysis entry point.
+func (e *Engine) Views(ctx context.Context, src Source) (*Web, error) {
+	if src == nil {
+		return nil, fmt.Errorf("rprism: nil Source")
+	}
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	return src.resolve(ctx, e)
+}
+
+// Diff runs the views-based differencing of Fig. 12 over two sources
+// with the engine's default options.
+func (e *Engine) Diff(ctx context.Context, left, right Source) (*DiffResult, error) {
+	return e.DiffWith(ctx, left, right, e.diffOpts)
+}
+
+// DiffWith is Diff with per-call differencing options.
+func (e *Engine) DiffWith(ctx context.Context, left, right Source, opts DiffOptions) (*DiffResult, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	wl, err := e.Views(ctx, left)
+	if err != nil {
+		return nil, err
+	}
+	wr, err := e.Views(ctx, right)
+	if err != nil {
+		return nil, err
+	}
+	return diff.ViewDiffWebsCtx(ctx, wl, wr, opts)
+}
+
+// DiffLCS runs the quadratic LCS baseline of Fig. 11 over two sources.
+// Unlike the views path it needs raw traces, not webs, so sources
+// resolve down to their traces here — no web is built or cached.
+func (e *Engine) DiffLCS(ctx context.Context, left, right Source, opts LCSOptions) (*DiffResult, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("rprism: nil Source")
+	}
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	l, err := left.resolveTrace(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	r, err := right.resolveTrace(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	return diff.LCSDiffCtx(ctx, l, r, opts)
+}
+
+// RegressionSources names the four traces of the §4.1 analysis protocol
+// as engine sources, plus the set-algebra mode.
+type RegressionSources struct {
+	OrigCorrect Source // original version, non-regressing test
+	NewCorrect  Source // new version, non-regressing test
+	OrigRegr    Source // original version, regressing test
+	NewRegr     Source // new version, regressing test
+	// Removal switches to D = (A − B) − C for regressions caused by code
+	// removed in the new version.
+	Removal bool
+}
+
+// AnalyzeRegression runs the full regression-cause analysis over four
+// sources with the engine's default differencing options.
+func (e *Engine) AnalyzeRegression(ctx context.Context, in RegressionSources) (*RegressionAnalysis, error) {
+	return e.AnalyzeRegressionWith(ctx, in, e.diffOpts)
+}
+
+// AnalyzeRegressionWith is AnalyzeRegression with per-call options.
+func (e *Engine) AnalyzeRegressionWith(ctx context.Context, in RegressionSources, opts DiffOptions) (*RegressionAnalysis, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var webs regression.Webs
+	if webs.OrigCorrect, err = e.Views(ctx, in.OrigCorrect); err != nil {
+		return nil, err
+	}
+	if webs.NewCorrect, err = e.Views(ctx, in.NewCorrect); err != nil {
+		return nil, err
+	}
+	if webs.OrigRegr, err = e.Views(ctx, in.OrigRegr); err != nil {
+		return nil, err
+	}
+	if webs.NewRegr, err = e.Views(ctx, in.NewRegr); err != nil {
+		return nil, err
+	}
+	return regression.AnalyzeWebsCtx(ctx, webs, in.Removal, opts)
+}
+
+// Infer infers the object protocol of a class from a source's
+// target-object views.
+func (e *Engine) Infer(ctx context.Context, src Source, class string) (*ProtocolModel, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	w, err := e.Views(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.Infer(w, class), nil
+}
+
+// Check verifies every object of the declared class follows the typestate
+// property, returning all violations in trace order.
+func (e *Engine) Check(ctx context.Context, src Source, decl ProtocolDecl) ([]ProtocolViolation, error) {
+	ctx, release, err := e.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	w, err := e.Views(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.CheckTrace(w, decl), nil
+}
+
+// Impact diffs two sources with the engine's default options and ranks
+// the methods, classes, objects, and threads the behavioural
+// differences touch.
+func (e *Engine) Impact(ctx context.Context, left, right Source) (*ImpactSurface, error) {
+	return e.ImpactWith(ctx, left, right, e.diffOpts)
+}
+
+// ImpactWith is Impact with per-call differencing options.
+func (e *Engine) ImpactWith(ctx context.Context, left, right Source, opts DiffOptions) (*ImpactSurface, error) {
+	res, err := e.DiffWith(ctx, left, right, opts)
+	if err != nil {
+		return nil, err
+	}
+	return impact.Compute(res), nil
+}

@@ -1,0 +1,94 @@
+package rprism_test
+
+import (
+	"context"
+	"fmt"
+
+	rprism "repro"
+)
+
+const exampleV1 = `
+class Counter {
+  Int n;
+  void bump(Int by) { this.n = this.n + by; return; }
+}
+class Main {
+  void main() {
+    let c = new Counter();
+    c.bump(1);
+    c.bump(2);
+    Sys.print(c.n);
+  }
+}`
+
+// ExampleEngine_Diff runs the views-based differencing of two program
+// versions through the Engine API: compile, source both runs, diff under
+// a context.
+func ExampleEngine_Diff() {
+	v2 := `
+class Counter {
+  Int n;
+  void bump(Int by) { this.n = this.n + by + by; return; }
+}
+class Main {
+  void main() {
+    let c = new Counter();
+    c.bump(1);
+    c.bump(2);
+    Sys.print(c.n);
+  }
+}`
+	p1, err := rprism.Compile(exampleV1)
+	if err != nil {
+		panic(err)
+	}
+	p2, err := rprism.Compile(v2)
+	if err != nil {
+		panic(err)
+	}
+
+	eng := rprism.NewEngine()
+	res, err := eng.Diff(context.Background(),
+		rprism.FromRun(p1, rprism.RunOptions{}),
+		rprism.FromRun(p2, rprism.RunOptions{}))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("found differences:", res.NumDiffs() > 0)
+	fmt.Println("difference sequences:", len(res.Sequences) > 0)
+	// Output:
+	// found differences: true
+	// difference sequences: true
+}
+
+// ExampleRegister adds a custom analysis to the registry; it becomes
+// dispatchable by name everywhere — Engine.RunAnalysis here, and
+// POST /run/{name} on a running rprism-serve.
+func ExampleRegister() {
+	rprism.Register("entry-count", func(ctx context.Context, e *rprism.Engine, req rprism.AnalysisRequest) (any, error) {
+		src, err := req.Source("trace")
+		if err != nil {
+			return nil, err
+		}
+		web, err := e.Views(ctx, src)
+		if err != nil {
+			return nil, err
+		}
+		return web.Trace.Len() > 0, nil
+	})
+
+	p, err := rprism.Compile(exampleV1)
+	if err != nil {
+		panic(err)
+	}
+	eng := rprism.NewEngine()
+	out, err := eng.RunAnalysis(context.Background(), "entry-count", rprism.AnalysisRequest{
+		Sources: map[string]rprism.Source{"trace": rprism.FromRun(p, rprism.RunOptions{})},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("trace has entries:", out)
+	// Output:
+	// trace has entries: true
+}

@@ -25,6 +25,7 @@ package corpus
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -426,6 +427,46 @@ func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 		return nil, it.err
 	}
 	return it.web, nil
+}
+
+// ViewsCtx is Views with caller-side cancellation. An already-built web
+// is served immediately with no extra machinery. Otherwise the build (or
+// the wait on another goroutine's build) runs detached: if ctx ends
+// first, this caller unblocks with the context's error while the build
+// itself completes and populates the cache for future callers — one
+// impatient client must not waste the work every other waiter is
+// queued on.
+func (s *Store) ViewsCtx(ctx context.Context, id trace.Digest) (*views.Web, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if el, ok := s.webs[id]; ok {
+		it := el.Value.(*webItem)
+		if it.done.Load() && it.err == nil {
+			s.webLRU.MoveToFront(el)
+			s.mu.Unlock()
+			s.webHits.Add(1)
+			return it.web, nil
+		}
+	}
+	s.mu.Unlock()
+
+	type out struct {
+		web *views.Web
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		w, err := s.Views(id)
+		ch <- out{w, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.web, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Delete removes a trace from every tier, including disk.

@@ -1,6 +1,8 @@
 package diff
 
 import (
+	"context"
+
 	"repro/internal/lcs"
 	"repro/internal/trace"
 )
@@ -21,11 +23,18 @@ type LCSOptions struct {
 // differences between consecutive correspondence points become difference
 // sequences (insertion / deletion / modification).
 func LCSDiff(l, r *trace.Trace, opts LCSOptions) (*Result, error) {
+	return LCSDiffCtx(context.Background(), l, r, opts)
+}
+
+// LCSDiffCtx is LCSDiff with cancellation: the quadratic DP (or
+// Hirschberg recursion) polls ctx between rows and aborts with its error.
+func LCSDiffCtx(ctx context.Context, l, r *trace.Trace, opts LCSOptions) (*Result, error) {
 	cnt := &counter{}
 	eq := func(i, j int) bool { return cnt.equal(l.Entries[i], r.Entries[j]) }
 	pairs, st, err := lcs.Compute(l.Len(), r.Len(), eq, lcs.Options{
 		Algorithm:    opts.Algorithm,
 		MemoryBudget: opts.MemoryBudget,
+		Ctx:          ctx,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package diff
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/lcs"
@@ -75,6 +76,20 @@ func ViewDiff(l, r *trace.Trace, opts ViewOptions) *Result {
 	return ViewDiffWebs(views.Build(l), views.Build(r), opts)
 }
 
+// ViewDiffCtx is ViewDiff with cancellation: both web constructions and
+// the differencing evaluation poll ctx and abort with its error.
+func ViewDiffCtx(ctx context.Context, l, r *trace.Trace, opts ViewOptions) (*Result, error) {
+	wl, err := views.BuildCtx(ctx, l)
+	if err != nil {
+		return nil, err
+	}
+	wr, err := views.BuildCtx(ctx, r)
+	if err != nil {
+		return nil, err
+	}
+	return ViewDiffWebsCtx(ctx, wl, wr, opts)
+}
+
 // ViewDiffWebs runs the views-based differencing semantics over
 // pre-built view webs, skipping web construction entirely. This is the
 // entry point for callers that amortize Build across many diffs — the
@@ -83,9 +98,20 @@ func ViewDiff(l, r *trace.Trace, opts ViewOptions) *Result {
 // so any number of ViewDiffWebs calls may share them; all mutable
 // differencing state is per-call.
 func ViewDiffWebs(wl, wr *views.Web, opts ViewOptions) *Result {
+	res, _ := ViewDiffWebsCtx(context.Background(), wl, wr, opts)
+	return res
+}
+
+// ViewDiffWebsCtx is ViewDiffWebs with cancellation. The evaluation's
+// hot loops (lock-step pair walking and correspondence scans) poll ctx
+// every few hundred steps; when it is canceled the evaluation unwinds
+// immediately and the context's error is returned with a nil result.
+// This is the hook that lets the analysis service kill runaway diffs.
+func ViewDiffWebsCtx(ctx context.Context, wl, wr *views.Web, opts ViewOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	l, r := wl.Trace, wr.Trace
 	d := &differ{
+		ctx:  ctx,
 		opts: opts,
 		cnt:  &counter{},
 		wl:   wl,
@@ -106,6 +132,9 @@ func ViewDiffWebs(wl, wr *views.Web, opts ViewOptions) *Result {
 	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
 	for _, lid := range lids {
 		d.evalPair(lid, tm.Pairs[lid])
+	}
+	if d.err != nil {
+		return nil, d.err
 	}
 
 	// Unmatched threads: everything they did is a difference.
@@ -129,16 +158,35 @@ func ViewDiffWebs(wl, wr *views.Web, opts ViewOptions) *Result {
 		MemBytes: int64(l.Len()+r.Len())*48 + // view webs (indices + names)
 			int64(len(d.memo))*24,
 	}
-	return d.res
+	return d.res, nil
 }
 
 type differ struct {
+	ctx          context.Context
+	err          error // first ctx error observed; sticky
+	steps        int   // cancellation-poll counter
 	opts         ViewOptions
 	cnt          *counter
 	wl, wr       *views.Web
 	res          *Result
 	memo         map[memoKey]bool
 	explorations int64
+}
+
+// canceled polls the context every 256 bumps. Once an error is observed
+// it is sticky: every subsequent call reports true without touching the
+// context again, so the evaluation unwinds through its nested loops in
+// microseconds regardless of trace size.
+func (d *differ) canceled() bool {
+	if d.err != nil {
+		return true
+	}
+	d.steps++
+	if d.steps&255 != 0 {
+		return false
+	}
+	d.err = d.ctx.Err()
+	return d.err != nil
 }
 
 type memoKey struct {
@@ -184,6 +232,9 @@ func (d *differ) evalPair(lid, rid trace.ThreadID) {
 	desyncUntil := 0 // backoff threshold after a failed full resync
 	failStreak := 0  // consecutive failed resyncs; escalates the scan limit
 	for i < len(L) && j < len(R) {
+		if d.canceled() {
+			return
+		}
 		el, er := d.wl.Trace.Entries[L[i]], d.wr.Trace.Entries[R[j]]
 		if d.cnt.equal(el, er) {
 			// STEP-VIEW-MATCH
@@ -250,6 +301,9 @@ func (d *differ) evalPair(lid, rid trace.ThreadID) {
 		i++
 		j++
 	}
+	if d.err != nil {
+		return
+	}
 	for ; i < len(L); i++ {
 		seq.Left = append(seq.Left, L[i])
 	}
@@ -310,6 +364,12 @@ func (d *differ) scan(L, R []trace.EntryID, i, j, limit int) (int, int, bool) {
 	fallbackI, fallbackJ := -1, -1
 	fallbackDeadline := 0
 	for s := 1; s <= limit; s++ {
+		// Scans escalate to trace-length limits on massively diverged
+		// inputs, so the scan itself must be cancellable; a late diagonal
+		// alone can cost millions of comparisons, hence the inner poll.
+		if d.canceled() {
+			return 0, 0, false
+		}
 		if fallbackI >= 0 && s > fallbackDeadline {
 			return fallbackI, fallbackJ, true
 		}
@@ -319,6 +379,9 @@ func (d *differ) scan(L, R []trace.EntryID, i, j, limit int) (int, int, bool) {
 		// that keeps both sides in phase; a side-biased order would lock
 		// onto a phase-shifted match and misalign everything after it.
 		for k := 0; k <= s; k++ {
+			if k&8191 == 8191 && d.canceled() {
+				return 0, 0, false
+			}
 			di := s/2 + (k+1)/2
 			if k%2 == 1 {
 				di = s/2 - (k+1)/2

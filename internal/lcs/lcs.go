@@ -10,6 +10,7 @@
 package lcs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 )
@@ -46,6 +47,11 @@ type Options struct {
 	// budget models RPRISM's experimental machine: exceeding it is the
 	// "out of memory failure" of Table 1.
 	MemoryBudget int64
+	// Ctx, when non-nil, is polled between DP rows; a canceled context
+	// aborts the computation with the context's error. Full-trace LCS
+	// tables run for minutes on large inputs, so servers need a way to
+	// kill them mid-flight.
+	Ctx context.Context
 }
 
 // ErrMemoryBudget is returned when the DP table would exceed the budget.
@@ -77,9 +83,9 @@ func Compute(n, m int, eq Eq, opts Options) ([]Pair, Stats, error) {
 		shifted := func(i, j int) bool { return counted(pre+i, pre+j) }
 		switch opts.Algorithm {
 		case Hirschberg:
-			inner, err = hirschberg(innerN, innerM, shifted, &st, opts.MemoryBudget)
+			inner, err = hirschberg(opts.Ctx, innerN, innerM, shifted, &st, opts.MemoryBudget)
 		default:
-			inner, err = dp(innerN, innerM, shifted, &st, opts.MemoryBudget)
+			inner, err = dp(opts.Ctx, innerN, innerM, shifted, &st, opts.MemoryBudget)
 		}
 		if err != nil {
 			return nil, st, err
@@ -106,12 +112,21 @@ func Length(n, m int, eq Eq) (int, Stats) {
 		st.Compares++
 		return eq(i, j)
 	}
-	row := lcsRow(n, m, counted, false)
+	row, _ := lcsRow(nil, n, m, counted, false)
 	st.Cells = int64(m + 1)
 	return int(row[m]), st
 }
 
-func dp(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
+// ctxErr polls ctx (nil means uncancellable) — the shared cancellation
+// check of the DP loops.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+func dp(ctx context.Context, n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 	cells := (int64(n) + 1) * (int64(m) + 1)
 	if budget > 0 && cells > budget {
 		return nil, fmt.Errorf("%w: need %d cells, budget %d", ErrMemoryBudget, cells, budget)
@@ -123,6 +138,11 @@ func dp(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 	tab := make([]int32, cells)
 	at := func(i, j int) int32 { return tab[i*width+j] }
 	for i := 1; i <= n; i++ {
+		if i&15 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		for j := 1; j <= m; j++ {
 			if eq(i-1, j-1) {
 				tab[i*width+j] = at(i-1, j-1) + 1
@@ -155,10 +175,15 @@ func dp(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 
 // lcsRow computes the final DP row in O(m) space. If rev is true the
 // sequences are traversed in reverse (for Hirschberg's split step).
-func lcsRow(n, m int, eq Eq, rev bool) []int32 {
+func lcsRow(ctx context.Context, n, m int, eq Eq, rev bool) ([]int32, error) {
 	prev := make([]int32, m+1)
 	cur := make([]int32, m+1)
 	for i := 1; i <= n; i++ {
+		if i&15 == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
 		cur[0] = 0
 		for j := 1; j <= m; j++ {
 			var same bool
@@ -177,11 +202,11 @@ func lcsRow(n, m int, eq Eq, rev bool) []int32 {
 		}
 		prev, cur = cur, prev
 	}
-	return prev
+	return prev, nil
 }
 
 // hirschberg reconstructs an LCS in linear space.
-func hirschberg(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
+func hirschberg(ctx context.Context, n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 	if rows := int64(m+1) * 2; rows > st.Cells {
 		st.Cells = rows
 	}
@@ -197,9 +222,15 @@ func hirschberg(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 		return nil, nil
 	}
 	mid := n / 2
-	upper := lcsRow(mid, m, eq, false)
+	upper, err := lcsRow(ctx, mid, m, eq, false)
+	if err != nil {
+		return nil, err
+	}
 	lowerEq := func(i, j int) bool { return eq(mid+i, j) }
-	lower := lcsRow(n-mid, m, lowerEq, true)
+	lower, err := lcsRow(ctx, n-mid, m, lowerEq, true)
+	if err != nil {
+		return nil, err
+	}
 	// Find the split point k maximizing upper[k] + lower[m-k].
 	best, bestK := int32(-1), 0
 	for k := 0; k <= m; k++ {
@@ -207,12 +238,12 @@ func hirschberg(n, m int, eq Eq, st *Stats, budget int64) ([]Pair, error) {
 			best, bestK = v, k
 		}
 	}
-	left, err := hirschberg(mid, bestK, eq, st, budget)
+	left, err := hirschberg(ctx, mid, bestK, eq, st, budget)
 	if err != nil {
 		return nil, err
 	}
 	rightEq := func(i, j int) bool { return eq(mid+i, bestK+j) }
-	right, err := hirschberg(n-mid, m-bestK, rightEq, st, budget)
+	right, err := hirschberg(ctx, n-mid, m-bestK, rightEq, st, budget)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@
 package regression
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,12 +78,27 @@ type Analysis struct {
 // trace's view web is built exactly once here even though two of the
 // traces participate in two differencing passes.
 func Analyze(in Input) (*Analysis, error) {
-	return AnalyzeWebs(Webs{
-		OrigCorrect: views.Build(in.OrigCorrect),
-		NewCorrect:  views.Build(in.NewCorrect),
-		OrigRegr:    views.Build(in.OrigRegr),
-		NewRegr:     views.Build(in.NewRegr),
-	}, in.RemovalMode, in.Opts)
+	return AnalyzeCtx(context.Background(), in)
+}
+
+// AnalyzeCtx is Analyze with cancellation: the four web builds and three
+// differencing passes all poll ctx and abort with its error.
+func AnalyzeCtx(ctx context.Context, in Input) (*Analysis, error) {
+	var w Webs
+	var err error
+	if w.OrigCorrect, err = views.BuildCtx(ctx, in.OrigCorrect); err != nil {
+		return nil, err
+	}
+	if w.NewCorrect, err = views.BuildCtx(ctx, in.NewCorrect); err != nil {
+		return nil, err
+	}
+	if w.OrigRegr, err = views.BuildCtx(ctx, in.OrigRegr); err != nil {
+		return nil, err
+	}
+	if w.NewRegr, err = views.BuildCtx(ctx, in.NewRegr); err != nil {
+		return nil, err
+	}
+	return AnalyzeWebsCtx(ctx, w, in.RemovalMode, in.Opts)
 }
 
 // Webs bundles pre-built view webs for the four traces of the protocol,
@@ -99,9 +115,25 @@ type Webs struct {
 // AnalyzeWebs runs the analysis over pre-built webs. The webs are only
 // read; concurrent analyses may share them.
 func AnalyzeWebs(w Webs, removalMode bool, opts diff.ViewOptions) (*Analysis, error) {
-	a := diff.ViewDiffWebs(w.OrigRegr, w.NewRegr, opts)
-	b := diff.ViewDiffWebs(w.OrigCorrect, w.NewCorrect, opts)
-	c := diff.ViewDiffWebs(w.NewCorrect, w.NewRegr, opts)
+	return AnalyzeWebsCtx(context.Background(), w, removalMode, opts)
+}
+
+// AnalyzeWebsCtx is AnalyzeWebs with cancellation: each of the three
+// differencing passes polls ctx (see diff.ViewDiffWebsCtx), so a protocol
+// run over four large traces aborts promptly wherever it is.
+func AnalyzeWebsCtx(ctx context.Context, w Webs, removalMode bool, opts diff.ViewOptions) (*Analysis, error) {
+	a, err := diff.ViewDiffWebsCtx(ctx, w.OrigRegr, w.NewRegr, opts)
+	if err != nil {
+		return nil, err
+	}
+	b, err := diff.ViewDiffWebsCtx(ctx, w.OrigCorrect, w.NewCorrect, opts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := diff.ViewDiffWebsCtx(ctx, w.NewCorrect, w.NewRegr, opts)
+	if err != nil {
+		return nil, err
+	}
 	return Combine(a, b, c, removalMode), nil
 }
 

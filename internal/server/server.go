@@ -1,10 +1,16 @@
-// Package server exposes the trace corpus and the analysis pipeline over
+// Package server exposes the trace corpus and the analysis engine over
 // an HTTP JSON API — the long-running service face of the repo
 // (rprism-serve). Traces are uploaded once in the gob format written by
 // `rprism trace`, then addressed by content digest for any number of
-// view, diff, and regression queries; heavy analysis work runs under a
-// bounded worker pool so a burst of requests degrades to queueing, not
-// to unbounded goroutines each building webs.
+// analysis queries; heavy work runs under a bounded worker pool so a
+// burst of requests degrades to queueing, not to unbounded goroutines
+// each building webs, and every analysis runs under the request's
+// context (plus an optional server-side deadline) so canceled or
+// runaway requests stop burning CPU.
+//
+// Analyses dispatch through the rprism registry: any analysis registered
+// with rprism.Register is served at POST /run/{analysis} and listed by
+// GET /analyses without touching this package.
 //
 // Endpoints:
 //
@@ -12,10 +18,16 @@
 //	GET  /traces                 list stored traces
 //	GET  /traces/{id}            metadata of one trace
 //	GET  /traces/{id}/views      view-web summary (counts + largest views)
+//	GET  /analyses               list registered analyses
+//	POST /run/{analysis}         run any registered analysis (JSON body)
 //	GET  /diff?left=&right=      views-based diff of two stored traces
 //	POST /analyze                four-trace regression protocol (JSON body)
 //	GET  /stats                  corpus, cache, symbol-table, server stats
 //	GET  /healthz                liveness
+//
+// Every error response is the JSON envelope
+// {"error": {"code": "...", "message": "..."}} — including the 404/405
+// responses the routing layer itself produces.
 package server
 
 import (
@@ -30,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	rprism "repro"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/regression"
@@ -46,6 +59,11 @@ type Options struct {
 	// QueueTimeout is how long a request waits for a worker slot before
 	// 503 (default 30s).
 	QueueTimeout time.Duration
+	// RequestTimeout caps one analysis request's execution once it holds
+	// a worker slot; exceeding it aborts the analysis mid-loop (the
+	// engine honors the context in its hot paths) and returns 504.
+	// Zero means no server-side deadline.
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -61,25 +79,38 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Server serves the corpus. Create with New, mount via Handler.
+// Server serves the engine's corpus and analyses. Create with New, mount
+// via Handler.
 type Server struct {
+	eng   *rprism.Engine
 	store *corpus.Store
 	opts  Options
 	sem   chan struct{}
 
 	requests atomic.Int64
 	rejected atomic.Int64 // queue-timeout 503s
+	timeouts atomic.Int64 // request-deadline 504s
 }
 
-// New wraps a corpus store in a server.
-func New(store *corpus.Store, opts Options) *Server {
+// New wraps an analysis engine in a server. The engine must be
+// corpus-backed (rprism.WithCorpus): uploads land in its store and
+// digest-addressed sources resolve through it.
+func New(eng *rprism.Engine, opts Options) *Server {
+	store := eng.Corpus()
+	if store == nil {
+		panic("server: engine has no corpus (construct it rprism.WithCorpus)")
+	}
 	opts = opts.withDefaults()
 	return &Server{
+		eng:   eng,
 		store: store,
 		opts:  opts,
 		sem:   make(chan struct{}, opts.Workers),
 	}
 }
+
+// Engine returns the server's engine.
+func (s *Server) Engine() *rprism.Engine { return s.eng }
 
 // Handler returns the routing handler.
 func (s *Server) Handler() http.Handler {
@@ -89,6 +120,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces", s.handleListTraces)
 	mux.HandleFunc("GET /traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /traces/{id}/views", s.handleGetViews)
+	mux.HandleFunc("GET /analyses", s.handleAnalyses)
+	mux.HandleFunc("POST /run/{analysis}", s.handleRun)
 	mux.HandleFunc("GET /diff", s.handleDiff)
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -97,8 +130,43 @@ func (s *Server) Handler() http.Handler {
 	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
+		// The mux's own 404/405 responses are plain text; interpose so
+		// every error that leaves this server wears the JSON envelope.
+		mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
 	})
+}
+
+// jsonErrorWriter rewrites plain-text error responses originating in the
+// routing layer (404 page not found, 405 method not allowed) into the
+// standard JSON envelope. Handler-produced errors already set an
+// application/json content type and pass through untouched.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	intercepted bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		w.Header().Get("Content-Type") != "application/json" {
+		w.intercepted = true
+		code, msg := "not_found", "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			code, msg = "method_not_allowed", "method not allowed for this endpoint"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Del("X-Content-Type-Options")
+		w.ResponseWriter.WriteHeader(status)
+		_ = json.NewEncoder(w.ResponseWriter).Encode(errorResponse{Error: ErrorBody{Code: code, Message: msg}})
+		return
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.intercepted {
+		return len(b), nil // swallow the plain-text body; the envelope is out
+	}
+	return w.ResponseWriter.Write(b)
 }
 
 // ListenAndServe runs the server until ctx is canceled, then shuts down
@@ -151,6 +219,16 @@ func (s *Server) acquire(r *http.Request) error {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// analysisCtx derives the context an analysis runs under: the request's
+// own (canceled when the client disconnects) plus the server-side
+// deadline, when configured.
+func (s *Server) analysisCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
 
 // ---- wire types ----
 
@@ -225,6 +303,22 @@ type AnalyzeResponse struct {
 	Report     string              `json:"report"`
 }
 
+// RunRequest is the generic invocation body of POST /run/{analysis}:
+// role-named trace digests plus analysis-specific params passed through
+// to the registry verbatim.
+type RunRequest struct {
+	Traces  map[string]string `json:"traces"`
+	Params  json.RawMessage   `json:"params,omitempty"`
+	MaxSeqs int               `json:"max_sequences,omitempty"`
+}
+
+// RunResponse wraps a registered analysis's result when it has no
+// dedicated wire form.
+type RunResponse struct {
+	Analysis string `json:"analysis"`
+	Result   any    `json:"result"`
+}
+
 // StatsResponse aggregates every statistics source.
 type StatsResponse struct {
 	Corpus  corpus.Stats      `json:"corpus"`
@@ -238,11 +332,31 @@ type ServerStats struct {
 	InFlight int   `json:"in_flight"`
 	Requests int64 `json:"requests"`
 	Rejected int64 `json:"rejected"`
+	Timeouts int64 `json:"timeouts"`
+}
+
+// ErrorBody is the uniform error payload: a stable machine-readable code
+// plus a human-readable message.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
+
+// Error codes used across all endpoints.
+const (
+	CodeBadRequest   = "bad_request"
+	CodeNotFound     = "not_found"
+	CodeTooLarge     = "too_large"
+	CodeQueueFull    = "queue_full"
+	CodeTimeout      = "timeout"
+	CodeCanceled     = "canceled"
+	CodeInternal     = "internal"
+	CodeUnknownAnaly = "unknown_analysis"
+)
 
 // ---- handlers ----
 
@@ -251,7 +365,7 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 	// trace in memory and Put serializes on the store's write lock, so
 	// a burst must queue-then-503 like any other heavy request.
 	if err := s.acquire(r); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
 		return
 	}
 	defer s.release()
@@ -260,30 +374,30 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeErr(w, http.StatusRequestEntityTooLarge,
+			writeErr(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
 				fmt.Errorf("trace exceeds the %d-byte upload limit", tooBig.Limit))
 			return
 		}
-		writeErr(w, http.StatusBadRequest,
+		writeErr(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("body is not a gob trace (write one with 'rprism trace'): %w", err))
 		return
 	}
 	if t.Len() == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("refusing to store an empty trace"))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("refusing to store an empty trace"))
 		return
 	}
 	id, created, err := s.store.Put(t)
 	if err != nil {
 		if errors.Is(err, corpus.ErrInvalidTrace) {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	m, err := s.store.Meta(id)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
 		return
 	}
 	status := http.StatusOK
@@ -323,13 +437,15 @@ func (s *Server) handleGetViews(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
 		return
 	}
 	defer s.release()
-	web, err := s.store.Views(id)
+	ctx, cancel := s.analysisCtx(r)
+	defer cancel()
+	web, err := s.eng.Views(ctx, rprism.FromCorpus(id))
 	if err != nil {
-		writeStoreErr(w, err)
+		s.writeAnalysisErr(w, err)
 		return
 	}
 	c := web.Count()
@@ -354,6 +470,85 @@ func (s *Server) handleGetViews(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleAnalyses lists the registered analyses — service discovery for
+// generic clients.
+func (s *Server) handleAnalyses(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rprism.Analyses())
+}
+
+// handleRun is the generic analysis endpoint: any analysis in the
+// rprism registry, invoked with role-named corpus digests. Results with
+// a dedicated wire form (diff, regression) render exactly as their
+// legacy endpoints do; anything else is marshaled verbatim inside a
+// RunResponse.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("analysis")
+	if _, ok := rprism.LookupAnalysis(name); !ok {
+		writeErr(w, http.StatusNotFound, CodeUnknownAnaly,
+			fmt.Errorf("unknown analysis %q (GET /analyses lists the registered ones)", name))
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	sources := make(map[string]rprism.Source, len(req.Traces))
+	digests := make(map[string]trace.Digest, len(req.Traces))
+	for role, raw := range req.Traces {
+		d, err := trace.ParseDigest(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("trace %q: %w", role, err))
+			return
+		}
+		sources[role] = rprism.FromCorpus(d)
+		digests[role] = d
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
+		return
+	}
+	defer s.release()
+	ctx, cancel := s.analysisCtx(r)
+	defer cancel()
+	out, err := s.eng.RunAnalysis(ctx, name, rprism.AnalysisRequest{Sources: sources, Params: req.Params})
+	if err != nil {
+		s.writeAnalysisErr(w, err)
+		return
+	}
+	maxSeqs := req.MaxSeqs
+	left, hasLeft := digests["left"]
+	right, hasRight := digests["right"]
+	switch v := out.(type) {
+	// The dedicated diff wire form names the compared digests, so it
+	// only applies when the request actually used the left/right roles;
+	// a custom analysis with other roles falls through to the generic
+	// wrapper rather than reporting zero-value digests.
+	case *rprism.DiffResult:
+		if !hasLeft || !hasRight {
+			writeJSON(w, http.StatusOK, RunResponse{Analysis: name, Result: v})
+			return
+		}
+		if maxSeqs == 0 {
+			maxSeqs = 20
+		}
+		writeJSON(w, http.StatusOK, diffResponse(left, right, v, maxSeqs))
+	case *rprism.RegressionAnalysis:
+		if _, ok := digests["orig_correct"]; !ok {
+			// Same role guard as the diff case: the dedicated wire form
+			// belongs to requests shaped like the four-trace protocol.
+			writeJSON(w, http.StatusOK, RunResponse{Analysis: name, Result: v})
+			return
+		}
+		if maxSeqs == 0 {
+			maxSeqs = 10
+		}
+		writeJSON(w, http.StatusOK, analyzeResponse(v, maxSeqs))
+	default:
+		writeJSON(w, http.StatusOK, RunResponse{Analysis: name, Result: v})
+	}
+}
+
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	left, ok := queryDigest(w, r, "left")
 	if !ok {
@@ -364,21 +559,32 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
 		return
 	}
 	defer s.release()
-	wl, err := s.store.Views(left)
+	ctx, cancel := s.analysisCtx(r)
+	defer cancel()
+	// The legacy endpoint is a thin alias of the registry's "diff"
+	// analysis; both paths share one implementation and one wire form.
+	out, err := s.eng.RunAnalysis(ctx, "diff", rprism.AnalysisRequest{
+		Sources: map[string]rprism.Source{
+			"left":  rprism.FromCorpus(left),
+			"right": rprism.FromCorpus(right),
+		},
+	})
 	if err != nil {
-		writeStoreErr(w, err)
+		s.writeAnalysisErr(w, err)
 		return
 	}
-	wr, err := s.store.Views(right)
-	if err != nil {
-		writeStoreErr(w, err)
+	res, ok := out.(*rprism.DiffResult)
+	if !ok {
+		// Register() permits replacing built-ins; a "diff" override with
+		// a foreign result type must not panic the legacy alias.
+		writeErr(w, http.StatusInternalServerError, CodeInternal,
+			fmt.Errorf("analysis \"diff\" returned %T, not a diff result", out))
 		return
 	}
-	res := diff.ViewDiffWebs(wl, wr, diff.ViewOptions{})
 	writeJSON(w, http.StatusOK, diffResponse(left, right, res, intQuery(r, "max", 20)))
 }
 
@@ -407,80 +613,74 @@ func diffResponse(left, right trace.Digest, res *diff.Result, maxSeqs int) DiffR
 	return resp
 }
 
+func analyzeResponse(an *regression.Analysis, maxSeqs int) AnalyzeResponse {
+	return AnalyzeResponse{
+		Sizes:      an.Sizes,
+		Candidates: len(an.D),
+		Related:    append([]int{}, an.Related...),
+		Report:     an.Report(maxSeqs),
+	}
+}
+
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON body: %w", err))
 		return
 	}
-	parse := func(field, v string) (trace.Digest, bool) {
-		d, err := trace.ParseDigest(v)
+	sources := make(map[string]rprism.Source, 4)
+	for _, f := range []struct{ field, digest string }{
+		{"orig_correct", req.OrigCorrect},
+		{"new_correct", req.NewCorrect},
+		{"orig_regr", req.OrigRegr},
+		{"new_regr", req.NewRegr},
+	} {
+		d, err := trace.ParseDigest(f.digest)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("field %q: %w", field, err))
-			return d, false
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("field %q: %w", f.field, err))
+			return
 		}
-		return d, true
-	}
-	oc, ok := parse("orig_correct", req.OrigCorrect)
-	if !ok {
-		return
-	}
-	nc, ok := parse("new_correct", req.NewCorrect)
-	if !ok {
-		return
-	}
-	or, ok := parse("orig_regr", req.OrigRegr)
-	if !ok {
-		return
-	}
-	nr, ok := parse("new_regr", req.NewRegr)
-	if !ok {
-		return
+		sources[f.field] = rprism.FromCorpus(d)
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
 		return
 	}
 	defer s.release()
-	var webs regression.Webs
-	var err error
-	if webs.OrigCorrect, err = s.store.Views(oc); err == nil {
-		if webs.NewCorrect, err = s.store.Views(nc); err == nil {
-			if webs.OrigRegr, err = s.store.Views(or); err == nil {
-				webs.NewRegr, err = s.store.Views(nr)
-			}
-		}
-	}
+	ctx, cancel := s.analysisCtx(r)
+	defer cancel()
+	params, _ := json.Marshal(map[string]bool{"removal": req.Removal})
+	out, err := s.eng.RunAnalysis(ctx, "regression", rprism.AnalysisRequest{
+		Sources: sources,
+		Params:  params,
+	})
 	if err != nil {
-		writeStoreErr(w, err)
+		s.writeAnalysisErr(w, err)
 		return
 	}
-	an, err := regression.AnalyzeWebs(webs, req.Removal, diff.ViewOptions{})
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+	an, ok := out.(*rprism.RegressionAnalysis)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, CodeInternal,
+			fmt.Errorf("analysis \"regression\" returned %T, not a regression analysis", out))
 		return
 	}
 	maxSeqs := req.MaxSeqs
 	if maxSeqs == 0 {
 		maxSeqs = 10
 	}
-	writeJSON(w, http.StatusOK, AnalyzeResponse{
-		Sizes:      an.Sizes,
-		Candidates: len(an.D),
-		Related:    append([]int{}, an.Related...),
-		Report:     an.Report(maxSeqs),
-	})
+	writeJSON(w, http.StatusOK, analyzeResponse(an, maxSeqs))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Corpus:  s.store.Stats(),
-		Symbols: trace.GlobalSymbolStats(),
+		Symbols: s.eng.SymbolStats(),
 		Server: ServerStats{
 			Workers:  s.opts.Workers,
 			InFlight: len(s.sem),
 			Requests: s.requests.Load(),
 			Rejected: s.rejected.Load(),
+			Timeouts: s.timeouts.Load(),
 		},
 	})
 }
@@ -490,7 +690,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Server) pathDigest(w http.ResponseWriter, r *http.Request) (trace.Digest, bool) {
 	d, err := trace.ParseDigest(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
 		return d, false
 	}
 	return d, true
@@ -499,12 +699,12 @@ func (s *Server) pathDigest(w http.ResponseWriter, r *http.Request) (trace.Diges
 func queryDigest(w http.ResponseWriter, r *http.Request, key string) (trace.Digest, bool) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing query parameter %q", key))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("missing query parameter %q", key))
 		return trace.Digest{}, false
 	}
 	d, err := trace.ParseDigest(v)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parameter %q: %w", key, err))
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("parameter %q: %w", key, err))
 		return d, false
 	}
 	return d, true
@@ -522,16 +722,37 @@ func intQuery(r *http.Request, key string, def int) int {
 	return n
 }
 
-func writeStoreErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, corpus.ErrNotFound) {
-		writeErr(w, http.StatusNotFound, err)
-		return
+// writeAnalysisErr maps an engine/analysis error onto the envelope:
+// store misses are 404, deadline expiry is 504, client cancellation a
+// best-effort 499 (the client is usually gone), bad request payloads
+// 400, everything else 500.
+func (s *Server) writeAnalysisErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, corpus.ErrNotFound):
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+		writeErr(w, http.StatusGatewayTimeout, CodeTimeout,
+			fmt.Errorf("analysis exceeded the %s request deadline", s.opts.RequestTimeout))
+	case errors.Is(err, context.Canceled):
+		writeErr(w, 499, CodeCanceled, errors.New("request canceled"))
+	case errors.Is(err, rprism.ErrBadRequest):
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, CodeInternal, err)
 	}
-	writeErr(w, http.StatusInternalServerError, err)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+func writeStoreErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, corpus.ErrNotFound) {
+		writeErr(w, http.StatusNotFound, CodeNotFound, err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, CodeInternal, err)
+}
+
+func writeErr(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: ErrorBody{Code: code, Message: err.Error()}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	rprism "repro"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/interp"
@@ -63,10 +64,32 @@ func newTestServer(t *testing.T, opts Options) (*httptest.Server, *Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, opts)
+	srv := New(rprism.NewEngine(rprism.WithCorpus(store)), opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
+}
+
+// assertErrEnvelope requires raw to be the standard JSON error envelope
+// {"error": {"code": ..., "message": ...}} and (when wantCode is
+// non-empty) to carry the expected code.
+func assertErrEnvelope(t *testing.T, raw, wantCode string) {
+	t.Helper()
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(raw), &env); err != nil {
+		t.Fatalf("error response is not the JSON envelope: %v\n%s", err, raw)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Errorf("envelope missing code or message: %s", raw)
+	}
+	if wantCode != "" && env.Error.Code != wantCode {
+		t.Errorf("error code %q, want %q (message: %s)", env.Error.Code, wantCode, env.Error.Message)
+	}
 }
 
 func doJSON(t *testing.T, method, url string, body []byte, out any) (int, string) {
@@ -235,6 +258,7 @@ func TestUploadRejectsNonDenseEIDs(t *testing.T) {
 	if status != http.StatusBadRequest {
 		t.Errorf("crafted EIDs: status %d: %s", status, raw)
 	}
+	assertErrEnvelope(t, raw, CodeBadRequest)
 	if !strings.Contains(raw, "consecutive") {
 		t.Errorf("unhelpful rejection: %s", raw)
 	}
@@ -242,17 +266,12 @@ func TestUploadRejectsNonDenseEIDs(t *testing.T) {
 
 func TestUploadTooLargeIs413(t *testing.T) {
 	good, _ := tracePair(t)
-	store, err := corpus.New(t.TempDir(), corpus.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := New(store, Options{MaxUploadBytes: 1024})
-	ts := httptest.NewServer(srv.Handler())
-	t.Cleanup(ts.Close)
+	ts, _ := newTestServer(t, Options{MaxUploadBytes: 1024})
 	status, raw := doJSON(t, http.MethodPut, ts.URL+"/traces", gobBytes(t, good), nil)
 	if status != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized upload: status %d: %s", status, raw)
 	}
+	assertErrEnvelope(t, raw, CodeTooLarge)
 }
 
 func TestAnalyzeEndpointMatchesLibrary(t *testing.T) {
@@ -292,27 +311,39 @@ func TestErrorPaths(t *testing.T) {
 		name, method, url string
 		body              []byte
 		want              int
+		code              string
 	}{
-		{"junk upload", http.MethodPut, ts.URL + "/traces", []byte("not a trace"), http.StatusBadRequest},
-		{"bad digest", http.MethodGet, ts.URL + "/traces/zzzz", nil, http.StatusBadRequest},
-		{"unknown trace", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32), nil, http.StatusNotFound},
-		{"unknown views", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32) + "/views", nil, http.StatusNotFound},
-		{"diff missing param", http.MethodGet, ts.URL + "/diff?left=" + gi.ID, nil, http.StatusBadRequest},
+		{"junk upload", http.MethodPut, ts.URL + "/traces", []byte("not a trace"), http.StatusBadRequest, CodeBadRequest},
+		{"bad digest", http.MethodGet, ts.URL + "/traces/zzzz", nil, http.StatusBadRequest, CodeBadRequest},
+		{"unknown trace", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32), nil, http.StatusNotFound, CodeNotFound},
+		{"unknown views", http.MethodGet, ts.URL + "/traces/" + strings.Repeat("ab", 32) + "/views", nil, http.StatusNotFound, CodeNotFound},
+		{"diff missing param", http.MethodGet, ts.URL + "/diff?left=" + gi.ID, nil, http.StatusBadRequest, CodeBadRequest},
 		{"diff unknown right", http.MethodGet,
-			ts.URL + "/diff?left=" + gi.ID + "&right=" + strings.Repeat("cd", 32), nil, http.StatusNotFound},
-		{"analyze bad body", http.MethodPost, ts.URL + "/analyze", []byte("{"), http.StatusBadRequest},
+			ts.URL + "/diff?left=" + gi.ID + "&right=" + strings.Repeat("cd", 32), nil, http.StatusNotFound, CodeNotFound},
+		{"analyze bad body", http.MethodPost, ts.URL + "/analyze", []byte("{"), http.StatusBadRequest, CodeBadRequest},
 		{"analyze bad digest", http.MethodPost, ts.URL + "/analyze",
 			[]byte(`{"orig_correct":"xx","new_correct":"xx","orig_regr":"xx","new_regr":"xx"}`),
-			http.StatusBadRequest},
+			http.StatusBadRequest, CodeBadRequest},
+		{"run unknown analysis", http.MethodPost, ts.URL + "/run/nope", []byte(`{}`),
+			http.StatusNotFound, CodeUnknownAnaly},
+		{"run bad digest", http.MethodPost, ts.URL + "/run/diff",
+			[]byte(`{"traces":{"left":"xx","right":"yy"}}`), http.StatusBadRequest, CodeBadRequest},
+		{"run missing role", http.MethodPost, ts.URL + "/run/diff",
+			[]byte(`{"traces":{"left":"` + gi.ID + `"}}`), http.StatusBadRequest, CodeBadRequest},
+		{"run missing class param", http.MethodPost, ts.URL + "/run/protocol",
+			[]byte(`{"traces":{"trace":"` + gi.ID + `"}}`), http.StatusBadRequest, CodeBadRequest},
+		// Routing-layer errors must wear the envelope too — these are the
+		// responses Go's mux would otherwise emit as plain text.
+		{"unknown endpoint", http.MethodGet, ts.URL + "/nope", nil, http.StatusNotFound, "not_found"},
+		{"method not allowed", http.MethodDelete, ts.URL + "/traces", nil,
+			http.StatusMethodNotAllowed, "method_not_allowed"},
 	}
 	for _, tc := range cases {
 		status, raw := doJSON(t, tc.method, tc.url, tc.body, nil)
 		if status != tc.want {
 			t.Errorf("%s: status %d (want %d): %s", tc.name, status, tc.want, raw)
 		}
-		if !strings.Contains(raw, "error") {
-			t.Errorf("%s: no error field in %s", tc.name, raw)
-		}
+		assertErrEnvelope(t, raw, tc.code)
 	}
 }
 
@@ -381,7 +412,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(store, Options{})
+	srv := New(rprism.NewEngine(rprism.WithCorpus(store)), Options{})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -405,5 +436,218 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get(url); err == nil {
 		t.Error("listener still accepting after shutdown")
+	}
+}
+
+// TestAnalysesEndpoint checks discovery lists every built-in analysis.
+func TestAnalysesEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	var list []rprism.AnalysisInfo
+	status, raw := doJSON(t, http.MethodGet, ts.URL+"/analyses", nil, &list)
+	if status != http.StatusOK {
+		t.Fatalf("analyses: %d %s", status, raw)
+	}
+	if len(list) < 5 {
+		t.Fatalf("only %d analyses listed: %s", len(list), raw)
+	}
+	have := make(map[string]rprism.AnalysisInfo)
+	for _, a := range list {
+		have[a.Name] = a
+	}
+	for _, want := range []string{"diff", "regression", "protocol", "typestate", "impact"} {
+		a, ok := have[want]
+		if !ok {
+			t.Errorf("analysis %q not listed", want)
+			continue
+		}
+		if a.Doc == "" || len(a.Roles) == 0 {
+			t.Errorf("analysis %q missing metadata: %+v", want, a)
+		}
+	}
+}
+
+// TestRunDiffMatchesLegacyEndpoint checks POST /run/diff returns exactly
+// what GET /diff returns on the same pair.
+func TestRunDiffMatchesLegacyEndpoint(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	var legacy DiffResponse
+	status, raw := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/diff?left=%s&right=%s", ts.URL, gi.ID, bi.ID), nil, &legacy)
+	if status != http.StatusOK {
+		t.Fatalf("legacy diff: %d %s", status, raw)
+	}
+
+	body, _ := json.Marshal(RunRequest{Traces: map[string]string{"left": gi.ID, "right": bi.ID}})
+	var generic DiffResponse
+	status, raw = doJSON(t, http.MethodPost, ts.URL+"/run/diff", body, &generic)
+	if status != http.StatusOK {
+		t.Fatalf("run diff: %d %s", status, raw)
+	}
+
+	if generic.NumDiffs != legacy.NumDiffs || generic.NumSequences != legacy.NumSequences ||
+		generic.DiffLeft != legacy.DiffLeft || generic.DiffRight != legacy.DiffRight ||
+		generic.Left != legacy.Left || generic.Right != legacy.Right ||
+		len(generic.Sequences) != len(legacy.Sequences) {
+		t.Errorf("generic and legacy diff disagree:\n%+v\n%+v", generic, legacy)
+	}
+	if generic.NumDiffs == 0 {
+		t.Error("no differences on the planted-bug pair")
+	}
+}
+
+// TestRunRegressionMatchesLegacyEndpoint checks POST /run/regression
+// returns exactly what POST /analyze returns on the same protocol.
+func TestRunRegressionMatchesLegacyEndpoint(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	legacyBody, _ := json.Marshal(AnalyzeRequest{
+		OrigCorrect: gi.ID, NewCorrect: gi.ID, OrigRegr: gi.ID, NewRegr: bi.ID,
+	})
+	var legacy AnalyzeResponse
+	status, raw := doJSON(t, http.MethodPost, ts.URL+"/analyze", legacyBody, &legacy)
+	if status != http.StatusOK {
+		t.Fatalf("legacy analyze: %d %s", status, raw)
+	}
+
+	genericBody, _ := json.Marshal(RunRequest{Traces: map[string]string{
+		"orig_correct": gi.ID, "new_correct": gi.ID, "orig_regr": gi.ID, "new_regr": bi.ID,
+	}})
+	var generic AnalyzeResponse
+	status, raw = doJSON(t, http.MethodPost, ts.URL+"/run/regression", genericBody, &generic)
+	if status != http.StatusOK {
+		t.Fatalf("run regression: %d %s", status, raw)
+	}
+
+	if generic.Sizes != legacy.Sizes || generic.Candidates != legacy.Candidates ||
+		generic.Report != legacy.Report {
+		t.Errorf("generic and legacy regression disagree:\n%+v\n%+v", generic, legacy)
+	}
+}
+
+// TestRunPluggableAnalyses drives the registry-only analyses (no legacy
+// endpoint ever existed for them) through the generic route.
+func TestRunPluggableAnalyses(t *testing.T) {
+	good, bad := tracePair(t)
+	ts, _ := newTestServer(t, Options{})
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	// protocol: infer the Machine class's protocol out of the trace.
+	body, _ := json.Marshal(RunRequest{
+		Traces: map[string]string{"trace": gi.ID},
+		Params: json.RawMessage(`{"class": "Machine"}`),
+	})
+	var protoResp struct {
+		Analysis string `json:"analysis"`
+		Result   struct {
+			Class   string `json:"Class"`
+			Objects int    `json:"Objects"`
+		} `json:"result"`
+	}
+	status, raw := doJSON(t, http.MethodPost, ts.URL+"/run/protocol", body, &protoResp)
+	if status != http.StatusOK {
+		t.Fatalf("run protocol: %d %s", status, raw)
+	}
+	if protoResp.Analysis != "protocol" || protoResp.Result.Class != "Machine" {
+		t.Errorf("protocol result: %s", raw)
+	}
+
+	// impact: renders through the generic wrapper with a ranked surface.
+	body, _ = json.Marshal(RunRequest{Traces: map[string]string{"left": gi.ID, "right": bi.ID}})
+	var impactResp struct {
+		Analysis string `json:"analysis"`
+		Result   struct {
+			Total int `json:"Total"`
+		} `json:"result"`
+	}
+	status, raw = doJSON(t, http.MethodPost, ts.URL+"/run/impact", body, &impactResp)
+	if status != http.StatusOK {
+		t.Fatalf("run impact: %d %s", status, raw)
+	}
+	if impactResp.Result.Total == 0 {
+		t.Errorf("impact surface empty: %s", raw)
+	}
+
+	// typestate: an over-permissive protocol yields zero violations.
+	body, _ = json.Marshal(RunRequest{
+		Traces: map[string]string{"trace": gi.ID},
+		Params: json.RawMessage(`{"class": "NoSuchClass", "allowed": {}}`),
+	})
+	var tsResp struct {
+		Analysis string            `json:"analysis"`
+		Result   []json.RawMessage `json:"result"`
+	}
+	status, raw = doJSON(t, http.MethodPost, ts.URL+"/run/typestate", body, &tsResp)
+	if status != http.StatusOK {
+		t.Fatalf("run typestate: %d %s", status, raw)
+	}
+	if tsResp.Result == nil {
+		t.Errorf("typestate result not a JSON array: %s", raw)
+	}
+}
+
+// slowServerPair builds a trace pair whose views-based diff runs for
+// seconds uncancelled: single-threaded, wholly dissimilar, so every
+// divergence pays escalating correspondence scans.
+func slowServerPair(n int) (*trace.Trace, *trace.Trace) {
+	mk := func(side string) *trace.Trace {
+		tr := trace.New(side)
+		for i := 0; i < n; i++ {
+			m := fmt.Sprintf("%s.m%d/0", side, i)
+			tr.Append(1, m, trace.Repr{}, trace.Event{Kind: trace.KindCall, Member: m})
+		}
+		return tr
+	}
+	return mk("TimeoutL"), mk("TimeoutR")
+}
+
+// TestServerRequestTimeout checks the server-side deadline kills a
+// runaway diff promptly with the 504 envelope instead of letting it run
+// for seconds. Run under -race in CI.
+func TestServerRequestTimeout(t *testing.T) {
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, r := slowServerPair(12000)
+	lid, _, err := store.Put(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, _, err := store.Put(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(rprism.NewEngine(rprism.WithCorpus(store)), Options{RequestTimeout: 100 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	start := time.Now()
+	status, raw := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/diff?left=%s&right=%s", ts.URL, lid, rid), nil, nil)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("runaway diff: status %d (in %v): %s", status, elapsed, raw)
+	}
+	assertErrEnvelope(t, raw, CodeTimeout)
+	// Uncancelled this diff runs for seconds; the deadline must bound it
+	// near the 100ms budget (slack for -race and web building).
+	if elapsed > 3*time.Second {
+		t.Errorf("timed-out request returned after %v", elapsed)
+	}
+
+	var stats StatsResponse
+	if status, raw := doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats); status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, raw)
+	}
+	if stats.Server.Timeouts == 0 {
+		t.Error("timeout not counted in server stats")
 	}
 }

@@ -155,7 +155,12 @@ type SymbolStats struct {
 	Bytes    int64 `json:"bytes"`    // total bytes of distinct interned strings
 }
 
+// Stats snapshots a table's statistics.
+func (st *SymbolTable) Stats() SymbolStats {
+	return SymbolStats{Distinct: st.Len(), Bytes: st.Bytes()}
+}
+
 // GlobalSymbolStats snapshots the process-wide table's statistics.
 func GlobalSymbolStats() SymbolStats {
-	return SymbolStats{Distinct: Symbols.Len(), Bytes: Symbols.Bytes()}
+	return Symbols.Stats()
 }

@@ -12,6 +12,7 @@
 package views
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -194,6 +195,15 @@ type Web struct {
 // interpreter or any loader are fully interned already, making EnsureSyms
 // a read-only scan and concurrent Builds safe.
 func Build(t *trace.Trace) *Web {
+	w, _ := BuildCtx(context.Background(), t)
+	return w
+}
+
+// BuildCtx is Build with cancellation: ctx is polled periodically during
+// the construction pass, and a canceled context aborts the build with the
+// context's error. Servers building webs over multi-million-entry traces
+// use this to kill requests whose clients have gone away.
+func BuildCtx(ctx context.Context, t *trace.Trace) (*Web, error) {
 	t.EnsureSyms() // no-op for interpreter- or loader-produced traces
 	w := &Web{
 		Trace:   t,
@@ -208,6 +218,11 @@ func Build(t *trace.Trace) *Web {
 	}
 	w.arena = make([]Name, 0, total)
 	for i := range t.Entries {
+		if i&8191 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		e := &t.Entries[i]
 		if e.Event.Kind == trace.KindEOF {
 			continue
@@ -227,7 +242,7 @@ func Build(t *trace.Trace) *Web {
 		w.noteObject(e.Event.Target, e.EID)
 		w.noteObject(e.Self, e.EID)
 	}
-	return w
+	return w, nil
 }
 
 func (w *Web) noteObject(r trace.Repr, eid trace.EntryID) {

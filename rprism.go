@@ -4,13 +4,21 @@
 // views-based trace differencing, and automated regression-cause
 // analysis.
 //
-// The pipeline:
+// The pipeline, through the Engine API:
 //
-//	prog, _ := rprism.Compile(src)            // mini-Java program
-//	run, _  := rprism.Run(prog, rprism.RunOptions{Args: []string{...}})
-//	web     := rprism.BuildViews(run.Trace)   // linked semantic views
-//	d       := rprism.Diff(left, right, ...)  // views-based differencing
-//	an, _   := rprism.AnalyzeRegression(...)  // D = (A − B) ∩ C
+//	prog, _ := rprism.Compile(src)              // mini-Java program
+//	eng     := rprism.NewEngine()               // shared analysis engine
+//	left    := rprism.FromRun(prog, rprism.RunOptions{Args: []string{...}})
+//	right   := rprism.FromFile("run2.trace")    // any Source works anywhere
+//	d, _    := eng.Diff(ctx, left, right)       // views-based differencing
+//	an, _   := eng.AnalyzeRegression(ctx, ...)  // D = (A − B) ∩ C
+//
+// The Engine resolves Sources to cached view webs, honors context
+// cancellation inside every analysis hot loop, and dispatches any
+// analysis registered with Register — the built-ins (diff, regression,
+// protocol, typestate, impact) plus yours. The free functions below
+// predate the Engine and remain as thin deprecated wrappers for one
+// release.
 //
 // The original tool instruments Java through AspectJ load-time weaving;
 // here a tracing interpreter for a Featherweight-Java-style language
@@ -98,10 +106,16 @@ func Run(p *Program, opts RunOptions) (*RunResult, error) {
 
 // BuildViews constructs the linked view web over a trace: thread views,
 // method views, target-object views, and active-object views (§2.4).
+//
+// Deprecated: use (*Engine).Views with a Source; the engine caches the
+// built web and honors cancellation.
 func BuildViews(t *Trace) *Web { return views.Build(t) }
 
 // Diff compares two traces with the views-based differencing semantics of
 // Fig. 12 — linear in time and space.
+//
+// Deprecated: use (*Engine).Diff (or DiffWith), which caches view webs
+// across calls and honors context cancellation in the hot loops.
 func Diff(left, right *Trace, opts DiffOptions) *DiffResult {
 	return diff.ViewDiff(left, right, opts)
 }
@@ -110,6 +124,8 @@ func Diff(left, right *Trace, opts DiffOptions) *DiffResult {
 // skipping web construction. Webs are read-only during differencing, so
 // the same web can serve many concurrent diffs (the rprism-serve cache
 // path).
+//
+// Deprecated: use (*Engine).Diff with FromWeb sources.
 func DiffWebs(left, right *Web, opts DiffOptions) *DiffResult {
 	return diff.ViewDiffWebs(left, right, opts)
 }
@@ -117,12 +133,19 @@ func DiffWebs(left, right *Web, opts DiffOptions) *DiffResult {
 // DiffLCS compares two traces with the optimized-LCS baseline of Fig. 11.
 // It returns lcs.ErrMemoryBudget when the DP table would exceed the
 // configured budget.
+//
+// Deprecated: use (*Engine).DiffLCS, which honors context cancellation
+// between DP rows.
 func DiffLCS(left, right *Trace, opts LCSOptions) (*DiffResult, error) {
 	return diff.LCSDiff(left, right, opts)
 }
 
 // AnalyzeRegression runs the full §4.1 regression-cause analysis over the
 // four traces of the protocol.
+//
+// Deprecated: use (*Engine).AnalyzeRegression with RegressionSources;
+// the engine reuses cached webs across the three differencing passes and
+// honors cancellation.
 func AnalyzeRegression(in RegressionInput) (*RegressionAnalysis, error) {
 	return regression.Analyze(in)
 }
