@@ -180,6 +180,54 @@ func rhinoPair(b *testing.B, stmts int) (*trace.Trace, *trace.Trace) {
 	return good, bad
 }
 
+// mtPair runs the multithreaded subject twice, the right version with a
+// planted per-iteration bias, yielding a trace pair whose diff decomposes
+// into `workers` independent thread-pair units.
+func mtPair(b *testing.B, workers, iters int) (*trace.Trace, *trace.Trace) {
+	b.Helper()
+	l := mustRun(b, lang.MustParse(subjects.MultithreadedSource(workers, iters, "0")))
+	r := mustRun(b, lang.MustParse(subjects.MultithreadedSource(workers, iters, "1")))
+	return l, r
+}
+
+// BenchmarkViewDiffParallel measures the intra-diff worker pool on a
+// medium multithreaded subject over cached webs: workers=1 is the serial
+// baseline, the other rows show the wall-clock scaling (every row
+// produces the identical Result). Speedup rows also land in
+// `rprism-bench -json`.
+func BenchmarkViewDiffParallel(b *testing.B) {
+	l, r := mtPair(b, 8, 150)
+	wl, wr := views.Build(l), views.Build(r)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			var compares int64
+			for i := 0; i < b.N; i++ {
+				res := diff.ViewDiffWebs(wl, wr, diff.ViewOptions{Parallelism: w})
+				compares = res.Stats.Compares
+			}
+			b.ReportMetric(float64(compares), "compares/op")
+		})
+	}
+}
+
+// BenchmarkViewsBuildParallel measures the two-pass sharded web build
+// against the serial single-pass construction on the same trace.
+func BenchmarkViewsBuildParallel(b *testing.B) {
+	l, _ := mtPair(b, 8, 300)
+	ctx := context.Background()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := views.BuildCtxOpts(ctx, l, views.BuildOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkInterpreter measures tracing-interpreter throughput
 // (entries/op reported as custom metric).
 func BenchmarkInterpreter(b *testing.B) {

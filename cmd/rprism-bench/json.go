@@ -26,6 +26,11 @@ type BenchRecord struct {
 	BytesPerOp    int64   `json:"bytes_per_op"`
 	ComparesPerOp int64   `json:"compares_per_op,omitempty"`
 	DiffsPerOp    int     `json:"diffs_per_op,omitempty"`
+	// Workers is the intra-diff (or build) worker count of a parallel
+	// hot-path row; SpeedupVsSerial is that row's wall-clock speedup over
+	// the workers=1 row of the same family, measured in this run.
+	Workers         int     `json:"workers,omitempty"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -33,6 +38,31 @@ type BenchRecord struct {
 type BenchReport struct {
 	Benchmarks []BenchRecord     `json:"benchmarks"`
 	Symbols    trace.SymbolStats `json:"symbols"`
+}
+
+// multithreadedPair runs the parallel-diff subject twice (clean and
+// biased), producing a trace pair whose diff decomposes into independent
+// per-thread-pair units.
+func multithreadedPair(workers, iters int) (*trace.Trace, *trace.Trace, error) {
+	runIt := func(bias string) (*trace.Trace, error) {
+		res, err := interp.Run(lang.MustParse(subjects.MultithreadedSource(workers, iters, bias)), interp.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if res.Err != nil && !res.Err.Aborted {
+			return nil, res.Err
+		}
+		return res.Trace, nil
+	}
+	l, err := runIt("0")
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := runIt("1")
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
 }
 
 // writeJSONReport measures the pipeline hot paths with testing.Benchmark
@@ -147,6 +177,54 @@ func writeJSONReport(path string) error {
 	})
 	rec.ComparesPerOp = ed.Stats.Compares
 	rec.DiffsPerOp = ed.NumDiffs()
+
+	// The parallel hot paths: the per-thread-pair diff worker pool and
+	// the sharded web build, on a multithreaded subject. The workers=1
+	// rows are the serial baselines; higher rows carry their speedup.
+	// Every worker count produces the identical Result, so compares/op
+	// are recorded once from the serial row.
+	ml, mr, err := multithreadedPair(8, 150)
+	if err != nil {
+		return err
+	}
+	mwl, mwr := views.Build(ml), views.Build(mr)
+	var serialNs float64
+	var pd *diff.Result
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		rec = record(fmt.Sprintf("ViewDiffParallel/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pd = diff.ViewDiffWebs(mwl, mwr, diff.ViewOptions{Parallelism: w})
+			}
+		})
+		rec.Workers = w
+		rec.ComparesPerOp = pd.Stats.Compares
+		rec.DiffsPerOp = pd.NumDiffs()
+		if w == 1 {
+			serialNs = rec.NsPerOp
+		} else if rec.NsPerOp > 0 {
+			rec.SpeedupVsSerial = serialNs / rec.NsPerOp
+		}
+	}
+	var buildSerialNs float64
+	for _, w := range []int{1, 2, 4, 8} {
+		w := w
+		rec = record(fmt.Sprintf("ViewsBuildParallel/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := views.BuildCtxOpts(ctx, ml, views.BuildOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec.Workers = w
+		if w == 1 {
+			buildSerialNs = rec.NsPerOp
+		} else if rec.NsPerOp > 0 {
+			rec.SpeedupVsSerial = buildSerialNs / rec.NsPerOp
+		}
+	}
 
 	report.Symbols = trace.GlobalSymbolStats()
 	raw, err := json.MarshalIndent(report, "", "  ")

@@ -34,6 +34,7 @@ func main() {
 	addr := flag.String("addr", ":8372", "listen address")
 	dir := flag.String("dir", "corpus", "corpus directory (created if missing)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "max concurrent analyses")
+	parallel := flag.Int("parallel", 0, "intra-diff worker goroutines per analysis, clamped to free worker slots (0 = GOMAXPROCS)")
 	traceCache := flag.Int("trace-cache", 16, "decoded traces kept in memory")
 	webCache := flag.Int("web-cache", 8, "built view webs kept in memory")
 	segLimit := flag.Int("segment-limit", 1<<16, "entries per on-disk segment")
@@ -42,13 +43,13 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 0, "kill analyses exceeding this deadline (0 = none)")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *workers, *traceCache, *webCache, *segLimit, *verify, *grace, *reqTimeout); err != nil {
+	if err := run(*addr, *dir, *workers, *parallel, *traceCache, *webCache, *segLimit, *verify, *grace, *reqTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rprism-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify bool, grace, reqTimeout time.Duration) error {
+func run(addr, dir string, workers, parallel, traceCache, webCache, segLimit int, verify bool, grace, reqTimeout time.Duration) error {
 	store, err := corpus.New(dir, corpus.Options{
 		TraceCacheSize: traceCache,
 		WebCacheSize:   webCache,
@@ -59,8 +60,14 @@ func run(addr, dir string, workers, traceCache, webCache, segLimit int, verify b
 		return err
 	}
 	// One Engine per process: the server dispatches every analysis —
-	// legacy endpoints and POST /run/{analysis} alike — through it.
-	eng := rprism.NewEngine(rprism.WithCorpus(store))
+	// legacy endpoints and POST /run/{analysis} alike — through it. The
+	// engine's own worker budget mirrors the server pool so intra-diff
+	// workers are clamped to the same slots the requests occupy: a lone
+	// big diff fans out across the machine, a full queue degrades every
+	// diff toward serial instead of oversubscribing.
+	eng := rprism.NewEngine(rprism.WithCorpus(store),
+		rprism.WithWorkers(workers),
+		rprism.WithDiffParallelism(parallel))
 	srv := server.New(eng, server.Options{Workers: workers, RequestTimeout: reqTimeout})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

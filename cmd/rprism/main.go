@@ -2,7 +2,7 @@
 // explore views, or run the full regression-cause analysis.
 //
 //	rprism trace   -src prog.mj -out run.trace [-args a,b] [-exclude C,D]
-//	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20]
+//	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20] [-parallel N]
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
 //	rprism analyses
@@ -152,6 +152,7 @@ func cmdImpact(ctx context.Context, args []string) error {
 	left := fs.String("left", "", "left trace file")
 	right := fs.String("right", "", "right trace file")
 	maxItems := fs.Int("max", 10, "max items per dimension")
+	parallel := fs.Int("parallel", 0, "intra-diff worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	_ = fs.Parse(args)
 	if *left == "" || *right == "" {
 		return fmt.Errorf("impact: -left and -right are required")
@@ -164,7 +165,9 @@ func cmdImpact(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	surface, err := eng.Impact(ctx, l, r)
+	opts := eng.DefaultDiffOptions()
+	opts.Parallelism = *parallel
+	surface, err := eng.ImpactWith(ctx, l, r, opts)
 	if err != nil {
 		return err
 	}
@@ -230,6 +233,7 @@ func cmdDiff(ctx context.Context, args []string) error {
 	right := fs.String("right", "", "right trace file")
 	useLCS := fs.Bool("lcs", false, "use the LCS baseline instead of views-based differencing")
 	maxSeqs := fs.Int("max", 20, "max difference sequences to print")
+	parallel := fs.Int("parallel", 0, "intra-diff worker goroutines (0 = GOMAXPROCS, 1 = serial; output is identical)")
 	_ = fs.Parse(args)
 	if *left == "" || *right == "" {
 		return fmt.Errorf("diff: -left and -right are required")
@@ -246,7 +250,9 @@ func cmdDiff(ctx context.Context, args []string) error {
 	if *useLCS {
 		res, err = eng.DiffLCS(ctx, l, r, rprism.LCSOptions{})
 	} else {
-		res, err = eng.Diff(ctx, l, r)
+		opts := eng.DefaultDiffOptions()
+		opts.Parallelism = *parallel
+		res, err = eng.DiffWith(ctx, l, r, opts)
 	}
 	if err != nil {
 		return err
@@ -314,6 +320,7 @@ func cmdAnalyze(ctx context.Context, args []string) error {
 	nr := fs.String("new-regr", "", "new version, regressing test")
 	removal := fs.Bool("removal", false, "use (A-B)-C for code-removal regressions")
 	maxSeqs := fs.Int("max", 10, "max candidate sequences to print")
+	parallel := fs.Int("parallel", 0, "intra-diff worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	_ = fs.Parse(args)
 	load := func(p, what string) (rprism.Source, error) {
 		if p == "" {
@@ -335,7 +342,9 @@ func cmdAnalyze(ctx context.Context, args []string) error {
 	if in.NewRegr, err = load(*nr, "new-regr"); err != nil {
 		return err
 	}
-	an, err := eng.AnalyzeRegression(ctx, in)
+	opts := eng.DefaultDiffOptions()
+	opts.Parallelism = *parallel
+	an, err := eng.AnalyzeRegressionWith(ctx, in, opts)
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,7 @@ package rprism
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/corpus"
@@ -74,6 +75,27 @@ func WithDiffOptions(o DiffOptions) EngineOption {
 	return func(e *Engine) { e.diffOpts = o }
 }
 
+// WithDiffParallelism sets the default intra-diff worker count: how many
+// goroutines one views-based diff uses to evaluate its correlated
+// thread-view pairs concurrently (0 keeps the diff layer's default,
+// GOMAXPROCS; 1 forces the serial path). Results are byte-identical at
+// any setting.
+//
+// Intra-diff workers draw on the same slot budget as WithWorkers: an
+// analysis holding its one slot claims extra slots — without blocking —
+// for each additional worker, so the engine's total concurrency never
+// exceeds the WithWorkers bound no matter how the two knobs are
+// combined. Under load the extra slots simply aren't granted and diffs
+// degrade toward serial, which is exactly the right pressure response
+// for a serve deployment.
+func WithDiffParallelism(n int) EngineOption {
+	return func(e *Engine) {
+		if n > 0 {
+			e.diffOpts.Parallelism = n
+		}
+	}
+}
+
 // WithWebCacheSize bounds the engine's own web cache for non-corpus
 // sources (default 32 webs). Corpus-backed sources are cached by the
 // store instead and do not count against this bound.
@@ -143,6 +165,46 @@ func (e *Engine) acquire(ctx context.Context) (context.Context, func(), error) {
 	}
 }
 
+// intraWorkers resolves the intra-diff parallelism for an analysis that
+// already holds one worker slot. The request (0 = engine default, then
+// GOMAXPROCS) is granted only as far as free slots allow: each worker
+// beyond the first claims one extra slot without blocking, so total
+// engine concurrency — analyses plus their inner workers — never
+// exceeds the WithWorkers budget. The returned release func returns the
+// extra slots; callers must defer it.
+func (e *Engine) intraWorkers(requested int) (int, func()) {
+	par := requested
+	if par == 0 {
+		par = e.diffOpts.Parallelism
+	}
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	if e.workers == nil || par == 1 {
+		return par, func() {}
+	}
+	extra := 0
+	for extra < par-1 {
+		select {
+		case e.workers <- struct{}{}:
+			extra++
+		default:
+			par = 1 + extra // budget exhausted; run narrower, not over
+		}
+	}
+	if extra == 0 {
+		return par, func() {}
+	}
+	return par, func() {
+		for i := 0; i < extra; i++ {
+			<-e.workers
+		}
+	}
+}
+
 // cachedWeb returns the engine-cached web for a trace, building it under
 // ctx on a miss. Distinct goroutines missing on the same trace may both
 // build (webs are immutable and identical, so the second admission wins
@@ -154,7 +216,18 @@ func (e *Engine) cachedWeb(ctx context.Context, t *trace.Trace) (*views.Web, err
 	if ok {
 		return w, nil
 	}
-	w, err := views.BuildCtx(ctx, t)
+	// The build's shard workers draw on the worker budget exactly like
+	// intra-diff workers: the caller's slot plus whatever is free. Only a
+	// grant below the build layer's automatic width (GOMAXPROCS) is
+	// forced through — otherwise automatic mode decides, keeping its
+	// small-trace serial threshold.
+	par, releasePar := e.intraWorkers(0)
+	var bopts views.BuildOptions
+	if par < runtime.GOMAXPROCS(0) {
+		bopts.Workers = par
+	}
+	w, err := views.BuildCtxOpts(ctx, t, bopts)
+	releasePar()
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +269,10 @@ func (e *Engine) Diff(ctx context.Context, left, right Source) (*DiffResult, err
 	return e.DiffWith(ctx, left, right, e.diffOpts)
 }
 
-// DiffWith is Diff with per-call differencing options.
+// DiffWith is Diff with per-call differencing options. The effective
+// intra-diff parallelism is the per-call Parallelism, else the engine's
+// WithDiffParallelism default, else GOMAXPROCS — clamped to the free
+// WithWorkers slots so concurrent analyses cannot oversubscribe.
 func (e *Engine) DiffWith(ctx context.Context, left, right Source, opts DiffOptions) (*DiffResult, error) {
 	ctx, release, err := e.acquire(ctx)
 	if err != nil {
@@ -211,6 +287,9 @@ func (e *Engine) DiffWith(ctx context.Context, left, right Source, opts DiffOpti
 	if err != nil {
 		return nil, err
 	}
+	par, releasePar := e.intraWorkers(opts.Parallelism)
+	defer releasePar()
+	opts.Parallelism = par
 	return diff.ViewDiffWebsCtx(ctx, wl, wr, opts)
 }
 
@@ -275,6 +354,11 @@ func (e *Engine) AnalyzeRegressionWith(ctx context.Context, in RegressionSources
 	if webs.NewRegr, err = e.Views(ctx, in.NewRegr); err != nil {
 		return nil, err
 	}
+	// The three differencing passes inside the analysis share one
+	// slot-clamped parallelism, resolved once here.
+	par, releasePar := e.intraWorkers(opts.Parallelism)
+	defer releasePar()
+	opts.Parallelism = par
 	return regression.AnalyzeWebsCtx(ctx, webs, in.Removal, opts)
 }
 

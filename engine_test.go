@@ -392,3 +392,84 @@ func TestEngineWorkerBudget(t *testing.T) {
 		t.Errorf("nested engine calls deadlocked or failed under Workers(1): %v", err)
 	}
 }
+
+// TestIntraDiffWorkersClampedToSlotBudget pins the oversubscription
+// contract of WithDiffParallelism: intra-diff workers beyond the
+// analysis's own slot are granted only from free WithWorkers slots, and
+// are returned afterwards.
+func TestIntraDiffWorkersClampedToSlotBudget(t *testing.T) {
+	eng := NewEngine(WithWorkers(3), WithDiffParallelism(8))
+
+	// An analysis holding one slot asks for the engine default (8): two
+	// slots are free, so it gets 1 + 2 workers and the budget is full.
+	_, release, err := eng.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, releasePar := eng.intraWorkers(0)
+	if par != 3 {
+		t.Errorf("intraWorkers(0) granted %d with 2 free slots, want 3", par)
+	}
+	if len(eng.workers) != 3 {
+		t.Errorf("budget shows %d/3 slots used during the diff, want 3", len(eng.workers))
+	}
+	releasePar()
+	if len(eng.workers) != 1 {
+		t.Errorf("budget shows %d/3 slots used after release, want the analysis's own 1", len(eng.workers))
+	}
+	release()
+
+	// A per-call request below the free budget is honored exactly.
+	par, releasePar = eng.intraWorkers(2)
+	if par != 2 {
+		t.Errorf("intraWorkers(2) = %d, want 2", par)
+	}
+	releasePar()
+	if len(eng.workers) != 0 {
+		t.Errorf("slots leaked: %d still held", len(eng.workers))
+	}
+
+	// Without a worker budget the request passes through unclamped, and
+	// an unset engine defaults to GOMAXPROCS.
+	unbounded := NewEngine(WithDiffParallelism(5))
+	if par, rel := unbounded.intraWorkers(0); par != 5 {
+		t.Errorf("unbounded engine granted %d, want the configured 5", par)
+	} else {
+		rel()
+	}
+	plain := NewEngine()
+	if par, rel := plain.intraWorkers(0); par != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS (%d)", par, runtime.GOMAXPROCS(0))
+	} else {
+		rel()
+	}
+}
+
+// TestEngineDiffParallelismEquivalence drives the same diff through the
+// engine at serial and forced-parallel settings: the results must be
+// identical — the engine knob changes scheduling, never output.
+func TestEngineDiffParallelismEquivalence(t *testing.T) {
+	v2 := strings.Replace(v1, "c.bump(2);", "c.bump(3);", 1)
+	res1 := compileAndRun(t, v1)
+	res2 := compileAndRun(t, v2)
+	eng := NewEngine()
+	ctx := context.Background()
+
+	opts := eng.DefaultDiffOptions()
+	opts.Parallelism = 1
+	serial, err := eng.DiffWith(ctx, FromTrace(res1.Trace), FromTrace(res2.Trace), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	parallel, err := eng.DiffWith(ctx, FromTrace(res1.Trace), FromTrace(res2.Trace), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumDiffs() != parallel.NumDiffs() ||
+		len(serial.Sequences) != len(parallel.Sequences) ||
+		serial.Stats != parallel.Stats {
+		t.Errorf("parallel engine diff diverged: serial %d diffs %+v, parallel %d diffs %+v",
+			serial.NumDiffs(), serial.Stats, parallel.NumDiffs(), parallel.Stats)
+	}
+}

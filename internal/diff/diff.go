@@ -57,8 +57,13 @@ type Stats struct {
 	// Compares counts trace-entry compare operations (=e evaluations) —
 	// the paper's speedup unit.
 	Compares int64
-	// MemBytes approximates peak working memory beyond the traces
-	// themselves (DP tables, webs, memo tables).
+	// MemBytes accounts peak working memory beyond the traces themselves.
+	// The LCS baseline reports its DP table. The views-based differ sums
+	// real per-unit accounting at merge — memo entries, the largest DP
+	// table each unit held, anchor scratch, similarity sets, sequence
+	// storage — plus the two view webs' own memory (views.Web.MemBytes).
+	// Every term is deterministic, so the figure is identical at any
+	// ViewOptions.Parallelism.
 	MemBytes int64
 	// ViewExplorations counts secondary-view LCS computations performed
 	// by the views-based semantics.

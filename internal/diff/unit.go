@@ -1,0 +1,561 @@
+package diff
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/lcs"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// unit evaluates one correlated thread-view pair under →V. It is the
+// parallel decomposition of the views-based differencing semantics:
+// every piece of mutable state the evaluation touches — the similarity
+// sets, the windowed-LCS memo table, the compare counter, the anchor
+// scratch, the cancellation poller, the memory accounting — lives in the
+// unit, so any number of units may run on different goroutines without
+// synchronization, and running them in any order (or serially) produces
+// the same per-unit outputs. The orchestrator in ViewDiffWebsCtx merges
+// unit outputs in ascending-left-tid order, which makes the final Result
+// byte-identical for every ViewOptions.Parallelism setting.
+//
+// The only cross-unit object is the optional shared lcs.Budget, which
+// bounds concurrently live DP cells; it blocks rather than fails, so it
+// shapes scheduling, never results.
+type unit struct {
+	ctx      context.Context
+	err      error // first ctx error observed; sticky
+	steps    int   // cancellation-poll counter
+	opts     ViewOptions
+	wl, wr   *views.Web
+	lid, rid trace.ThreadID
+	budget   *lcs.Budget // shared DP-cell pool, nil = unlimited
+
+	// Outputs, merged by the orchestrator.
+	seqs         []Sequence
+	similarLeft  map[trace.EntryID]bool
+	similarRight map[trace.EntryID]bool
+	compares     int64
+	explorations int64
+
+	// Working state and its accounting.
+	memo       map[memoKey]bool
+	peakCells  int64 // largest windowed-LCS DP table (cells)
+	maxAnchors int   // widest anchor set of a single divergence
+}
+
+func newUnit(ctx context.Context, opts ViewOptions, wl, wr *views.Web,
+	lid, rid trace.ThreadID, budget *lcs.Budget) *unit {
+	return &unit{
+		ctx: ctx, opts: opts, wl: wl, wr: wr, lid: lid, rid: rid, budget: budget,
+		similarLeft:  make(map[trace.EntryID]bool),
+		similarRight: make(map[trace.EntryID]bool),
+	}
+}
+
+// equal is the counted =e comparison — the paper's speedup unit. The
+// counter is unit-local; totals are summed at merge.
+func (u *unit) equal(a, b trace.Entry) bool {
+	u.compares++
+	return trace.EventEqual(a, b)
+}
+
+// canceled polls the context every 256 bumps. Once an error is observed
+// it is sticky: every subsequent call reports true without touching the
+// context again, so the evaluation unwinds through its nested loops in
+// microseconds regardless of trace size.
+func (u *unit) canceled() bool {
+	if u.err != nil {
+		return true
+	}
+	u.steps++
+	if u.steps&255 != 0 {
+		return false
+	}
+	u.err = u.ctx.Err()
+	return u.err != nil
+}
+
+// Per-element sizes for the unit's memory accounting. A memo entry is a
+// 48-byte key plus a bool rounded up to map-bucket granularity; an
+// anchor is four words; a similarity mark is an 8-byte key plus a bool
+// in map buckets; DP cells are int32.
+const (
+	memoEntryBytes = 64
+	anchorBytes    = 32
+	markBytes      = 16
+	dpCellBytes    = 4
+)
+
+// memBytes accounts the unit's peak working memory: memo entries, the
+// largest DP table it held live, its widest anchor scratch, its
+// similarity sets, and its difference sequences. Every term is a
+// deterministic function of the inputs, so the orchestrator's sum is
+// identical at any parallelism.
+func (u *unit) memBytes() int64 {
+	seqEntries := 0
+	for _, s := range u.seqs {
+		seqEntries += len(s.Left) + len(s.Right)
+	}
+	return int64(len(u.memo))*memoEntryBytes +
+		u.peakCells*dpCellBytes +
+		int64(u.maxAnchors)*anchorBytes +
+		int64(len(u.similarLeft)+len(u.similarRight))*markBytes +
+		int64(seqEntries)*8
+}
+
+type memoKey struct {
+	lv, rv           views.Name
+	lBucket, rBucket int
+}
+
+// anchor is a pair of similar entries discovered in linked views, located
+// by their positions in the current thread-view pair (-1 when the entry
+// belongs to a different thread).
+type anchor struct {
+	posL, posR int
+	eidL, eidR trace.EntryID
+}
+
+// evalPair evaluates the unit's thread-view pair.
+func (u *unit) evalPair() {
+	lv, rv := u.wl.ThreadView(u.lid), u.wr.ThreadView(u.rid)
+	if lv == nil || rv == nil {
+		return
+	}
+	L, R := lv.EIDs, rv.EIDs
+	thL := views.ThreadName(u.lid)
+	thR := views.ThreadName(u.rid)
+
+	var seq Sequence
+	flush := func() {
+		if seq.Size() > 0 {
+			switch {
+			case len(seq.Left) == 0:
+				seq.Kind = Insert
+			case len(seq.Right) == 0:
+				seq.Kind = Delete
+			default:
+				seq.Kind = Modify
+			}
+			u.seqs = append(u.seqs, seq)
+			seq = Sequence{}
+		}
+	}
+
+	i, j := 0, 0
+	desyncUntil := 0 // backoff threshold after a failed full resync
+	failStreak := 0  // consecutive failed resyncs; escalates the scan limit
+	for i < len(L) && j < len(R) {
+		if u.canceled() {
+			return
+		}
+		el, er := u.wl.Trace.Entries[L[i]], u.wr.Trace.Entries[R[j]]
+		if u.equal(el, er) {
+			// STEP-VIEW-MATCH
+			flush()
+			u.mark(L[i], R[j])
+			i++
+			j++
+			continue
+		}
+		skip := func(ni, nj int) {
+			for k := i; k < ni; k++ {
+				seq.Left = append(seq.Left, L[k])
+			}
+			for k := j; k < nj; k++ {
+				seq.Right = append(seq.Right, R[k])
+			}
+			i, j = ni, nj
+		}
+		// Cheap lookahead first: small genuine divergences resynchronize
+		// within a few entries without any secondary-view work.
+		if ni, nj, ok := u.scan(L, R, i, j, u.opts.QuickScan); ok {
+			skip(ni, nj)
+			continue
+		}
+		if i+j < desyncUntil {
+			// A recent full scan found no correspondence point; the traces
+			// are massively diverged here. Consume pairs cheaply until
+			// we're past the region the failed scan already covered —
+			// this bounds total scan work linearly.
+			seq.Left = append(seq.Left, L[i])
+			seq.Right = append(seq.Right, R[j])
+			i++
+			j++
+			continue
+		}
+		// STEP-VIEW-NOMATCH: explore linked secondary views around the
+		// diverging entries and collect similar entries.
+		anchors := u.explore(thL, thR, L, R, i, j)
+		for _, a := range anchors {
+			u.mark(a.eidL, a.eidR)
+		}
+		// The scan limit escalates after consecutive failures so that
+		// one-sided insertions larger than MaxScan (which a fixed-limit
+		// scan with pairwise consumption would never realign past) are
+		// eventually bridged; it is capped by the remaining work so total
+		// scan cost stays proportional to the trace length.
+		limit := u.opts.MaxScan << failStreak
+		if rem := (len(L) - i) + (len(R) - j); limit > rem {
+			limit = rem
+		}
+		if ni, nj, ok := u.resyncLimit(L, R, i, j, anchors, limit); ok {
+			failStreak = 0
+			skip(ni, nj)
+			continue
+		}
+		// No correspondence point within bounds: back off and consume one
+		// entry from each side as differences.
+		if failStreak < 8 {
+			failStreak++
+		}
+		desyncUntil = i + j + limit
+		seq.Left = append(seq.Left, L[i])
+		seq.Right = append(seq.Right, R[j])
+		i++
+		j++
+	}
+	if u.err != nil {
+		return
+	}
+	for ; i < len(L); i++ {
+		seq.Left = append(seq.Left, L[i])
+	}
+	for ; j < len(R); j++ {
+		seq.Right = append(seq.Right, R[j])
+	}
+	flush()
+}
+
+func (u *unit) mark(l, r trace.EntryID) {
+	u.similarLeft[l] = true
+	u.similarRight[r] = true
+}
+
+// resyncLimit finds the next pair of corresponding entries (η2, η4): the
+// closest equal pair ahead within limit, where "closest" minimizes the
+// total number of skipped entries — approximating the minimality side
+// condition (γL′ ∩=e γR′ = ⟨⟩) of STEP-VIEW-NOMATCH. Anchor pairs
+// discovered in secondary views bound the search; an anti-diagonal scan
+// then looks for anything closer.
+func (u *unit) resyncLimit(L, R []trace.EntryID, i, j int, anchors []anchor, limit int) (int, int, bool) {
+	bestSum := -1
+	bi, bj := 0, 0
+	for _, a := range anchors {
+		if a.posL < i || a.posR < j || (a.posL == i && a.posR == j) {
+			continue
+		}
+		if sum := (a.posL - i) + (a.posR - j); bestSum == -1 || sum < bestSum {
+			bestSum, bi, bj = sum, a.posL, a.posR
+		}
+	}
+	scanTo := limit
+	if bestSum != -1 && bestSum-1 < scanTo {
+		scanTo = bestSum - 1
+	}
+	if ni, nj, ok := u.scan(L, R, i, j, scanTo); ok {
+		return ni, nj, true
+	}
+	if bestSum != -1 {
+		return bi, bj, true
+	}
+	return 0, 0, false
+}
+
+// scan searches anti-diagonals s = 1..limit for the nearest pair of equal
+// entries ahead of (i, j), minimizing the total number of skipped entries.
+// A candidate pair is "confirmed" when the following entries also match
+// (or a trace ends there); a confirmed pair is preferred — resynchronizing
+// on a spurious singleton match of a common event (the 0-or-null problem
+// of §3.2) would cascade misalignment downstream. An unconfirmed
+// candidate is kept as a fallback and returned if no confirmed pair turns
+// up within a few further diagonals.
+func (u *unit) scan(L, R []trace.EntryID, i, j, limit int) (int, int, bool) {
+	fallbackI, fallbackJ := -1, -1
+	fallbackDeadline := 0
+	for s := 1; s <= limit; s++ {
+		// Scans escalate to trace-length limits on massively diverged
+		// inputs, so the scan itself must be cancellable; a late diagonal
+		// alone can cost millions of comparisons, hence the inner poll.
+		if u.canceled() {
+			return 0, 0, false
+		}
+		if fallbackI >= 0 && s > fallbackDeadline {
+			return fallbackI, fallbackJ, true
+		}
+		// Walk the anti-diagonal from its balanced middle outward: in
+		// highly repetitive trace regions (scanning loops) every phase of
+		// the repetition matches =e, and the balanced pair is the one
+		// that keeps both sides in phase; a side-biased order would lock
+		// onto a phase-shifted match and misalign everything after it.
+		for k := 0; k <= s; k++ {
+			if k&8191 == 8191 && u.canceled() {
+				return 0, 0, false
+			}
+			di := s/2 + (k+1)/2
+			if k%2 == 1 {
+				di = s/2 - (k+1)/2
+			}
+			if di < 0 || di > s {
+				continue
+			}
+			dj := s - di
+			if i+di >= len(L) || j+dj >= len(R) {
+				continue
+			}
+			if !u.equal(u.wl.Trace.Entries[L[i+di]], u.wr.Trace.Entries[R[j+dj]]) {
+				continue
+			}
+			confirmed := i+di+1 >= len(L) || j+dj+1 >= len(R) ||
+				u.equal(u.wl.Trace.Entries[L[i+di+1]], u.wr.Trace.Entries[R[j+dj+1]])
+			if confirmed {
+				return i + di, j + dj, true
+			}
+			if fallbackI < 0 {
+				fallbackI, fallbackJ = i+di, j+dj
+				fallbackDeadline = s + 8
+			}
+		}
+	}
+	if fallbackI >= 0 {
+		return fallbackI, fallbackJ, true
+	}
+	return 0, 0, false
+}
+
+// explore implements SIMILAR-FROM-LINKED-VIEWS: for entries η5/η6 within δ
+// of the diverging entries in the two thread views, correlated secondary
+// views (matching views) are compared by LCS over fixed-size windows
+// around the linking entries; every matched pair is a similar-entry
+// anchor.
+//
+// Candidate pairs come from an index over the correlation keys (method
+// signature, object class+seq, object value) rather than a cross product,
+// so per-divergence work is bounded by the number of distinct linked
+// views. The §5 relaxed pairs are a fallback used only when standard
+// correlation yields no anchors ahead of the divergence point.
+func (u *unit) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []anchor {
+	if u.memo == nil {
+		u.memo = make(map[memoKey]bool)
+	}
+	lc := u.collectLinked(u.wl, L, i)
+	rc := u.collectLinked(u.wr, R, j)
+
+	// Index the right side by correlation keys.
+	byKey := make(map[corrKey]linked, len(rc))
+	for _, rk := range rc {
+		keys, n := correlationKeys(rk)
+		for _, k := range keys[:n] {
+			if _, dup := byKey[k]; !dup {
+				byKey[k] = rk
+			}
+		}
+	}
+
+	budget := u.opts.MaxExplore
+	var out []anchor
+	// The thread views themselves are trivially correlated (they are the
+	// pair being evaluated): a local window LCS around the divergence
+	// point anchors nearby reorderings.
+	out = append(out, u.windowLCS(thL, thR,
+		linked{name: thL, eid: L[i], offset: 0},
+		linked{name: thR, eid: R[j], offset: 0}, &budget)...)
+	for _, lk := range lc {
+		if budget <= 0 {
+			break
+		}
+		keys, n := correlationKeys(lk)
+		for _, k := range keys[:n] {
+			rk, ok := byKey[k]
+			if !ok || rk.name.Type != lk.name.Type {
+				continue
+			}
+			out = append(out, u.windowLCS(thL, thR, lk, rk, &budget)...)
+			break
+		}
+	}
+	if u.opts.Relaxed && !anyAhead(out, i, j) {
+		// Relaxed context-sensitive correlation: pair views whose linking
+		// entries sit at the same distance from the point of divergence,
+		// tolerating renamed/split/combined methods.
+		byOffset := make(map[int]linked, len(rc))
+		for _, rk := range rc {
+			if _, dup := byOffset[rk.offset]; !dup {
+				byOffset[rk.offset] = rk
+			}
+		}
+		for _, lk := range lc {
+			if budget <= 0 {
+				break
+			}
+			rk, ok := byOffset[lk.offset]
+			if !ok || rk.name.Type != lk.name.Type {
+				continue
+			}
+			out = append(out, u.windowLCS(thL, thR, lk, rk, &budget)...)
+		}
+	}
+	if len(out) > u.maxAnchors {
+		u.maxAnchors = len(out)
+	}
+	return out
+}
+
+// corrKey is one Xτ correlation criterion of a linked view, encoded as a
+// comparable struct of interned symbols and small integers — map keys on
+// the exploration path are built without any string formatting.
+type corrKey struct {
+	kind    uint8 // one of the ck* key kinds
+	a, b, c uint64
+}
+
+const (
+	ckInvalid   uint8 = iota
+	ckMethod          // a = method symbol
+	ckTargetSeq       // a = class symbol, b = creation seq
+	ckTargetVal       // a = class symbol, b = value hash, c = value-string symbol
+	ckActiveSeq       // a = class symbol, b = creation seq
+)
+
+// correlationKeys encodes the Xτ correlation criteria of a linked view:
+// method signature for CM; class+seq and class+value for TO; class+seq
+// for AO (either TO criterion suffices, §3.1). Returns the keys in a
+// fixed-size array to keep the exploration path allocation-free.
+func correlationKeys(lk linked) ([2]corrKey, int) {
+	var keys [2]corrKey
+	switch lk.name.Type {
+	case views.Method:
+		keys[0] = corrKey{kind: ckMethod, a: lk.name.Key}
+		return keys, 1
+	case views.TargetObject:
+		t := lk.entry.Event.Target
+		n := 0
+		if t.Loc != trace.NoLoc && t.Seq != 0 {
+			keys[n] = corrKey{kind: ckTargetSeq, a: uint64(t.ClassSym), b: uint64(t.Seq)}
+			n++
+		}
+		if t.HasValue() {
+			keys[n] = corrKey{kind: ckTargetVal, a: uint64(t.ClassSym), b: t.Hash, c: uint64(t.StrSym)}
+			n++
+		}
+		return keys, n
+	case views.ActiveObject:
+		s := lk.entry.Self
+		if s.Loc != trace.NoLoc && s.Seq != 0 {
+			keys[0] = corrKey{kind: ckActiveSeq, a: uint64(s.ClassSym), b: uint64(s.Seq)}
+			return keys, 1
+		}
+	}
+	return keys, 0
+}
+
+func anyAhead(anchors []anchor, i, j int) bool {
+	for _, a := range anchors {
+		if a.posL >= i && a.posR >= j && !(a.posL == i && a.posR == j) {
+			return true
+		}
+	}
+	return false
+}
+
+// linked is a secondary view reachable from an entry near the divergence
+// point, with the linking entry and its thread-view offset.
+type linked struct {
+	name   views.Name
+	eid    trace.EntryID
+	entry  trace.Entry
+	offset int // distance from the divergence point in the thread view
+}
+
+// collectLinked gathers the distinct non-thread views linked from entries
+// within ±δ of position pos in the thread view, keeping the first linking
+// entry per view.
+func (u *unit) collectLinked(w *views.Web, tv []trace.EntryID, pos int) []linked {
+	seen := make(map[views.Name]bool)
+	var out []linked
+	lo, hi := pos-u.opts.Radius, pos+u.opts.Radius
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(tv) {
+		hi = len(tv) - 1
+	}
+	for p := lo; p <= hi; p++ {
+		eid := tv[p]
+		for _, n := range w.NamesOf(eid) {
+			if n.Type == views.Thread || seen[n] {
+				continue
+			}
+			seen[n] = true
+			out = append(out, linked{
+				name:   n,
+				eid:    eid,
+				entry:  w.Trace.Entries[eid],
+				offset: p - pos,
+			})
+		}
+	}
+	return out
+}
+
+// windowLCS computes the LCS over fixed ω-windows of a correlated view
+// pair, centered at the linking entries, and converts matched pairs into
+// anchors (memoized per window bucket so repeated divergences nearby do
+// not recompute the same comparison). The DP table draws on the shared
+// cell budget when one is configured, and its peak size feeds the unit's
+// memory accounting.
+func (u *unit) windowLCS(thL, thR views.Name, lk, rk linked, budget *int) []anchor {
+	if *budget <= 0 {
+		return nil
+	}
+	lpos, okL := u.wl.PosIn(lk.name, lk.eid)
+	rpos, okR := u.wr.PosIn(rk.name, rk.eid)
+	if !okL || !okR {
+		return nil
+	}
+	key := memoKey{lk.name, rk.name, lpos / u.opts.Window, rpos / u.opts.Window}
+	if u.memo[key] {
+		return nil
+	}
+	u.memo[key] = true
+	u.explorations++
+	*budget--
+
+	lwin := u.wl.Window(lk.name, lk.eid, u.opts.Window)
+	rwin := u.wr.Window(rk.name, rk.eid, u.opts.Window)
+	if len(lwin) == 0 || len(rwin) == 0 {
+		return nil
+	}
+	eq := func(a, b int) bool {
+		return u.equal(u.wl.Trace.Entries[lwin[a]], u.wr.Trace.Entries[rwin[b]])
+	}
+	pairs, st, err := lcs.Compute(len(lwin), len(rwin), eq, lcs.Options{Ctx: u.ctx, Budget: u.budget})
+	if st.Cells > u.peakCells {
+		u.peakCells = st.Cells
+	}
+	if err != nil {
+		// A window exceeding the whole shared budget is skipped — that
+		// outcome is deterministic. Anything else is cancellation (from
+		// the DP rows or a blocked Reserve) and must stick to the unit:
+		// swallowing it would let a unit finish "successfully" with the
+		// aborted window's anchors silently missing.
+		if !errors.Is(err, lcs.ErrMemoryBudget) && u.err == nil {
+			u.err = err
+		}
+		return nil
+	}
+	out := make([]anchor, 0, len(pairs))
+	for _, p := range pairs {
+		a := anchor{eidL: lwin[p.I], eidR: rwin[p.J], posL: -1, posR: -1}
+		if pos, ok := u.wl.PosIn(thL, a.eidL); ok {
+			a.posL = pos
+		}
+		if pos, ok := u.wr.PosIn(thR, a.eidR); ok {
+			a.posR = pos
+		}
+		out = append(out, a)
+	}
+	return out
+}

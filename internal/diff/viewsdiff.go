@@ -2,7 +2,9 @@ package diff
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/lcs"
 	"repro/internal/trace"
@@ -35,6 +37,20 @@ type ViewOptions struct {
 	// and split/merged methods. Relaxed pairs are only explored when the
 	// standard correlation functions produced no usable anchors.
 	Relaxed bool
+	// Parallelism is the number of worker goroutines evaluating
+	// correlated thread-view pairs concurrently. Each pair is an
+	// independent work unit with its own similarity sets, memo table, and
+	// counters; unit outputs are merged in ascending-left-tid order, so
+	// the Result is byte-identical for every setting. 0 means
+	// GOMAXPROCS; 1 is the serial path (no goroutines spawned).
+	Parallelism int
+	// LCSCellBudget caps the DP cells all units of this diff may hold
+	// live at once during windowed-LCS exploration (0 = unlimited). Units
+	// needing cells while the pool is full block until others release —
+	// scheduling changes, results do not. Only a single window larger
+	// than the whole budget fails its exploration, a condition
+	// independent of scheduling, so determinism is preserved.
+	LCSCellBudget int64
 }
 
 // DefaultViewOptions returns the configuration used throughout the
@@ -60,6 +76,12 @@ func (o ViewOptions) withDefaults() ViewOptions {
 	}
 	if o.MaxExplore == 0 {
 		o.MaxExplore = d.MaxExplore
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -102,549 +124,148 @@ func ViewDiffWebs(wl, wr *views.Web, opts ViewOptions) *Result {
 	return res
 }
 
-// ViewDiffWebsCtx is ViewDiffWebs with cancellation. The evaluation's
-// hot loops (lock-step pair walking and correspondence scans) poll ctx
-// every few hundred steps; when it is canceled the evaluation unwinds
-// immediately and the context's error is returned with a nil result.
-// This is the hook that lets the analysis service kill runaway diffs.
+// ViewDiffWebsCtx is ViewDiffWebs with cancellation and intra-diff
+// parallelism. The paper's semantics evaluate each correlated
+// thread-view pair independently, so the evaluation decomposes into one
+// work unit per pair: units carry all mutable state (similarity sets,
+// memo table, compare counter, anchor scratch, cancellation poller) and
+// run on a bounded pool of ViewOptions.Parallelism workers. Their
+// outputs are merged in ascending-left-tid order, which makes sequence
+// ordering, filterSequences behavior, and Stats deterministic — the
+// Result is byte-identical to the serial path regardless of scheduling.
+//
+// Cancellation: every unit polls ctx in its hot loops (lock-step pair
+// walking, correspondence scans, DP rows); when ctx is canceled all
+// units unwind within microseconds, queued units never start, and the
+// context's error is returned with a nil result. This is the hook that
+// lets the analysis service kill runaway diffs.
 func ViewDiffWebsCtx(ctx context.Context, wl, wr *views.Web, opts ViewOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	l, r := wl.Trace, wr.Trace
-	d := &differ{
-		ctx:  ctx,
-		opts: opts,
-		cnt:  &counter{},
-		wl:   wl,
-		wr:   wr,
-		res: &Result{
-			Left: l, Right: r,
-			SimilarLeft:  make(map[trace.EntryID]bool),
-			SimilarRight: make(map[trace.EntryID]bool),
-		},
-	}
 	tm := views.MatchThreads(l, r)
 
-	// Deterministic order over matched pairs: ascending left tid.
+	// Deterministic order over matched pairs: ascending left tid. Units
+	// are created, and their outputs merged, in this order.
 	lids := make([]trace.ThreadID, 0, len(tm.Pairs))
 	for lid := range tm.Pairs {
 		lids = append(lids, lid)
 	}
 	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
-	for _, lid := range lids {
-		d.evalPair(lid, tm.Pairs[lid])
+
+	budget := lcs.NewBudget(opts.LCSCellBudget)
+	units := make([]*unit, len(lids))
+	for i, lid := range lids {
+		units[i] = newUnit(ctx, opts, wl, wr, lid, tm.Pairs[lid], budget)
 	}
-	if d.err != nil {
-		return nil, d.err
+	runUnits(ctx, units, opts.Parallelism)
+	for _, u := range units {
+		if u.err != nil {
+			return nil, u.err
+		}
 	}
+
+	// Deterministic merge: sequences concatenate in unit (ascending left
+	// tid) order; similarity marks union — a unit may mark entries on
+	// other threads via cross-thread anchors, so subtraction and sequence
+	// filtering run only after every unit has merged.
+	res := &Result{
+		Left: l, Right: r,
+		SimilarLeft:  make(map[trace.EntryID]bool),
+		SimilarRight: make(map[trace.EntryID]bool),
+	}
+	var st Stats
+	for _, u := range units {
+		res.Sequences = append(res.Sequences, u.seqs...)
+		for id := range u.similarLeft {
+			res.SimilarLeft[id] = true
+		}
+		for id := range u.similarRight {
+			res.SimilarRight[id] = true
+		}
+		st.Compares += u.compares
+		st.ViewExplorations += u.explorations
+		st.MemBytes += u.memBytes()
+	}
+	st.MemBytes += wl.MemBytes() + wr.MemBytes()
 
 	// Unmatched threads: everything they did is a difference.
 	for _, lid := range tm.LeftOnly {
-		if v := d.wl.ThreadView(lid); v != nil {
-			d.res.Sequences = append(d.res.Sequences, Sequence{Kind: Delete, Left: v.EIDs})
+		if v := wl.ThreadView(lid); v != nil {
+			res.Sequences = append(res.Sequences, Sequence{Kind: Delete, Left: v.EIDs})
 		}
 	}
 	for _, rid := range tm.RightOnly {
-		if v := d.wr.ThreadView(rid); v != nil {
-			d.res.Sequences = append(d.res.Sequences, Sequence{Kind: Insert, Right: v.EIDs})
+		if v := wr.ThreadView(rid); v != nil {
+			res.Sequences = append(res.Sequences, Sequence{Kind: Insert, Right: v.EIDs})
 		}
 	}
 
-	d.res.DiffLeft = diffsFromSimilar(l, d.res.SimilarLeft)
-	d.res.DiffRight = diffsFromSimilar(r, d.res.SimilarRight)
-	d.res.Sequences = d.filterSequences(d.res.Sequences)
-	d.res.Stats = Stats{
-		Compares:         d.cnt.compares,
-		ViewExplorations: d.explorations,
-		MemBytes: int64(l.Len()+r.Len())*48 + // view webs (indices + names)
-			int64(len(d.memo))*24,
+	res.DiffLeft = diffsFromSimilar(l, res.SimilarLeft)
+	res.DiffRight = diffsFromSimilar(r, res.SimilarRight)
+	res.Sequences = filterSequences(res.Sequences, res.SimilarLeft, res.SimilarRight)
+	res.Stats = st
+	return res, nil
+}
+
+// runUnits evaluates the units on a bounded worker pool. workers <= 1
+// (or a single unit) runs inline on the caller's goroutine — the serial
+// path spawns nothing. A canceled context is observed before each unit
+// starts, so pending units fail fast instead of evaluating.
+func runUnits(ctx context.Context, units []*unit, workers int) {
+	if workers > len(units) {
+		workers = len(units)
 	}
-	return d.res, nil
-}
-
-type differ struct {
-	ctx          context.Context
-	err          error // first ctx error observed; sticky
-	steps        int   // cancellation-poll counter
-	opts         ViewOptions
-	cnt          *counter
-	wl, wr       *views.Web
-	res          *Result
-	memo         map[memoKey]bool
-	explorations int64
-}
-
-// canceled polls the context every 256 bumps. Once an error is observed
-// it is sticky: every subsequent call reports true without touching the
-// context again, so the evaluation unwinds through its nested loops in
-// microseconds regardless of trace size.
-func (d *differ) canceled() bool {
-	if d.err != nil {
-		return true
-	}
-	d.steps++
-	if d.steps&255 != 0 {
-		return false
-	}
-	d.err = d.ctx.Err()
-	return d.err != nil
-}
-
-type memoKey struct {
-	lv, rv           views.Name
-	lBucket, rBucket int
-}
-
-// anchor is a pair of similar entries discovered in linked views, located
-// by their positions in the current thread-view pair (-1 when the entry
-// belongs to a different thread).
-type anchor struct {
-	posL, posR int
-	eidL, eidR trace.EntryID
-}
-
-// evalPair evaluates one correlated thread-view pair under →V.
-func (d *differ) evalPair(lid, rid trace.ThreadID) {
-	lv, rv := d.wl.ThreadView(lid), d.wr.ThreadView(rid)
-	if lv == nil || rv == nil {
+	if workers <= 1 {
+		for _, u := range units {
+			if err := ctx.Err(); err != nil {
+				u.err = err
+				return
+			}
+			u.evalPair()
+			if u.err != nil {
+				return
+			}
+		}
 		return
 	}
-	L, R := lv.EIDs, rv.EIDs
-	thL := views.ThreadName(lid)
-	thR := views.ThreadName(rid)
-
-	var seq Sequence
-	flush := func() {
-		if seq.Size() > 0 {
-			switch {
-			case len(seq.Left) == 0:
-				seq.Kind = Insert
-			case len(seq.Right) == 0:
-				seq.Kind = Delete
-			default:
-				seq.Kind = Modify
+	work := make(chan *unit, len(units))
+	for _, u := range units {
+		work <- u
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				if err := ctx.Err(); err != nil {
+					u.err = err // drain cheaply; evalPair never starts
+					continue
+				}
+				u.evalPair()
 			}
-			d.res.Sequences = append(d.res.Sequences, seq)
-			seq = Sequence{}
-		}
+		}()
 	}
-
-	i, j := 0, 0
-	desyncUntil := 0 // backoff threshold after a failed full resync
-	failStreak := 0  // consecutive failed resyncs; escalates the scan limit
-	for i < len(L) && j < len(R) {
-		if d.canceled() {
-			return
-		}
-		el, er := d.wl.Trace.Entries[L[i]], d.wr.Trace.Entries[R[j]]
-		if d.cnt.equal(el, er) {
-			// STEP-VIEW-MATCH
-			flush()
-			d.mark(L[i], R[j])
-			i++
-			j++
-			continue
-		}
-		skip := func(ni, nj int) {
-			for k := i; k < ni; k++ {
-				seq.Left = append(seq.Left, L[k])
-			}
-			for k := j; k < nj; k++ {
-				seq.Right = append(seq.Right, R[k])
-			}
-			i, j = ni, nj
-		}
-		// Cheap lookahead first: small genuine divergences resynchronize
-		// within a few entries without any secondary-view work.
-		if ni, nj, ok := d.scan(L, R, i, j, d.opts.QuickScan); ok {
-			skip(ni, nj)
-			continue
-		}
-		if i+j < desyncUntil {
-			// A recent full scan found no correspondence point; the traces
-			// are massively diverged here. Consume pairs cheaply until
-			// we're past the region the failed scan already covered —
-			// this bounds total scan work linearly.
-			seq.Left = append(seq.Left, L[i])
-			seq.Right = append(seq.Right, R[j])
-			i++
-			j++
-			continue
-		}
-		// STEP-VIEW-NOMATCH: explore linked secondary views around the
-		// diverging entries and collect similar entries.
-		anchors := d.explore(thL, thR, L, R, i, j)
-		for _, a := range anchors {
-			d.mark(a.eidL, a.eidR)
-		}
-		// The scan limit escalates after consecutive failures so that
-		// one-sided insertions larger than MaxScan (which a fixed-limit
-		// scan with pairwise consumption would never realign past) are
-		// eventually bridged; it is capped by the remaining work so total
-		// scan cost stays proportional to the trace length.
-		limit := d.opts.MaxScan << failStreak
-		if rem := (len(L) - i) + (len(R) - j); limit > rem {
-			limit = rem
-		}
-		if ni, nj, ok := d.resyncLimit(L, R, i, j, anchors, limit); ok {
-			failStreak = 0
-			skip(ni, nj)
-			continue
-		}
-		// No correspondence point within bounds: back off and consume one
-		// entry from each side as differences.
-		if failStreak < 8 {
-			failStreak++
-		}
-		desyncUntil = i + j + limit
-		seq.Left = append(seq.Left, L[i])
-		seq.Right = append(seq.Right, R[j])
-		i++
-		j++
-	}
-	if d.err != nil {
-		return
-	}
-	for ; i < len(L); i++ {
-		seq.Left = append(seq.Left, L[i])
-	}
-	for ; j < len(R); j++ {
-		seq.Right = append(seq.Right, R[j])
-	}
-	flush()
-}
-
-func (d *differ) mark(l, r trace.EntryID) {
-	d.res.SimilarLeft[l] = true
-	d.res.SimilarRight[r] = true
-}
-
-// resync finds the next pair of corresponding entries (η2, η4): the
-// closest equal pair ahead, where "closest" minimizes the total number of
-// skipped entries — approximating the minimality side condition
-// (γL′ ∩=e γR′ = ⟨⟩) of STEP-VIEW-NOMATCH. Anchor pairs discovered in
-// secondary views bound the search; an anti-diagonal scan then looks for
-// anything closer.
-func (d *differ) resync(L, R []trace.EntryID, i, j int, anchors []anchor) (int, int, bool) {
-	return d.resyncLimit(L, R, i, j, anchors, d.opts.MaxScan)
-}
-
-func (d *differ) resyncLimit(L, R []trace.EntryID, i, j int, anchors []anchor, limit int) (int, int, bool) {
-	bestSum := -1
-	bi, bj := 0, 0
-	for _, a := range anchors {
-		if a.posL < i || a.posR < j || (a.posL == i && a.posR == j) {
-			continue
-		}
-		if sum := (a.posL - i) + (a.posR - j); bestSum == -1 || sum < bestSum {
-			bestSum, bi, bj = sum, a.posL, a.posR
-		}
-	}
-	scanTo := limit
-	if bestSum != -1 && bestSum-1 < scanTo {
-		scanTo = bestSum - 1
-	}
-	if ni, nj, ok := d.scan(L, R, i, j, scanTo); ok {
-		return ni, nj, true
-	}
-	if bestSum != -1 {
-		return bi, bj, true
-	}
-	return 0, 0, false
-}
-
-// scan searches anti-diagonals s = 1..limit for the nearest pair of equal
-// entries ahead of (i, j), minimizing the total number of skipped entries.
-// A candidate pair is "confirmed" when the following entries also match
-// (or a trace ends there); a confirmed pair is preferred — resynchronizing
-// on a spurious singleton match of a common event (the 0-or-null problem
-// of §3.2) would cascade misalignment downstream. An unconfirmed
-// candidate is kept as a fallback and returned if no confirmed pair turns
-// up within a few further diagonals.
-func (d *differ) scan(L, R []trace.EntryID, i, j, limit int) (int, int, bool) {
-	fallbackI, fallbackJ := -1, -1
-	fallbackDeadline := 0
-	for s := 1; s <= limit; s++ {
-		// Scans escalate to trace-length limits on massively diverged
-		// inputs, so the scan itself must be cancellable; a late diagonal
-		// alone can cost millions of comparisons, hence the inner poll.
-		if d.canceled() {
-			return 0, 0, false
-		}
-		if fallbackI >= 0 && s > fallbackDeadline {
-			return fallbackI, fallbackJ, true
-		}
-		// Walk the anti-diagonal from its balanced middle outward: in
-		// highly repetitive trace regions (scanning loops) every phase of
-		// the repetition matches =e, and the balanced pair is the one
-		// that keeps both sides in phase; a side-biased order would lock
-		// onto a phase-shifted match and misalign everything after it.
-		for k := 0; k <= s; k++ {
-			if k&8191 == 8191 && d.canceled() {
-				return 0, 0, false
-			}
-			di := s/2 + (k+1)/2
-			if k%2 == 1 {
-				di = s/2 - (k+1)/2
-			}
-			if di < 0 || di > s {
-				continue
-			}
-			dj := s - di
-			if i+di >= len(L) || j+dj >= len(R) {
-				continue
-			}
-			if !d.cnt.equal(d.wl.Trace.Entries[L[i+di]], d.wr.Trace.Entries[R[j+dj]]) {
-				continue
-			}
-			confirmed := i+di+1 >= len(L) || j+dj+1 >= len(R) ||
-				d.cnt.equal(d.wl.Trace.Entries[L[i+di+1]], d.wr.Trace.Entries[R[j+dj+1]])
-			if confirmed {
-				return i + di, j + dj, true
-			}
-			if fallbackI < 0 {
-				fallbackI, fallbackJ = i+di, j+dj
-				fallbackDeadline = s + 8
-			}
-		}
-	}
-	if fallbackI >= 0 {
-		return fallbackI, fallbackJ, true
-	}
-	return 0, 0, false
-}
-
-// explore implements SIMILAR-FROM-LINKED-VIEWS: for entries η5/η6 within δ
-// of the diverging entries in the two thread views, correlated secondary
-// views (matching views) are compared by LCS over fixed-size windows
-// around the linking entries; every matched pair is a similar-entry
-// anchor.
-//
-// Candidate pairs come from an index over the correlation keys (method
-// signature, object class+seq, object value) rather than a cross product,
-// so per-divergence work is bounded by the number of distinct linked
-// views. The §5 relaxed pairs are a fallback used only when standard
-// correlation yields no anchors ahead of the divergence point.
-func (d *differ) explore(thL, thR views.Name, L, R []trace.EntryID, i, j int) []anchor {
-	if d.memo == nil {
-		d.memo = make(map[memoKey]bool)
-	}
-	lc := d.collectLinked(d.wl, L, i)
-	rc := d.collectLinked(d.wr, R, j)
-
-	// Index the right side by correlation keys.
-	byKey := make(map[corrKey]linked, len(rc))
-	for _, rk := range rc {
-		keys, n := correlationKeys(rk)
-		for _, k := range keys[:n] {
-			if _, dup := byKey[k]; !dup {
-				byKey[k] = rk
-			}
-		}
-	}
-
-	budget := d.opts.MaxExplore
-	var out []anchor
-	// The thread views themselves are trivially correlated (they are the
-	// pair being evaluated): a local window LCS around the divergence
-	// point anchors nearby reorderings.
-	out = append(out, d.windowLCS(thL, thR,
-		linked{name: thL, eid: L[i], offset: 0},
-		linked{name: thR, eid: R[j], offset: 0}, &budget)...)
-	for _, lk := range lc {
-		if budget <= 0 {
-			break
-		}
-		keys, n := correlationKeys(lk)
-		for _, k := range keys[:n] {
-			rk, ok := byKey[k]
-			if !ok || rk.name.Type != lk.name.Type {
-				continue
-			}
-			out = append(out, d.windowLCS(thL, thR, lk, rk, &budget)...)
-			break
-		}
-	}
-	if d.opts.Relaxed && !anyAhead(out, i, j) {
-		// Relaxed context-sensitive correlation: pair views whose linking
-		// entries sit at the same distance from the point of divergence,
-		// tolerating renamed/split/combined methods.
-		byOffset := make(map[int]linked, len(rc))
-		for _, rk := range rc {
-			if _, dup := byOffset[rk.offset]; !dup {
-				byOffset[rk.offset] = rk
-			}
-		}
-		for _, lk := range lc {
-			if budget <= 0 {
-				break
-			}
-			rk, ok := byOffset[lk.offset]
-			if !ok || rk.name.Type != lk.name.Type {
-				continue
-			}
-			out = append(out, d.windowLCS(thL, thR, lk, rk, &budget)...)
-		}
-	}
-	return out
-}
-
-// corrKey is one Xτ correlation criterion of a linked view, encoded as a
-// comparable struct of interned symbols and small integers — map keys on
-// the exploration path are built without any string formatting.
-type corrKey struct {
-	kind    uint8 // one of the ck* key kinds
-	a, b, c uint64
-}
-
-const (
-	ckInvalid   uint8 = iota
-	ckMethod          // a = method symbol
-	ckTargetSeq       // a = class symbol, b = creation seq
-	ckTargetVal       // a = class symbol, b = value hash, c = value-string symbol
-	ckActiveSeq       // a = class symbol, b = creation seq
-)
-
-// correlationKeys encodes the Xτ correlation criteria of a linked view:
-// method signature for CM; class+seq and class+value for TO; class+seq
-// for AO (either TO criterion suffices, §3.1). Returns the keys in a
-// fixed-size array to keep the exploration path allocation-free.
-func correlationKeys(lk linked) ([2]corrKey, int) {
-	var keys [2]corrKey
-	switch lk.name.Type {
-	case views.Method:
-		keys[0] = corrKey{kind: ckMethod, a: lk.name.Key}
-		return keys, 1
-	case views.TargetObject:
-		t := lk.entry.Event.Target
-		n := 0
-		if t.Loc != trace.NoLoc && t.Seq != 0 {
-			keys[n] = corrKey{kind: ckTargetSeq, a: uint64(t.ClassSym), b: uint64(t.Seq)}
-			n++
-		}
-		if t.HasValue() {
-			keys[n] = corrKey{kind: ckTargetVal, a: uint64(t.ClassSym), b: t.Hash, c: uint64(t.StrSym)}
-			n++
-		}
-		return keys, n
-	case views.ActiveObject:
-		s := lk.entry.Self
-		if s.Loc != trace.NoLoc && s.Seq != 0 {
-			keys[0] = corrKey{kind: ckActiveSeq, a: uint64(s.ClassSym), b: uint64(s.Seq)}
-			return keys, 1
-		}
-	}
-	return keys, 0
-}
-
-func anyAhead(anchors []anchor, i, j int) bool {
-	for _, a := range anchors {
-		if a.posL >= i && a.posR >= j && !(a.posL == i && a.posR == j) {
-			return true
-		}
-	}
-	return false
-}
-
-// linked is a secondary view reachable from an entry near the divergence
-// point, with the linking entry and its thread-view offset.
-type linked struct {
-	name   views.Name
-	eid    trace.EntryID
-	entry  trace.Entry
-	offset int // distance from the divergence point in the thread view
-}
-
-// collectLinked gathers the distinct non-thread views linked from entries
-// within ±δ of position pos in the thread view, keeping the first linking
-// entry per view.
-func (d *differ) collectLinked(w *views.Web, tv []trace.EntryID, pos int) []linked {
-	seen := make(map[views.Name]bool)
-	var out []linked
-	lo, hi := pos-d.opts.Radius, pos+d.opts.Radius
-	if lo < 0 {
-		lo = 0
-	}
-	if hi >= len(tv) {
-		hi = len(tv) - 1
-	}
-	for p := lo; p <= hi; p++ {
-		eid := tv[p]
-		for _, n := range w.NamesOf(eid) {
-			if n.Type == views.Thread || seen[n] {
-				continue
-			}
-			seen[n] = true
-			out = append(out, linked{
-				name:   n,
-				eid:    eid,
-				entry:  w.Trace.Entries[eid],
-				offset: p - pos,
-			})
-		}
-	}
-	return out
-}
-
-// windowLCS computes the LCS over fixed ω-windows of a correlated view
-// pair, centered at the linking entries, and converts matched pairs into
-// anchors (memoized per window bucket so repeated divergences nearby do
-// not recompute the same comparison).
-func (d *differ) windowLCS(thL, thR views.Name, lk, rk linked, budget *int) []anchor {
-	if *budget <= 0 {
-		return nil
-	}
-	lpos, okL := d.wl.PosIn(lk.name, lk.eid)
-	rpos, okR := d.wr.PosIn(rk.name, rk.eid)
-	if !okL || !okR {
-		return nil
-	}
-	key := memoKey{lk.name, rk.name, lpos / d.opts.Window, rpos / d.opts.Window}
-	if d.memo[key] {
-		return nil
-	}
-	d.memo[key] = true
-	d.explorations++
-	*budget--
-
-	lwin := d.wl.Window(lk.name, lk.eid, d.opts.Window)
-	rwin := d.wr.Window(rk.name, rk.eid, d.opts.Window)
-	if len(lwin) == 0 || len(rwin) == 0 {
-		return nil
-	}
-	eq := func(a, b int) bool {
-		return d.cnt.equal(d.wl.Trace.Entries[lwin[a]], d.wr.Trace.Entries[rwin[b]])
-	}
-	pairs, _, err := lcs.Compute(len(lwin), len(rwin), eq, lcs.Options{})
-	if err != nil {
-		return nil
-	}
-	out := make([]anchor, 0, len(pairs))
-	for _, p := range pairs {
-		a := anchor{eidL: lwin[p.I], eidR: rwin[p.J], posL: -1, posR: -1}
-		if pos, ok := d.wl.PosIn(thL, a.eidL); ok {
-			a.posL = pos
-		}
-		if pos, ok := d.wr.PosIn(thR, a.eidR); ok {
-			a.posR = pos
-		}
-		out = append(out, a)
-	}
-	return out
+	wg.Wait()
 }
 
 // filterSequences drops entries that later exploration marked similar and
-// removes empty sequences, re-deriving each sequence's kind.
-func (d *differ) filterSequences(seqs []Sequence) []Sequence {
+// removes empty sequences, re-deriving each sequence's kind. It runs on
+// the merged sequence list with the merged similarity sets: anchors found
+// by one unit can mark entries inside another unit's sequences, so
+// filtering must happen after the merge.
+func filterSequences(seqs []Sequence, similarLeft, similarRight map[trace.EntryID]bool) []Sequence {
 	out := seqs[:0]
 	for _, s := range seqs {
 		var left, right []trace.EntryID
 		for _, id := range s.Left {
-			if !d.res.SimilarLeft[id] {
+			if !similarLeft[id] {
 				left = append(left, id)
 			}
 		}
 		for _, id := range s.Right {
-			if !d.res.SimilarRight[id] {
+			if !similarRight[id] {
 				right = append(right, id)
 			}
 		}

@@ -1,0 +1,122 @@
+package lcs
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBudgetNilIsUnlimited(t *testing.T) {
+	var b *Budget
+	if err := b.Reserve(context.Background(), 1<<40); err != nil {
+		t.Fatalf("nil budget rejected a reservation: %v", err)
+	}
+	b.Release(1 << 40) // must not panic
+	if b.InUse() != 0 || b.Capacity() != 0 {
+		t.Fatal("nil budget reports usage")
+	}
+	if NewBudget(0) != nil || NewBudget(-5) != nil {
+		t.Fatal("non-positive capacities must return the nil budget")
+	}
+}
+
+func TestBudgetRejectsOversizedDeterministically(t *testing.T) {
+	b := NewBudget(100)
+	// Too large fails immediately even while the pool is completely free.
+	if err := b.Reserve(context.Background(), 101); !errors.Is(err, ErrMemoryBudget) {
+		t.Fatalf("oversized reservation: err = %v, want ErrMemoryBudget", err)
+	}
+	if b.InUse() != 0 {
+		t.Fatalf("failed reservation leaked %d cells", b.InUse())
+	}
+}
+
+func TestBudgetBlocksUntilRelease(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Reserve(context.Background(), 80); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan struct{})
+	go func() {
+		if err := b.Reserve(context.Background(), 50); err != nil {
+			t.Error(err)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("50-cell reservation fit in a pool holding 80/100")
+	case <-time.After(20 * time.Millisecond):
+	}
+	b.Release(80)
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reservation still blocked after release")
+	}
+	if got := b.InUse(); got != 50 {
+		t.Fatalf("InUse = %d, want 50", got)
+	}
+	b.Release(50)
+}
+
+func TestBudgetReserveHonorsContext(t *testing.T) {
+	b := NewBudget(10)
+	if err := b.Reserve(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- b.Reserve(ctx, 5) }()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked Reserve: err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Reserve ignored cancellation")
+	}
+	b.Release(10)
+}
+
+// TestBudgetSharedComputeDeterminism runs many concurrent Computes
+// through a pool that fits only one table at a time: every computation
+// must block for its turn and still produce the serial answer.
+func TestBudgetSharedComputeDeterminism(t *testing.T) {
+	a := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	bs := []string{"a", "x", "c", "d", "y", "f", "z", "h"}
+	eq := func(i, j int) bool { return a[i] != "?" && a[i] == bs[j] }
+	want, _, err := Compute(len(a), len(bs), eq, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := NewBudget(100) // fits exactly one (5+1)*(5+1)=36-cell inner table
+	var wg sync.WaitGroup
+	results := make([][]Pair, 16)
+	errs := make([]error, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], _, errs[g] = Compute(len(a), len(bs), eq, Options{Budget: pool})
+		}(g)
+	}
+	wg.Wait()
+	for g := range results {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		if !reflect.DeepEqual(results[g], want) {
+			t.Fatalf("goroutine %d: pairs %v, want %v", g, results[g], want)
+		}
+	}
+	if pool.InUse() != 0 {
+		t.Fatalf("pool still holds %d cells after all computations", pool.InUse())
+	}
+}

@@ -12,6 +12,14 @@
 // with rprism.Register is served at POST /run/{analysis} and listed by
 // GET /analyses without touching this package.
 //
+// Diff-flavored analyses additionally parallelize inside one request:
+// the engine evaluates correlated thread-view pairs on intra-diff
+// workers (rprism.WithDiffParallelism, or a per-request "parallelism"
+// param) drawn from the same slot budget as the engine's worker bound,
+// so a busy server degrades diffs toward serial instead of
+// oversubscribing the machine. GET /stats reports the configured
+// default.
+//
 // Endpoints:
 //
 //	PUT  /traces                 upload a trace (body: gob trace file)
@@ -328,11 +336,15 @@ type StatsResponse struct {
 
 // ServerStats counts request handling.
 type ServerStats struct {
-	Workers  int   `json:"workers"`
-	InFlight int   `json:"in_flight"`
-	Requests int64 `json:"requests"`
-	Rejected int64 `json:"rejected"`
-	Timeouts int64 `json:"timeouts"`
+	Workers int `json:"workers"`
+	// DiffParallelism is the engine's default intra-diff worker count
+	// (0 = GOMAXPROCS). Per-request "parallelism" params and the shared
+	// worker budget can both lower what a given diff actually gets.
+	DiffParallelism int   `json:"diff_parallelism"`
+	InFlight        int   `json:"in_flight"`
+	Requests        int64 `json:"requests"`
+	Rejected        int64 `json:"rejected"`
+	Timeouts        int64 `json:"timeouts"`
 }
 
 // ErrorBody is the uniform error payload: a stable machine-readable code
@@ -676,11 +688,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Corpus:  s.store.Stats(),
 		Symbols: s.eng.SymbolStats(),
 		Server: ServerStats{
-			Workers:  s.opts.Workers,
-			InFlight: len(s.sem),
-			Requests: s.requests.Load(),
-			Rejected: s.rejected.Load(),
-			Timeouts: s.timeouts.Load(),
+			Workers:         s.opts.Workers,
+			DiffParallelism: s.eng.DefaultDiffOptions().Parallelism,
+			InFlight:        len(s.sem),
+			Requests:        s.requests.Load(),
+			Rejected:        s.rejected.Load(),
+			Timeouts:        s.timeouts.Load(),
 		},
 	})
 }

@@ -651,3 +651,53 @@ func TestServerRequestTimeout(t *testing.T) {
 		t.Error("timeout not counted in server stats")
 	}
 }
+
+// TestDiffParallelismKnob drives the serve wiring of the intra-diff
+// worker knob end to end: the engine default shows up in /stats, and a
+// per-request "parallelism" param changes scheduling but never the
+// response — compares included.
+func TestDiffParallelismKnob(t *testing.T) {
+	good, bad := tracePair(t)
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rprism-serve wiring: request pool mirrored into the engine's
+	// worker budget so intra-diff workers are clamped to the same slots.
+	srv := New(rprism.NewEngine(rprism.WithCorpus(store),
+		rprism.WithWorkers(4), rprism.WithDiffParallelism(4)), Options{Workers: 4})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	gi := upload(t, ts, good)
+	bi := upload(t, ts, bad)
+
+	var base DiffResponse
+	if status, raw := doJSON(t, http.MethodGet,
+		fmt.Sprintf("%s/diff?left=%s&right=%s", ts.URL, gi.ID, bi.ID), nil, &base); status != http.StatusOK {
+		t.Fatalf("diff: %d %s", status, raw)
+	}
+	for _, par := range []int{1, 8} {
+		body, _ := json.Marshal(map[string]any{
+			"traces": map[string]string{"left": gi.ID, "right": bi.ID},
+			"params": map[string]int{"parallelism": par},
+		})
+		var res DiffResponse
+		if status, raw := doJSON(t, http.MethodPost, ts.URL+"/run/diff", body, &res); status != http.StatusOK {
+			t.Fatalf("run/diff parallelism=%d: %d %s", par, status, raw)
+		}
+		if res.NumDiffs != base.NumDiffs || res.NumSequences != base.NumSequences ||
+			res.Compares != base.Compares {
+			t.Errorf("parallelism=%d diverged from default: %d diffs/%d seqs/%d compares vs %d/%d/%d",
+				par, res.NumDiffs, res.NumSequences, res.Compares,
+				base.NumDiffs, base.NumSequences, base.Compares)
+		}
+	}
+
+	var stats StatsResponse
+	if status, raw := doJSON(t, http.MethodGet, ts.URL+"/stats", nil, &stats); status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, raw)
+	}
+	if stats.Server.DiffParallelism != 4 {
+		t.Errorf("stats diff_parallelism = %d, want 4", stats.Server.DiffParallelism)
+	}
+}

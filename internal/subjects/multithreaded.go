@@ -1,0 +1,42 @@
+package subjects
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MultithreadedSource builds the parallel-diff subject: a program whose
+// main thread spawns `workers` Worker threads, each producing a long,
+// independently diffable event stream of `iters` iterations. bias is a
+// program expression over the loop variable i (e.g. "0" for the clean
+// run, "1" to perturb every 17th iteration via the i%17/16 factor in the
+// loop body), scattering divergences across all threads — the workload
+// the per-thread-pair parallel differ decomposes.
+func MultithreadedSource(workers, iters int, bias string) string {
+	var sb strings.Builder
+	sb.WriteString(`
+class Worker {
+  Int id;
+  Int acc;
+  Worker(Int id) { super(); this.id = id; this.acc = 0; }
+  void work(Int bias) {
+    let i = 0;
+    while (i < ` + fmt.Sprint(iters) + `) {
+      this.acc = this.acc + this.id * 31 + i + i % 17 / 16 * bias;
+      Sys.print(this.acc % 1000);
+      i = i + 1;
+    }
+  }
+}
+class Main {
+  void main() {
+`)
+	for w := 0; w < workers; w++ {
+		fmt.Fprintf(&sb, "    let w%d = new Worker(%d);\n", w, w+1)
+		fmt.Fprintf(&sb, "    spawn { w%d.work(%s); }\n", w, bias)
+	}
+	sb.WriteString(`    Sys.print("main done");
+  }
+}`)
+	return sb.String()
+}

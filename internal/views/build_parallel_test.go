@@ -1,0 +1,131 @@
+package views
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// shardedFixture builds a trace large and varied enough that a parallel
+// build spans several shards with every view type represented, including
+// EOF entries (which map to no views) scattered through the middle.
+func shardedFixture(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	t := trace.New("sharded")
+	methods := []string{"M.a/0", "M.b/1", "N.c/2", "N.d/0", "O.e/1"}
+	for i := 0; i < n; i++ {
+		if rng.Intn(200) == 0 {
+			t.Append(trace.ThreadID(rng.Intn(5)), "", trace.Repr{}, trace.Event{Kind: trace.KindEOF})
+			continue
+		}
+		obj := trace.Repr{Loc: trace.Loc(1 + rng.Intn(40)), Class: "Node", Seq: 1 + rng.Intn(40)}
+		val := trace.PrimRepr("Int", fmt.Sprint(rng.Intn(50)))
+		var ev trace.Event
+		switch rng.Intn(4) {
+		case 0:
+			ev = trace.Event{Kind: trace.KindGet, Target: obj, Member: "f", Args: []trace.Repr{val}}
+		case 1:
+			ev = trace.Event{Kind: trace.KindSet, Target: obj, Member: "f", Args: []trace.Repr{val}}
+		case 2:
+			ev = trace.Event{Kind: trace.KindCall, Target: obj, Member: methods[rng.Intn(5)]}
+		default:
+			ev = trace.Event{Kind: trace.KindInit, Target: obj, Member: "Node"}
+		}
+		t.Append(trace.ThreadID(rng.Intn(5)), methods[rng.Intn(5)], obj, ev)
+	}
+	t.EnsureSyms()
+	return t
+}
+
+// requireEqualWebs asserts two webs are observably identical: same view
+// names, same per-view entry orders, same per-entry links, same object
+// index, same memory accounting.
+func requireEqualWebs(t *testing.T, want, got *Web, label string) {
+	t.Helper()
+	wantNames, gotNames := want.Names(), got.Names()
+	if !reflect.DeepEqual(wantNames, gotNames) {
+		t.Fatalf("%s: view name sets differ: %d vs %d names", label, len(wantNames), len(gotNames))
+	}
+	for _, n := range wantNames {
+		if !reflect.DeepEqual(want.View(n).EIDs, got.View(n).EIDs) {
+			t.Fatalf("%s: view %s entry ids differ", label, n)
+		}
+	}
+	for eid := range want.Trace.Entries {
+		a, b := want.NamesOf(trace.EntryID(eid)), got.NamesOf(trace.EntryID(eid))
+		// EOF entries map to no views; a nil and an empty list are the same.
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: entry %d links differ: %v vs %v", label, eid, a, b)
+		}
+	}
+	if want.Count() != got.Count() {
+		t.Fatalf("%s: counts differ: %+v vs %+v", label, want.Count(), got.Count())
+	}
+	if !reflect.DeepEqual(want.objects, got.objects) {
+		t.Fatalf("%s: object indexes differ", label)
+	}
+	if want.MemBytes() != got.MemBytes() {
+		t.Fatalf("%s: MemBytes differ: %d vs %d", label, want.MemBytes(), got.MemBytes())
+	}
+}
+
+// TestParallelBuildMatchesSerial is the sharded-build equivalence
+// property: any forced worker count produces a web observably identical
+// to the serial pass, shard-boundary entries and EOFs included.
+func TestParallelBuildMatchesSerial(t *testing.T) {
+	for _, n := range []int{50, 1000, 9001} {
+		tr := shardedFixture(n, int64(n))
+		serial, err := BuildCtxOpts(context.Background(), tr, BuildOptions{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			par, err := BuildCtxOpts(context.Background(), tr, BuildOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualWebs(t, serial, par, fmt.Sprintf("n=%d workers=%d", n, workers))
+		}
+	}
+}
+
+// TestParallelBuildAutoThreshold checks the automatic mode: small traces
+// stay serial (one arena), and the choice never changes the web.
+func TestParallelBuildAutoThreshold(t *testing.T) {
+	tr := shardedFixture(500, 7)
+	auto, err := BuildCtx(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(auto.arenas) != 1 {
+		t.Errorf("a %d-entry trace should build serially in auto mode, got %d arenas",
+			tr.Len(), len(auto.arenas))
+	}
+	forced, err := BuildCtxOpts(context.Background(), tr, BuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualWebs(t, auto, forced, "auto vs forced")
+}
+
+// TestParallelBuildCancellation: a canceled context aborts both the
+// upfront check and the sharded scan with the context's error.
+func TestParallelBuildCancellation(t *testing.T) {
+	tr := shardedFixture(20000, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildCtxOpts(ctx, tr, BuildOptions{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel build on canceled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := BuildCtxOpts(ctx, tr, BuildOptions{Workers: 1}); !errors.Is(err, context.Canceled) {
+		t.Errorf("serial build on canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -12,7 +12,6 @@
 package views
 
 import (
-	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -71,26 +70,47 @@ type Name struct {
 	Key  uint64
 }
 
-func (n Name) String() string { return fmt.Sprintf("⟨%s,%s⟩", n.Type, n.KeyString()) }
+// String renders the ⟨τ,ν⟩ notation. Like KeyString it formats without
+// fmt: rendering shows up in allocation profiles whenever results are
+// serialized (view listings, diff reports), and fmt's reflection-driven
+// path boxes every argument.
+func (n Name) String() string {
+	b := make([]byte, 0, 24)
+	b = append(b, "⟨"...)
+	b = append(b, n.Type.String()...)
+	b = append(b, ',')
+	b = n.appendKey(b)
+	b = append(b, "⟩"...)
+	return string(b)
+}
 
 // KeyString renders the key in the human-readable notation used by the
 // CLI: a decimal thread id, a qualified method name, "l<loc>" for heap
 // objects, or "str:<hex hash>" for value objects.
 func (n Name) KeyString() string {
+	return string(n.appendKey(make([]byte, 0, 20)))
+}
+
+// appendKey appends KeyString's rendering to b with plain integer/hex
+// formatting — one output allocation per rendered name, no fmt.
+func (n Name) appendKey(b []byte) []byte {
 	switch n.Type {
 	case Thread:
-		return strconv.FormatUint(n.Key, 10)
+		return strconv.AppendUint(b, n.Key, 10)
 	case Method:
-		return trace.SymStr(trace.Sym(n.Key))
+		return append(b, trace.SymStr(trace.Sym(n.Key))...)
 	case TargetObject:
 		if n.Key&strValueBit != 0 {
-			return fmt.Sprintf("str:%x", n.Key&^strValueBit)
+			b = append(b, "str:"...)
+			return strconv.AppendUint(b, n.Key&^strValueBit, 16)
 		}
-		return fmt.Sprintf("l%d", n.Key)
+		b = append(b, 'l')
+		return strconv.AppendUint(b, n.Key, 10)
 	case ActiveObject:
-		return fmt.Sprintf("l%d", n.Key)
+		b = append(b, 'l')
+		return strconv.AppendUint(b, n.Key, 10)
 	}
-	return strconv.FormatUint(n.Key, 10)
+	return strconv.AppendUint(b, n.Key, 10)
 }
 
 // ThreadName returns the thread view name for a thread id.
@@ -176,151 +196,8 @@ type Web struct {
 	Trace   *trace.Trace
 	views   map[Name]*View
 	byEntry [][]Name // view names per entry id (the union of the ω mappings)
-	arena   []Name   // backing storage for byEntry slices
+	arenas  [][]Name // backing storage for byEntry slices, one per build shard
 	objects map[trace.Loc]ObjectInfo
-}
-
-// Build constructs the view web in a single pass over the trace, applying
-// the view-name mapping functions ωτ of Fig. 7 to every entry. The
-// per-entry name lists live in one shared arena rather than one slice
-// allocation per entry.
-//
-// The returned Web is never written again after Build returns: every
-// method on Web is read-only, so a built web may be shared by any number
-// of goroutines without synchronization. The corpus view cache relies on
-// this to hand one memoized web to N concurrent diff requests. The one
-// caveat is the trace itself: Build backfills missing Sym fields via
-// EnsureSyms, so the first Build over a given hand-built trace must not
-// race another Build of the same trace. Traces produced by the
-// interpreter or any loader are fully interned already, making EnsureSyms
-// a read-only scan and concurrent Builds safe.
-func Build(t *trace.Trace) *Web {
-	w, _ := BuildCtx(context.Background(), t)
-	return w
-}
-
-// BuildCtx is Build with cancellation: ctx is polled periodically during
-// the construction pass, and a canceled context aborts the build with the
-// context's error. Servers building webs over multi-million-entry traces
-// use this to kill requests whose clients have gone away.
-func BuildCtx(ctx context.Context, t *trace.Trace) (*Web, error) {
-	t.EnsureSyms() // no-op for interpreter- or loader-produced traces
-	w := &Web{
-		Trace:   t,
-		views:   make(map[Name]*View),
-		byEntry: make([][]Name, len(t.Entries)),
-		objects: make(map[trace.Loc]ObjectInfo),
-	}
-	// First pass: size the arena exactly, so slices into it stay valid.
-	total := 0
-	for i := range t.Entries {
-		total += nameCount(&t.Entries[i])
-	}
-	w.arena = make([]Name, 0, total)
-	for i := range t.Entries {
-		if i&8191 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		e := &t.Entries[i]
-		if e.Event.Kind == trace.KindEOF {
-			continue
-		}
-		start := len(w.arena)
-		w.arena = appendNames(w.arena, e)
-		names := w.arena[start:len(w.arena):len(w.arena)]
-		w.byEntry[e.EID] = names
-		for _, n := range names {
-			v := w.views[n]
-			if v == nil {
-				v = &View{Name: n}
-				w.views[n] = v
-			}
-			v.EIDs = append(v.EIDs, e.EID)
-		}
-		w.noteObject(e.Event.Target, e.EID)
-		w.noteObject(e.Self, e.EID)
-	}
-	return w, nil
-}
-
-func (w *Web) noteObject(r trace.Repr, eid trace.EntryID) {
-	if r.Loc == trace.NoLoc {
-		return
-	}
-	if _, seen := w.objects[r.Loc]; !seen {
-		w.objects[r.Loc] = ObjectInfo{Loc: r.Loc, Class: r.Class, Seq: r.Seq, FirstEID: eid}
-	}
-}
-
-// nameCount returns how many view names an entry maps to, mirroring
-// appendNames.
-func nameCount(e *trace.Entry) int {
-	if e.Event.Kind == trace.KindEOF {
-		return 0
-	}
-	n := 1 // thread view
-	if e.MethodSym != trace.NoSym {
-		n++
-	}
-	if _, ok := targetKey(&e.Event); ok {
-		n++
-	}
-	if e.Self.Loc != trace.NoLoc {
-		n++
-	}
-	return n
-}
-
-// appendNames appends the view names of an entry — the union of the
-// per-type mapping functions ωτ (Fig. 7) — to dst.
-func appendNames(dst []Name, e *trace.Entry) []Name {
-	dst = append(dst, ThreadName(e.TID))
-	if e.MethodSym != trace.NoSym {
-		dst = append(dst, Name{Method, uint64(e.MethodSym)})
-	}
-	if n, ok := targetKey(&e.Event); ok {
-		dst = append(dst, n)
-	}
-	if e.Self.Loc != trace.NoLoc {
-		dst = append(dst, ActiveName(e.Self.Loc))
-	}
-	return dst
-}
-
-// MapEntry computes the set of view names an entry belongs to.
-// Hand-built entries without interned symbols work too: the two Sym
-// fields the mapping depends on are backfilled on the local copy (both
-// live directly in the Entry value, so the caller's entry — including
-// its shared Args/Stack storage — is never written).
-func MapEntry(e trace.Entry) []Name {
-	e.MethodSym = trace.EnsureSym(e.MethodSym, e.Method)
-	e.Event.Target.ClassSym = trace.EnsureSym(e.Event.Target.ClassSym, e.Event.Target.Class)
-	return appendNames(make([]Name, 0, 4), &e)
-}
-
-// symString is the interned symbol of the class name "String", resolved
-// lazily (interning in an init racing other packages' inits is fine, but
-// there is no need).
-var symString = trace.Intern("String")
-
-// targetKey implements ωTO: the target object's location for field, method
-// and creation events. String value objects, which have no location, are
-// grouped by value (Java strings are heap objects; ours are primitives).
-// Other primitives get no target object view.
-func targetKey(ev *trace.Event) (Name, bool) {
-	switch ev.Kind {
-	case trace.KindGet, trace.KindSet, trace.KindCall, trace.KindReturn, trace.KindInit:
-		t := &ev.Target
-		if t.Loc != trace.NoLoc {
-			return LocName(t.Loc), true
-		}
-		if t.ClassSym == symString && t.HasValue() {
-			return StrValueName(t.Hash), true
-		}
-	}
-	return Name{}, false
 }
 
 // View returns the view with the given name, or nil.
@@ -439,4 +316,34 @@ func (w *Web) Count() Counts {
 // ThreadView returns the thread view for a tid, or nil.
 func (w *Web) ThreadView(tid trace.ThreadID) *View {
 	return w.views[ThreadName(tid)]
+}
+
+// Per-element sizes of the web's backing structures, for MemBytes. Name
+// is a uint8 + uint64 padded to 16 bytes; slice headers are three words;
+// a View's EIDs are word-sized entry ids; ObjectInfo carries a string
+// header, three words, and padding.
+const (
+	nameBytes       = 16
+	sliceHeaderSize = 24
+	entryIDBytes    = 8
+	objectInfoBytes = 56
+)
+
+// MemBytes accounts the web's own memory — the name arenas, the
+// per-entry link table, every view's entry-id list, and the object
+// index — excluding the underlying trace. It counts logical lengths, not
+// allocator capacities, so the figure is identical however the web was
+// built (any Workers setting) and is the deterministic web term of the
+// differ's Stats.MemBytes.
+func (w *Web) MemBytes() int64 {
+	var b int64
+	for _, a := range w.arenas {
+		b += int64(len(a)) * nameBytes
+	}
+	b += int64(len(w.byEntry)) * sliceHeaderSize
+	for _, v := range w.views {
+		b += int64(len(v.EIDs))*entryIDBytes + sliceHeaderSize + nameBytes
+	}
+	b += int64(len(w.objects)) * objectInfoBytes
+	return b
 }

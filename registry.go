@@ -138,10 +138,17 @@ type diffParams struct {
 	QuickScan  *int  `json:"quick_scan"`
 	MaxExplore *int  `json:"max_explore"`
 	Relaxed    *bool `json:"relaxed"`
-	Removal    *bool `json:"removal"` // regression only
+	// Parallelism requests intra-diff workers for this call; the engine
+	// clamps it to its free worker slots, so a request can ask for more
+	// than the deployment will grant. Results are identical either way.
+	Parallelism *int  `json:"parallelism"`
+	Removal     *bool `json:"removal"` // regression only
 }
 
 func (p diffParams) apply(o DiffOptions) DiffOptions {
+	if p.Parallelism != nil {
+		o.Parallelism = *p.Parallelism
+	}
 	if p.Window != nil {
 		o.Window = *p.Window
 	}
@@ -179,7 +186,7 @@ func init() {
 		Name:   "diff",
 		Doc:    "views-based trace differencing (Fig. 12): similarity sets, difference sets, difference sequences",
 		Roles:  []string{"left", "right"},
-		Params: "window, radius, max_scan, quick_scan, max_explore, relaxed",
+		Params: "window, radius, max_scan, quick_scan, max_explore, relaxed, parallelism",
 	}, func(ctx context.Context, e *Engine, req AnalysisRequest) (any, error) {
 		left, err := req.Source("left")
 		if err != nil {
