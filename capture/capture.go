@@ -1,0 +1,69 @@
+// Package capture is the public embedding surface of rprism's live
+// capture tier: a lightweight in-process tracer for real Go programs.
+// Embed a Recorder, bracket instrumented functions with Enter and its
+// returned exit hook, and the execution streams into the rprism trace
+// grammar — to disk segments, or live into an rprism-serve session
+// where it can be diffed against the corpus while the program is still
+// running.
+//
+//	rec, err := capture.Start(capture.Options{ServerURL: "http://localhost:8372", Name: "worker"})
+//	...
+//	exit := rec.Enter("Pool.dispatch/1", poolRepr, jobRepr)
+//	defer exit()
+//
+// Programs meant to run under `rprism record` use StartFromEnv, which
+// activates only when the capture environment is injected.
+//
+// The implementation lives in internal/capture; this package pins the
+// supported surface.
+package capture
+
+import (
+	icapture "repro/internal/capture"
+	"repro/internal/trace"
+)
+
+// Options configure a Recorder; see internal/capture.Options.
+type Options = icapture.Options
+
+// Recorder is the in-process tracer.
+type Recorder = icapture.Recorder
+
+// Summary reports what a closed Recorder captured.
+type Summary = icapture.Summary
+
+// Repr is the extended object representation recorded events carry.
+type Repr = trace.Repr
+
+// Event is one trace event.
+type Event = trace.Event
+
+// EventKind enumerates the trace grammar's event kinds.
+type EventKind = trace.EventKind
+
+// The event kinds embedders emit directly (calls, returns, forks, and
+// ends are recorded by Enter/exit hooks and Go).
+const (
+	KindGet  = trace.KindGet
+	KindSet  = trace.KindSet
+	KindInit = trace.KindInit
+)
+
+// Start opens a recorder on the configured sink (disk directory or
+// rprism-serve URL).
+func Start(opts Options) (*Recorder, error) { return icapture.Start(opts) }
+
+// StartFromEnv starts a recorder when the process was launched with
+// capture injected (`rprism record`); the boolean reports whether it
+// was.
+func StartFromEnv() (*Recorder, bool, error) { return icapture.StartFromEnv() }
+
+// Obj builds the representation of a heap object: a stable location, a
+// class name, and an optional per-class creation sequence number.
+func Obj(loc int64, class string, seq int) Repr {
+	return Repr{Loc: trace.Loc(loc), Class: class, Seq: seq}
+}
+
+// Val builds the representation of a value (a primitive): a class name
+// and its rendered value, hashed for cross-run comparison.
+func Val(class, str string) Repr { return trace.PrimRepr(class, str) }

@@ -31,6 +31,10 @@ type BenchRecord struct {
 	// the workers=1 row of the same family, measured in this run.
 	Workers         int     `json:"workers,omitempty"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+	// EntriesPerSec is the streaming-ingestion throughput of an
+	// incremental-append row: trace entries absorbed into a live web per
+	// second.
+	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -224,6 +228,30 @@ func writeJSONReport(path string) error {
 		} else if rec.NsPerOp > 0 {
 			rec.SpeedupVsSerial = buildSerialNs / rec.NsPerOp
 		}
+	}
+
+	// Streaming ingestion: the incremental builder absorbing the trace in
+	// capture-sized segments, the serve-side cost of one live session
+	// (mirrors BenchmarkIncrementalAppend). The throughput row is what a
+	// deployment sizes its capture fan-in against.
+	const ingestSegment = 4096
+	rec = record("IncrementalAppend", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ib := views.NewIncrementalBuilder(ml.Name)
+			for lo := 0; lo < ml.Len(); lo += ingestSegment {
+				hi := lo + ingestSegment
+				if hi > ml.Len() {
+					hi = ml.Len()
+				}
+				if err := ib.Append(ml.Entries[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if rec.NsPerOp > 0 {
+		rec.EntriesPerSec = float64(ml.Len()) / (rec.NsPerOp / 1e9)
 	}
 
 	report.Symbols = trace.GlobalSymbolStats()

@@ -2,6 +2,8 @@
 // explore views, or run the full regression-cause analysis.
 //
 //	rprism trace   -src prog.mj -out run.trace [-args a,b] [-exclude C,D]
+//	rprism record  -out run.trace [-url serveURL] -- <cmd> [args...]
+//	rprism attach  -url serveURL -trace run.trace [-batch N]
 //	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20] [-parallel N]
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
@@ -43,6 +45,10 @@ func main() {
 	switch os.Args[1] {
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "record":
+		err = cmdRecord(ctx, os.Args[2:])
+	case "attach":
+		err = cmdAttach(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(ctx, os.Args[2:])
 	case "views":
@@ -67,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rprism {trace|diff|views|analyze|check|protocol|impact|analyses} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|diff|views|analyze|check|protocol|impact|analyses} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	rprism "repro"
+	"repro/internal/capture"
+	"repro/internal/inject"
+	"repro/internal/trace"
+)
+
+// cmdRecord runs a real program with capture injected — the live-capture
+// analog of `rprism trace` for Go binaries that embed the capture shim
+// (capture.StartFromEnv):
+//
+//	rprism record -out run.trace -- ./myprog arg1 arg2
+//	rprism record -url http://localhost:8372 -- ./myprog
+//
+// Disk mode (default, or -dir) points the child at a segment directory,
+// then reassembles the segments after it exits — tolerating a truncated
+// trailing segment if the child crashed mid-write — and saves the trace.
+// With -url the child streams straight into an rprism-serve session
+// instead, so the run is diffable while it is still executing.
+func cmdRecord(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	out := fs.String("out", "", "output trace file (disk mode)")
+	name := fs.String("name", "record", "trace name")
+	dir := fs.String("dir", "", "segment directory to keep (disk mode; default: a temp dir)")
+	url := fs.String("url", "", "stream to this rprism-serve URL instead of recording to disk")
+	segment := fs.Int("segment", 0, "entries per segment/stream frame (0 = capture default)")
+	_ = fs.Parse(args)
+	argv := fs.Args()
+	if len(argv) == 0 {
+		return fmt.Errorf("record: no command given (usage: rprism record [flags] -- <cmd> [args...])")
+	}
+
+	cfg := inject.CaptureConfig{Name: *name, URL: *url, SegmentLimit: *segment}
+	keepDir := *dir != ""
+	if *url != "" && (*out != "" || keepDir) {
+		// Silently ignoring -out/-dir would leave the user expecting a
+		// file that never appears; the two sinks are mutually exclusive.
+		return fmt.Errorf("record: -url streams to a server and writes no local files; drop -out/-dir (download via the server, or record to disk and 'rprism attach' afterwards)")
+	}
+	if *url == "" {
+		if *out == "" && !keepDir {
+			return fmt.Errorf("record: disk mode needs -out (or -dir) to keep the recording")
+		}
+		cfg.Dir = *dir
+		if cfg.Dir == "" {
+			tmp, err := os.MkdirTemp("", "rprism-record-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(tmp)
+			cfg.Dir = tmp
+		}
+	}
+
+	child := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	child.Stdout = os.Stdout
+	child.Stderr = os.Stderr
+	child.Stdin = os.Stdin
+	child.Env = cfg.Environ(os.Environ())
+	runErr := child.Run()
+	if runErr != nil {
+		var exitErr *exec.ExitError
+		if !errors.As(runErr, &exitErr) {
+			return fmt.Errorf("record: %s: %w", argv[0], runErr)
+		}
+		// A failing child is still a recorded run — often the interesting
+		// one. Report it and recover whatever was captured.
+		fmt.Fprintf(os.Stderr, "rprism record: %s exited with %s (recovering the capture)\n",
+			argv[0], exitErr)
+	}
+
+	if *url != "" {
+		fmt.Printf("recorded: streamed to %s (GET %s/sessions or /traces to inspect)\n", *url, *url)
+		// A failing child still exits this command non-zero, exactly as
+		// disk mode does — CI gating on the recorded program's status
+		// must see it.
+		return runErr
+	}
+
+	tr, rep, err := trace.LoadSegmentsReport(cfg.Dir, *name)
+	if err != nil {
+		return fmt.Errorf("record: no capture recovered from %s: %w (did the child call capture.StartFromEnv?)", cfg.Dir, err)
+	}
+	if rep.Truncated() {
+		fmt.Fprintf(os.Stderr, "rprism record: %s\n", rep.Warning)
+	}
+	stats := trace.ComputeStats(tr)
+	fmt.Printf("recorded: %s\n", stats)
+	if *out != "" {
+		if err := rprism.SaveTrace(tr, *out); err != nil {
+			return err
+		}
+		fmt.Printf("saved: %s (digest %s)\n", *out, tr.ComputeDigest())
+	}
+	return runErr
+}
+
+// cmdAttach streams an existing trace file into an rprism-serve session
+// over the capture wire protocol — segment-framed, resumable, finalized
+// into a content digest — instead of one monolithic PUT /traces upload:
+//
+//	rprism attach -url http://localhost:8372 -trace run.trace
+func cmdAttach(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("attach", flag.ExitOnError)
+	url := fs.String("url", "", "rprism-serve base URL")
+	path := fs.String("trace", "", "trace file to stream")
+	name := fs.String("name", "", "override the trace name")
+	batch := fs.Int("batch", 4096, "entries per segment frame")
+	_ = fs.Parse(args)
+	if *url == "" || *path == "" {
+		return fmt.Errorf("attach: -url and -trace are required")
+	}
+	tr, err := loadTraceFile("trace", *path)
+	if err != nil {
+		return err
+	}
+	if *name != "" {
+		tr.Name = *name
+	}
+	ack, err := capture.StreamTrace(ctx, strings.TrimRight(*url, "/"), tr, *batch, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("streamed %d entries in session %s\n", ack.Entries, ack.Session)
+	if ack.Trace != nil {
+		state := "stored"
+		if !ack.Trace.Created {
+			state = "deduplicated to existing trace"
+		}
+		fmt.Printf("finalized: %s (%s)\n", ack.Trace.ID, state)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	rprism "repro"
+	"repro/capture"
+)
+
+// TestRecordHelperProcess is not a real test: when re-executed by
+// TestCmdRecordDisk with the helper variable set, the test binary plays
+// the role of a real Go program embedding the capture shim.
+func TestRecordHelperProcess(t *testing.T) {
+	if os.Getenv("RPRISM_RECORD_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	rec, on, err := capture.StartFromEnv()
+	if err != nil || !on {
+		os.Exit(3)
+	}
+	self := capture.Obj(1, "App", 1)
+	exit := rec.Enter("App.main/0", self)
+	rec.Emit(capture.Event{Kind: capture.KindSet, Target: self, Member: "state", Args: []capture.Repr{capture.Val("Int", "7")}})
+	exit()
+	if _, err := rec.Close(); err != nil {
+		os.Exit(4)
+	}
+	os.Exit(0)
+}
+
+// TestCmdRecordDisk drives `rprism record -- <cmd>` end to end: the
+// child is this test binary re-executed as a capture-embedding program,
+// the injection travels via the environment contract, and the recorded
+// segments come back as a loadable trace file.
+func TestCmdRecordDisk(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "child.trace")
+	t.Setenv("RPRISM_RECORD_HELPER", "1")
+	err := cmdRecord(context.Background(), []string{
+		"-out", out, "-name", "child", "--",
+		os.Args[0], "-test.run=TestRecordHelperProcess",
+	})
+	if err != nil {
+		t.Fatalf("cmdRecord: %v", err)
+	}
+	tr, err := rprism.LoadTrace(out)
+	if err != nil {
+		t.Fatalf("recorded trace does not load: %v", err)
+	}
+	if tr.Len() != 3 { // call + set + return
+		t.Fatalf("recorded %d entries, want 3", tr.Len())
+	}
+	if tr.Entries[1].Method != "App.main/0" {
+		t.Errorf("middle entry context %q, want App.main/0", tr.Entries[1].Method)
+	}
+}
+
+func TestCmdRecordValidation(t *testing.T) {
+	if err := cmdRecord(context.Background(), []string{"-out", "x.trace"}); err == nil {
+		t.Error("record without a command succeeded")
+	}
+	if err := cmdRecord(context.Background(), []string{"--", "true"}); err == nil {
+		t.Error("disk record without -out/-dir succeeded")
+	}
+}

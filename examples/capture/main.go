@@ -1,0 +1,86 @@
+// Command capture is a real Go program instrumented with the rprism
+// capture shim: a pool of goroutines hammering a shared counter, each
+// recording calls, field writes, and spawn ancestry into the trace
+// grammar. Run it under the recorder CLI:
+//
+//	rprism record -out run.trace -- go run ./examples/capture
+//	rprism record -url http://localhost:8372 -- go run ./examples/capture -workers 4 -iters 200
+//
+// Standalone (no injection) it just does its work untraced — the shim
+// only activates when `rprism record` exports the capture environment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/capture"
+)
+
+func main() {
+	workers := flag.Int("workers", 3, "concurrent workers")
+	iters := flag.Int("iters", 50, "increments per worker")
+	delay := flag.Duration("delay", time.Millisecond, "pause between increments (gives live sessions a window)")
+	flag.Parse()
+
+	rec, traced, err := capture.StartFromEnv()
+	if err != nil {
+		fmt.Println("capture:", err)
+		return
+	}
+	if !traced {
+		fmt.Println("running untraced (use 'rprism record -- go run ./examples/capture')")
+		rec = nil
+	}
+
+	var counter atomic.Int64
+	counterRepr := capture.Obj(1, "Counter", 1)
+
+	work := func(w int) {
+		self := capture.Obj(int64(10+w), "Worker", w+1)
+		if rec != nil {
+			exit := rec.Enter("Worker.run/1", self, capture.Val("Int", fmt.Sprint(w)))
+			defer exit()
+		}
+		for i := 0; i < *iters; i++ {
+			v := counter.Add(1)
+			if rec != nil {
+				rec.Emit(capture.Event{Kind: capture.KindSet, Target: counterRepr, Member: "value",
+					Args: []capture.Repr{capture.Val("Int", fmt.Sprint(v))}})
+			}
+			time.Sleep(*delay)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		w := w
+		wg.Add(1)
+		run := func() {
+			defer wg.Done()
+			work(w)
+		}
+		if rec != nil {
+			rec.Go(run) // records fork/end with spawn ancestry
+		} else {
+			go run()
+		}
+	}
+	wg.Wait()
+	fmt.Printf("counted to %d with %d workers\n", counter.Load(), *workers)
+
+	if rec != nil {
+		sum, err := rec.Close()
+		if err != nil {
+			fmt.Println("capture close:", err)
+			return
+		}
+		fmt.Printf("captured %d entries on %d threads\n", sum.Entries, sum.Threads)
+		if sum.TraceID != "" {
+			fmt.Printf("finalized in corpus: %s (session %s)\n", sum.TraceID, sum.Session)
+		}
+	}
+}

@@ -61,6 +61,13 @@ type Options struct {
 	// and rejects corrupted content. Costs one canonical-encoding pass
 	// per cache miss.
 	VerifyOnLoad bool
+	// MaxSessions bounds concurrently open live-capture sessions
+	// (default 64). Sessions hold their entries and incremental webs in
+	// memory, so without a cap abandoned recorders (crashed clients that
+	// never close or abort) would grow the store without bound;
+	// OpenSession fails once the cap is reached until sessions close,
+	// abort, or are deleted.
+	MaxSessions int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,6 +79,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SegmentLimit <= 0 {
 		o.SegmentLimit = 1 << 16
+	}
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 64
 	}
 	return o
 }
@@ -86,18 +96,21 @@ type Meta struct {
 
 // Stats is a snapshot of store contents and cache behavior.
 type Stats struct {
-	Traces        int   `json:"traces"`          // traces in the index
-	EntriesOnDisk int   `json:"entries_on_disk"` // sum of entry counts
-	TraceCacheLen int   `json:"trace_cache_len"`
-	WebCacheLen   int   `json:"web_cache_len"`
-	TraceHits     int64 `json:"trace_hits"`
-	TraceMisses   int64 `json:"trace_misses"` // disk loads
-	WebHits       int64 `json:"web_hits"`     // served an already-built web
-	WebBuilds     int64 `json:"web_builds"`   // actual views.Build runs
-	WebWaits      int64 `json:"web_waits"`    // coalesced onto another goroutine's build
-	Evictions     int64 `json:"evictions"`    // trace + web LRU evictions
-	Puts          int64 `json:"puts"`
-	Dedups        int64 `json:"dedups"` // Puts that found the digest already stored
+	Traces         int   `json:"traces"`           // traces in the index
+	EntriesOnDisk  int   `json:"entries_on_disk"`  // sum of entry counts
+	SegmentsOnDisk int   `json:"segments_on_disk"` // sum of segment-file counts
+	OpenSessions   int   `json:"open_sessions"`    // append-open live sessions
+	SessionEntries int   `json:"session_entries"`  // entries buffered across open sessions
+	TraceCacheLen  int   `json:"trace_cache_len"`
+	WebCacheLen    int   `json:"web_cache_len"`
+	TraceHits      int64 `json:"trace_hits"`
+	TraceMisses    int64 `json:"trace_misses"` // disk loads
+	WebHits        int64 `json:"web_hits"`     // served an already-built web
+	WebBuilds      int64 `json:"web_builds"`   // actual views.Build runs
+	WebWaits       int64 `json:"web_waits"`    // coalesced onto another goroutine's build
+	Evictions      int64 `json:"evictions"`    // trace + web LRU evictions
+	Puts           int64 `json:"puts"`
+	Dedups         int64 `json:"dedups"` // Puts that found the digest already stored
 }
 
 // Store is the concurrent content-addressed trace corpus. All methods
@@ -117,6 +130,7 @@ type Store struct {
 	traceLRU *list.List                     // front = most recent
 	webs     map[trace.Digest]*list.Element // values: *webItem, in lru
 	webLRU   *list.List
+	sessions map[string]*Session // append-open live sessions, by id
 
 	traceHits, traceMisses atomic.Int64
 	webHits, webBuilds     atomic.Int64
@@ -154,6 +168,7 @@ func New(dir string, opts Options) (*Store, error) {
 		traceLRU: list.New(),
 		webs:     make(map[trace.Digest]*list.Element),
 		webLRU:   list.New(),
+		sessions: make(map[string]*Session),
 	}
 	metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
 	if err != nil {
@@ -334,9 +349,23 @@ func (s *Store) Get(id trace.Digest) (*trace.Trace, error) {
 	// Load outside the lock. Two goroutines missing on the same id both
 	// load; the second admission wins, which is harmless — both copies
 	// are immutable and identical.
-	t, err := trace.LoadSegments(s.dir, id.String())
+	//
+	// The store is strict where the capture-recovery loader is
+	// forgiving: a content-addressed trace that loads short — truncated
+	// tail skipped, or fewer entries than its sidecar recorded — is
+	// corruption, not a crash to salvage, and serving the prefix would
+	// silently break the digest contract every analysis relies on.
+	t, rep, err := trace.LoadSegmentsReport(s.dir, id.String())
 	if err != nil {
 		return nil, fmt.Errorf("corpus: load %s: %w", id, err)
+	}
+	if rep.Truncated() || t.Len() != m.Entries {
+		detail := rep.Warning
+		if detail == "" {
+			detail = "segment set incomplete"
+		}
+		return nil, fmt.Errorf("corpus: trace %s corrupted on disk: loaded %d of %d entries (%s)",
+			id, t.Len(), m.Entries, detail)
 	}
 	t.Name = m.Name // segments are named by digest; restore the label
 	if s.opts.VerifyOnLoad {
@@ -509,8 +538,10 @@ func (s *Store) Stats() Stats {
 	}
 	for _, m := range s.index {
 		st.EntriesOnDisk += m.Entries
+		st.SegmentsOnDisk += m.Segments
 	}
 	s.mu.Unlock()
+	st.OpenSessions, st.SessionEntries = s.sessionStats()
 	st.TraceHits = s.traceHits.Load()
 	st.TraceMisses = s.traceMisses.Load()
 	st.WebHits = s.webHits.Load()

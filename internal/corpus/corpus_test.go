@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -345,4 +346,48 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+func TestGetRejectsTruncatedDiskTier(t *testing.T) {
+	// The store must stay strict where the capture-recovery loader is
+	// forgiving: a stored trace whose trailing segment was truncated on
+	// disk is corruption, and Get must fail rather than serve a silent
+	// prefix that no longer matches its digest.
+	dir := t.TempDir()
+	store, err := New(dir, Options{SegmentLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New("multi")
+	for i := 0; i < 35; i++ {
+		obj := trace.Repr{Loc: trace.Loc(1 + i%5), Class: "C", Seq: 1 + i%5}
+		tr.Append(0, "C.m/0", obj, trace.Event{Kind: trace.KindCall, Target: obj, Member: "C.m/0"})
+	}
+	id, _, err := store.Put(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, id.String()+".*.seg"))
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want multiple segments, got %v (err %v)", segs, err)
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	raw, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(last, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store over the same dir: the decoded-trace LRU is cold, so
+	// Get must hit the (corrupted) disk tier.
+	reopened, err := New(dir, Options{SegmentLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Get(id); err == nil {
+		t.Fatal("Get served a trace whose trailing segment is truncated")
+	}
 }

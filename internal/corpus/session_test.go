@@ -1,0 +1,258 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// sessionFixture builds a deterministic multi-view trace of n entries.
+func sessionFixture(n int) *trace.Trace {
+	t := trace.New("live")
+	for i := 0; i < n; i++ {
+		obj := trace.Repr{Loc: trace.Loc(1 + i%13), Class: "Node", Seq: 1 + i%13}
+		t.Append(trace.ThreadID(i%3), fmt.Sprintf("C.m%d/0", i%5), obj,
+			trace.Event{Kind: trace.KindCall, Target: obj, Member: fmt.Sprintf("C.m%d/0", (i+1)%5)})
+	}
+	return t
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sessionFixture(90)
+
+	sess, err := store.OpenSession("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Session(sess.ID()); err != nil || got != sess {
+		t.Fatalf("Session(%s) = %v, %v", sess.ID(), got, err)
+	}
+
+	// Stream in three segments; mid-session projections track growth.
+	for lo := 0; lo < 90; lo += 30 {
+		n, err := sess.Append(src.Entries[lo : lo+30])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != lo+30 {
+			t.Fatalf("after append: %d entries, want %d", n, lo+30)
+		}
+	}
+	if snap := sess.Snapshot(); snap.Len() != 90 {
+		t.Fatalf("snapshot has %d entries, want 90", snap.Len())
+	}
+	web := sess.Web()
+	fresh := views.Build(sess.Snapshot())
+	if err := views.Equivalent(fresh, web); err != nil {
+		t.Fatalf("live web not equivalent to fresh build: %v", err)
+	}
+
+	// Store stats see the open session.
+	st := store.Stats()
+	if st.OpenSessions != 1 || st.SessionEntries != 90 {
+		t.Fatalf("stats: %d sessions / %d entries, want 1 / 90", st.OpenSessions, st.SessionEntries)
+	}
+
+	// Finalization: digest matches a batch Put of identical content.
+	id, created, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Error("close of new content reported dedup")
+	}
+	if want := src.ComputeDigest(); id != want {
+		t.Errorf("finalized digest %s, want %s", id, want)
+	}
+	if _, err := store.Session(sess.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("closed session still resolvable: %v", err)
+	}
+	if _, err := store.Meta(id); err != nil {
+		t.Errorf("finalized trace not in index: %v", err)
+	}
+	got, err := store.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ComputeDigest() != id {
+		t.Error("stored trace content does not round-trip the digest")
+	}
+
+	// A batch Put of the same execution dedups against the finalized one.
+	if _, created, err := store.Put(src); err != nil || created {
+		t.Errorf("batch Put of identical content: created=%v err=%v", created, err)
+	}
+}
+
+func TestSessionAppendAfterCloseFails(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sessionFixture(10)
+	sess, err := store.OpenSession("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(src.Entries); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(src.Entries); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("append after close: %v", err)
+	}
+	if _, _, err := sess.Close(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestSessionAbortAndEmptyClose(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := store.OpenSession("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Abort()
+	if _, err := store.Session(sess.ID()); !errors.Is(err, ErrSessionNotFound) {
+		t.Errorf("aborted session still resolvable: %v", err)
+	}
+	empty, err := store.OpenSession("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := empty.Close(); !errors.Is(err, ErrInvalidTrace) {
+		t.Errorf("closing an empty session: %v", err)
+	}
+	if store.Stats().OpenSessions != 0 {
+		t.Error("sessions leaked into stats")
+	}
+}
+
+func TestSessionIdempotentRedelivery(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sessionFixture(50)
+	sess, err := store.OpenSession("retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(src.Entries[:25]); err != nil {
+		t.Fatal(err)
+	}
+	// A retried batch overlapping the high-water mark applies only the
+	// new suffix.
+	n, err := sess.Append(src.Entries[10:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 40 {
+		t.Fatalf("after redelivery: %d entries, want 40", n)
+	}
+	// A gapped batch is rejected without corrupting the session.
+	if _, err := sess.Append(src.Entries[45:]); err == nil {
+		t.Error("gapped append accepted")
+	}
+	if _, err := sess.Append(src.Entries[40:]); err != nil {
+		t.Fatal(err)
+	}
+	id, _, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := src.ComputeDigest(); id != want {
+		t.Errorf("digest after redelivery %s, want %s", id, want)
+	}
+}
+
+// TestSessionConcurrentAppendsAndReaders hammers one session with a
+// writer streaming segments and readers snapshotting webs mid-flight;
+// run under -race in CI this is the live-query soundness check.
+func TestSessionConcurrentAppendsAndReaders(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sessionFixture(3000)
+	sess, err := store.OpenSession("hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				web := sess.Web()
+				n := web.Trace.Len()
+				for _, name := range web.Names() {
+					for _, eid := range web.View(name).EIDs {
+						if int(eid) >= n {
+							t.Errorf("snapshot leaked future entry %d (len %d)", eid, n)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < src.Len(); lo += 100 {
+		if _, err := sess.Append(src.Entries[lo : lo+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	id, _, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := src.ComputeDigest(); id != want {
+		t.Errorf("digest %s, want %s", id, want)
+	}
+}
+
+func TestSessionCap(t *testing.T) {
+	store, err := New(t.TempDir(), Options{MaxSessions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := store.OpenSession("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenSession("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.OpenSession("c"); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("third session at cap 2: %v", err)
+	}
+	// Freeing a slot (abort) lets a new session in.
+	a.Abort()
+	if _, err := store.OpenSession("d"); err != nil {
+		t.Errorf("open after abort: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package inject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Process-level capture injection: the environment contract between
+// `rprism record` and a child process embedding the capture package.
+// The paper's original tool injects instrumentation into the traced
+// program from outside (AspectJ load-time weaving); for real Go
+// programs the equivalent seam is the process boundary, so the recorder
+// CLI "weaves" capture into a child by exporting this configuration and
+// the child's capture.StartFromEnv picks it up — no code change beyond
+// embedding the shim.
+
+// Environment variables of the capture-injection contract.
+const (
+	// EnvCaptureDir selects disk capture: the directory the child writes
+	// trace segments into.
+	EnvCaptureDir = "RPRISM_CAPTURE_DIR"
+	// EnvCaptureURL selects live streaming: the base URL of an
+	// rprism-serve instance to stream segment frames to.
+	EnvCaptureURL = "RPRISM_CAPTURE_URL"
+	// EnvCaptureName names the recorded trace (and its segment files).
+	EnvCaptureName = "RPRISM_CAPTURE_NAME"
+	// EnvCaptureSegment overrides the entries-per-segment limit.
+	EnvCaptureSegment = "RPRISM_CAPTURE_SEGMENT"
+)
+
+// CaptureConfig is the injected capture configuration. Exactly one of
+// Dir and URL selects the sink; the zero value means "capture disabled".
+type CaptureConfig struct {
+	Dir          string // segment directory (disk capture)
+	URL          string // rprism-serve base URL (live streaming)
+	Name         string // trace name
+	SegmentLimit int    // entries per segment/frame, 0 = capture default
+}
+
+// Enabled reports whether the configuration selects any sink.
+func (c CaptureConfig) Enabled() bool { return c.Dir != "" || c.URL != "" }
+
+// Environ returns base extended with this configuration, replacing any
+// RPRISM_CAPTURE_* variables already present — the environment to start
+// an instrumented child process with.
+func (c CaptureConfig) Environ(base []string) []string {
+	out := make([]string, 0, len(base)+4)
+	for _, kv := range base {
+		if k, _, ok := strings.Cut(kv, "="); ok {
+			switch k {
+			case EnvCaptureDir, EnvCaptureURL, EnvCaptureName, EnvCaptureSegment:
+				continue
+			}
+		}
+		out = append(out, kv)
+	}
+	if c.Dir != "" {
+		out = append(out, EnvCaptureDir+"="+c.Dir)
+	}
+	if c.URL != "" {
+		out = append(out, EnvCaptureURL+"="+c.URL)
+	}
+	if c.Name != "" {
+		out = append(out, EnvCaptureName+"="+c.Name)
+	}
+	if c.SegmentLimit > 0 {
+		out = append(out, EnvCaptureSegment+"="+strconv.Itoa(c.SegmentLimit))
+	}
+	return out
+}
+
+// CaptureConfigFromEnviron parses the contract back out of an
+// environment. The boolean reports whether capture is enabled at all; a
+// malformed segment limit is an error rather than a silent default so a
+// typo'd injection fails loudly in the child.
+func CaptureConfigFromEnviron(env []string) (CaptureConfig, bool, error) {
+	var c CaptureConfig
+	for _, kv := range env {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case EnvCaptureDir:
+			c.Dir = v
+		case EnvCaptureURL:
+			c.URL = v
+		case EnvCaptureName:
+			c.Name = v
+		case EnvCaptureSegment:
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return CaptureConfig{}, false, fmt.Errorf("inject: %s=%q: not a non-negative integer", EnvCaptureSegment, v)
+			}
+			c.SegmentLimit = n
+		}
+	}
+	return c, c.Enabled(), nil
+}

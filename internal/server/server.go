@@ -20,18 +20,29 @@
 // oversubscribing the machine. GET /stats reports the configured
 // default.
 //
+// Live capture streams in through POST /traces/stream (the NDJSON
+// segment-frame protocol of internal/capture): frames build append-open
+// corpus sessions whose view webs extend incrementally, so analyses can
+// reference a still-running program as "session:<id>" wherever a trace
+// digest is accepted; the stream's close frame finalizes the session
+// into an ordinary content-addressed trace.
+//
 // Endpoints:
 //
 //	PUT  /traces                 upload a trace (body: gob trace file)
+//	POST /traces/stream          stream live capture frames (NDJSON)
 //	GET  /traces                 list stored traces
 //	GET  /traces/{id}            metadata of one trace
 //	GET  /traces/{id}/views      view-web summary (counts + largest views)
+//	GET  /sessions               list open capture sessions
+//	GET  /sessions/{id}          one session (entry count = resume point)
+//	DELETE /sessions/{id}        abort a session without storing it
 //	GET  /analyses               list registered analyses
 //	POST /run/{analysis}         run any registered analysis (JSON body)
-//	GET  /diff?left=&right=      views-based diff of two stored traces
+//	GET  /diff?left=&right=      views-based diff (digests or session:<id>)
 //	POST /analyze                four-trace regression protocol (JSON body)
-//	GET  /stats                  corpus, cache, symbol-table, server stats
-//	GET  /healthz                liveness
+//	GET  /stats                  corpus, cache, symbol, session, server stats
+//	GET  /healthz                liveness + open-session counts
 //
 // Every error response is the JSON envelope
 // {"error": {"code": "...", "message": "..."}} — including the 404/405
@@ -47,10 +58,12 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	rprism "repro"
+	"repro/internal/capture"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/regression"
@@ -95,6 +108,16 @@ type Server struct {
 	opts  Options
 	sem   chan struct{}
 
+	// streams maps open capture-session ids to their wire decoders
+	// (the protocol state of POST /traces/stream; the sessions
+	// themselves live in the corpus store). finished holds bounded
+	// tombstones of finalized sessions so retried close requests are
+	// answered idempotently instead of 404ing.
+	streamMu      sync.Mutex
+	streams       map[string]*streamState
+	finished      map[string]capture.StreamTraceInfo
+	finishedOrder []string
+
 	requests atomic.Int64
 	rejected atomic.Int64 // queue-timeout 503s
 	timeouts atomic.Int64 // request-deadline 504s
@@ -110,10 +133,11 @@ func New(eng *rprism.Engine, opts Options) *Server {
 	}
 	opts = opts.withDefaults()
 	return &Server{
-		eng:   eng,
-		store: store,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.Workers),
+		eng:     eng,
+		store:   store,
+		opts:    opts,
+		sem:     make(chan struct{}, opts.Workers),
+		streams: make(map[string]*streamState),
 	}
 }
 
@@ -125,16 +149,29 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /traces", s.handlePutTrace)
 	mux.HandleFunc("POST /traces", s.handlePutTrace)
+	mux.HandleFunc("POST /traces/stream", s.handleStream)
 	mux.HandleFunc("GET /traces", s.handleListTraces)
 	mux.HandleFunc("GET /traces/{id}", s.handleGetTrace)
 	mux.HandleFunc("GET /traces/{id}/views", s.handleGetViews)
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleAbortSession)
 	mux.HandleFunc("GET /analyses", s.handleAnalyses)
 	mux.HandleFunc("POST /run/{analysis}", s.handleRun)
 	mux.HandleFunc("GET /diff", s.handleDiff)
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		sessions := s.store.Sessions()
+		entries := 0
+		for _, info := range sessions {
+			entries += info.Entries
+		}
+		writeJSON(w, http.StatusOK, HealthResponse{
+			Status:         "ok",
+			OpenSessions:   len(sessions),
+			SessionEntries: entries,
+		})
 	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
@@ -327,11 +364,22 @@ type RunResponse struct {
 	Result   any    `json:"result"`
 }
 
+// HealthResponse is the /healthz liveness payload, including the live
+// ingestion picture at a glance.
+type HealthResponse struct {
+	Status         string `json:"status"`
+	OpenSessions   int    `json:"open_sessions"`
+	SessionEntries int    `json:"session_entries"`
+}
+
 // StatsResponse aggregates every statistics source.
 type StatsResponse struct {
 	Corpus  corpus.Stats      `json:"corpus"`
 	Symbols trace.SymbolStats `json:"symbols"`
 	Server  ServerStats       `json:"server"`
+	// Sessions lists the open capture sessions with per-session entry
+	// counts (always present, [] when none are open).
+	Sessions []corpus.SessionInfo `json:"sessions"`
 }
 
 // ServerStats counts request handling.
@@ -360,14 +408,16 @@ type errorResponse struct {
 
 // Error codes used across all endpoints.
 const (
-	CodeBadRequest   = "bad_request"
-	CodeNotFound     = "not_found"
-	CodeTooLarge     = "too_large"
-	CodeQueueFull    = "queue_full"
-	CodeTimeout      = "timeout"
-	CodeCanceled     = "canceled"
-	CodeInternal     = "internal"
-	CodeUnknownAnaly = "unknown_analysis"
+	CodeBadRequest      = "bad_request"
+	CodeNotFound        = "not_found"
+	CodeTooLarge        = "too_large"
+	CodeQueueFull       = "queue_full"
+	CodeTimeout         = "timeout"
+	CodeCanceled        = "canceled"
+	CodeInternal        = "internal"
+	CodeUnknownAnaly    = "unknown_analysis"
+	CodeSessionClosed   = "session_closed"
+	CodeTooManySessions = "too_many_sessions"
 )
 
 // ---- handlers ----
@@ -506,15 +556,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sources := make(map[string]rprism.Source, len(req.Traces))
-	digests := make(map[string]trace.Digest, len(req.Traces))
+	labels := make(map[string]string, len(req.Traces))
 	for role, raw := range req.Traces {
-		d, err := trace.ParseDigest(raw)
+		src, err := s.sourceRef(raw)
 		if err != nil {
+			if errors.Is(err, corpus.ErrSessionNotFound) {
+				writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("trace %q: %w", role, err))
+				return
+			}
 			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("trace %q: %w", role, err))
 			return
 		}
-		sources[role] = rprism.FromCorpus(d)
-		digests[role] = d
+		sources[role] = src
+		labels[role] = raw
 	}
 	if err := s.acquire(r); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
@@ -529,13 +583,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	maxSeqs := req.MaxSeqs
-	left, hasLeft := digests["left"]
-	right, hasRight := digests["right"]
+	left, hasLeft := labels["left"]
+	right, hasRight := labels["right"]
 	switch v := out.(type) {
-	// The dedicated diff wire form names the compared digests, so it
-	// only applies when the request actually used the left/right roles;
-	// a custom analysis with other roles falls through to the generic
-	// wrapper rather than reporting zero-value digests.
+	// The dedicated diff wire form names the compared traces (digests or
+	// session references), so it only applies when the request actually
+	// used the left/right roles; a custom analysis with other roles falls
+	// through to the generic wrapper rather than reporting empty labels.
 	case *rprism.DiffResult:
 		if !hasLeft || !hasRight {
 			writeJSON(w, http.StatusOK, RunResponse{Analysis: name, Result: v})
@@ -546,7 +600,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, http.StatusOK, diffResponse(left, right, v, maxSeqs))
 	case *rprism.RegressionAnalysis:
-		if _, ok := digests["orig_correct"]; !ok {
+		if _, ok := labels["orig_correct"]; !ok {
 			// Same role guard as the diff case: the dedicated wire form
 			// belongs to requests shaped like the four-trace protocol.
 			writeJSON(w, http.StatusOK, RunResponse{Analysis: name, Result: v})
@@ -562,11 +616,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	left, ok := queryDigest(w, r, "left")
+	// Either side may be a stored digest or a live "session:<id>"
+	// reference — diffing a still-running capture against a corpus
+	// baseline is the live-debugging workflow.
+	left, leftSrc, ok := s.querySource(w, r, "left")
 	if !ok {
 		return
 	}
-	right, ok := queryDigest(w, r, "right")
+	right, rightSrc, ok := s.querySource(w, r, "right")
 	if !ok {
 		return
 	}
@@ -581,8 +638,8 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	// analysis; both paths share one implementation and one wire form.
 	out, err := s.eng.RunAnalysis(ctx, "diff", rprism.AnalysisRequest{
 		Sources: map[string]rprism.Source{
-			"left":  rprism.FromCorpus(left),
-			"right": rprism.FromCorpus(right),
+			"left":  leftSrc,
+			"right": rightSrc,
 		},
 	})
 	if err != nil {
@@ -600,9 +657,9 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, diffResponse(left, right, res, intQuery(r, "max", 20)))
 }
 
-func diffResponse(left, right trace.Digest, res *diff.Result, maxSeqs int) DiffResponse {
+func diffResponse(left, right string, res *diff.Result, maxSeqs int) DiffResponse {
 	resp := DiffResponse{
-		Left: left.String(), Right: right.String(),
+		Left: left, Right: right,
 		NumDiffs: res.NumDiffs(), DiffLeft: len(res.DiffLeft), DiffRight: len(res.DiffRight),
 		NumSequences: len(res.Sequences),
 		Sequences:    []DiffSequence{},
@@ -641,18 +698,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sources := make(map[string]rprism.Source, 4)
-	for _, f := range []struct{ field, digest string }{
+	for _, f := range []struct{ field, ref string }{
 		{"orig_correct", req.OrigCorrect},
 		{"new_correct", req.NewCorrect},
 		{"orig_regr", req.OrigRegr},
 		{"new_regr", req.NewRegr},
 	} {
-		d, err := trace.ParseDigest(f.digest)
+		src, err := s.sourceRef(f.ref)
 		if err != nil {
+			if errors.Is(err, corpus.ErrSessionNotFound) {
+				writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("field %q: %w", f.field, err))
+				return
+			}
 			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("field %q: %w", f.field, err))
 			return
 		}
-		sources[f.field] = rprism.FromCorpus(d)
+		sources[f.field] = src
 	}
 	if err := s.acquire(r); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, CodeQueueFull, err)
@@ -684,9 +745,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sessions := s.store.Sessions()
+	if sessions == nil {
+		sessions = []corpus.SessionInfo{}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Corpus:  s.store.Stats(),
-		Symbols: s.eng.SymbolStats(),
+		Corpus:   s.store.Stats(),
+		Symbols:  s.eng.SymbolStats(),
+		Sessions: sessions,
 		Server: ServerStats{
 			Workers:         s.opts.Workers,
 			DiffParallelism: s.eng.DefaultDiffOptions().Parallelism,
@@ -709,18 +775,25 @@ func (s *Server) pathDigest(w http.ResponseWriter, r *http.Request) (trace.Diges
 	return d, true
 }
 
-func queryDigest(w http.ResponseWriter, r *http.Request, key string) (trace.Digest, bool) {
+// querySource resolves a query parameter holding a trace reference — a
+// content digest or "session:<id>" — to an engine source plus its label
+// for the response.
+func (s *Server) querySource(w http.ResponseWriter, r *http.Request, key string) (string, rprism.Source, bool) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("missing query parameter %q", key))
-		return trace.Digest{}, false
+		return "", nil, false
 	}
-	d, err := trace.ParseDigest(v)
+	src, err := s.sourceRef(v)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("parameter %q: %w", key, err))
-		return d, false
+		if errors.Is(err, corpus.ErrSessionNotFound) {
+			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("parameter %q: %w", key, err))
+		} else {
+			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("parameter %q: %w", key, err))
+		}
+		return "", nil, false
 	}
-	return d, true
+	return v, src, true
 }
 
 func intQuery(r *http.Request, key string, def int) int {
@@ -741,7 +814,7 @@ func intQuery(r *http.Request, key string, def int) int {
 // 400, everything else 500.
 func (s *Server) writeAnalysisErr(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, corpus.ErrNotFound):
+	case errors.Is(err, corpus.ErrNotFound), errors.Is(err, corpus.ErrSessionNotFound):
 		writeErr(w, http.StatusNotFound, CodeNotFound, err)
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Add(1)

@@ -49,8 +49,8 @@ type jsonEntryV1 struct {
 	Stack  []Frame  `json:"stack,omitempty"`
 }
 
-// jsonRepr is the v2 wire form of Repr: strings become symbol refs.
-type jsonRepr struct {
+// WireRepr is the v2 wire form of Repr: strings become symbol refs.
+type WireRepr struct {
 	Loc  Loc    `json:"l,omitempty"`
 	Cls  uint32 `json:"c,omitempty"`
 	Hash uint64 `json:"h,omitempty"`
@@ -58,22 +58,22 @@ type jsonRepr struct {
 	Seq  int    `json:"q,omitempty"`
 }
 
-type jsonFrame struct {
+type WireFrame struct {
 	Method uint32    `json:"m,omitempty"`
-	Caller *jsonRepr `json:"cr,omitempty"`
-	Callee *jsonRepr `json:"ce,omitempty"`
+	Caller *WireRepr `json:"cr,omitempty"`
+	Callee *WireRepr `json:"ce,omitempty"`
 }
 
-type jsonEntryV2 struct {
+type WireEntry struct {
 	EID    EntryID     `json:"eid"`
 	TID    ThreadID    `json:"tid"`
 	Method uint32      `json:"m,omitempty"`
-	Self   *jsonRepr   `json:"self,omitempty"`
+	Self   *WireRepr   `json:"self,omitempty"`
 	Kind   string      `json:"kind"`
-	Target *jsonRepr   `json:"t,omitempty"`
+	Target *WireRepr   `json:"t,omitempty"`
 	Member uint32      `json:"mem,omitempty"`
-	Args   []jsonRepr  `json:"args,omitempty"`
-	Stack  []jsonFrame `json:"stack,omitempty"`
+	Args   []WireRepr  `json:"args,omitempty"`
+	Stack  []WireFrame `json:"stack,omitempty"`
 }
 
 var kindByName = map[string]EventKind{}
@@ -107,11 +107,11 @@ func (fs *fileSyms) id(s string) uint32 {
 	return id
 }
 
-func (fs *fileSyms) repr(r Repr) *jsonRepr {
+func (fs *fileSyms) repr(r Repr) *WireRepr {
 	if r.IsZero() {
 		return nil
 	}
-	return &jsonRepr{Loc: r.Loc, Cls: fs.id(r.Class), Hash: r.Hash, Str: fs.id(r.Str), Seq: r.Seq}
+	return &WireRepr{Loc: r.Loc, Cls: fs.id(r.Class), Hash: r.Hash, Str: fs.id(r.Str), Seq: r.Seq}
 }
 
 // collect registers every symbol-bearing string of an entry, in the
@@ -153,34 +153,41 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 	if err := enc.Encode(hdr); err != nil {
 		return fmt.Errorf("trace: jsonl encode header: %w", err)
 	}
-	var je jsonEntryV2
 	for i := range t.Entries {
-		e := &t.Entries[i]
-		je = jsonEntryV2{
-			EID: e.EID, TID: e.TID,
-			Method: fs.id(e.Method),
-			Self:   fs.repr(e.Self),
-			Kind:   e.Event.Kind.String(),
-			Target: fs.repr(e.Event.Target),
-			Member: fs.id(e.Event.Member),
-		}
-		if len(e.Event.Args) > 0 {
-			je.Args = make([]jsonRepr, len(e.Event.Args))
-			for k, a := range e.Event.Args {
-				je.Args[k] = jsonRepr{Loc: a.Loc, Cls: fs.id(a.Class), Hash: a.Hash, Str: fs.id(a.Str), Seq: a.Seq}
-			}
-		}
-		if len(e.Event.Stack) > 0 {
-			je.Stack = make([]jsonFrame, len(e.Event.Stack))
-			for k, f := range e.Event.Stack {
-				je.Stack[k] = jsonFrame{Method: fs.id(f.Method), Caller: fs.repr(f.Caller), Callee: fs.repr(f.Callee)}
-			}
-		}
+		je := encodeWireEntry(fs, &t.Entries[i])
 		if err := enc.Encode(je); err != nil {
 			return fmt.Errorf("trace: jsonl encode entry %d: %w", je.EID, err)
 		}
 	}
 	return bw.Flush()
+}
+
+// encodeWireEntry translates one entry into its symbol-referencing wire
+// form, registering any new strings in fs. Shared by the JSONL writer
+// (which pre-collects symbols for its header) and the streaming encoder
+// (which ships symbol deltas alongside each segment frame).
+func encodeWireEntry(fs *fileSyms, e *Entry) WireEntry {
+	je := WireEntry{
+		EID: e.EID, TID: e.TID,
+		Method: fs.id(e.Method),
+		Self:   fs.repr(e.Self),
+		Kind:   e.Event.Kind.String(),
+		Target: fs.repr(e.Event.Target),
+		Member: fs.id(e.Event.Member),
+	}
+	if len(e.Event.Args) > 0 {
+		je.Args = make([]WireRepr, len(e.Event.Args))
+		for k, a := range e.Event.Args {
+			je.Args[k] = WireRepr{Loc: a.Loc, Cls: fs.id(a.Class), Hash: a.Hash, Str: fs.id(a.Str), Seq: a.Seq}
+		}
+	}
+	if len(e.Event.Stack) > 0 {
+		je.Stack = make([]WireFrame, len(e.Event.Stack))
+		for k, f := range e.Event.Stack {
+			je.Stack[k] = WireFrame{Method: fs.id(f.Method), Caller: fs.repr(f.Caller), Callee: fs.repr(f.Callee)}
+		}
+	}
+	return je
 }
 
 // ReadJSONL reconstructs a trace written by WriteJSONL — either format
@@ -210,92 +217,123 @@ func ReadJSONL(name string, r io.Reader) (*Trace, error) {
 // readJSONLv2 interns the symbol block once, then streams entry lines,
 // resolving symbol refs by array index — no per-line hashing.
 func readJSONLv2(name string, symbols []string, dec *json.Decoder) (*Trace, error) {
-	syms := make([]Sym, len(symbols)+1)
-	strs := make([]string, len(symbols)+1)
-	for i, s := range symbols {
-		sym := Intern(s)
-		syms[i+1] = sym
-		strs[i+1] = SymStr(sym) // share the table's backing string
-	}
-	resolve := func(id uint32) (Sym, string, error) {
-		if int(id) >= len(syms) {
-			return NoSym, "", fmt.Errorf("trace: jsonl: symbol ref %d out of range (%d symbols)", id, len(symbols))
-		}
-		return syms[id], strs[id], nil
-	}
-	repr := func(jr *jsonRepr) (Repr, error) {
-		if jr == nil {
-			return Repr{}, nil
-		}
-		cls, clsStr, err := resolve(jr.Cls)
-		if err != nil {
-			return Repr{}, err
-		}
-		str, strStr, err := resolve(jr.Str)
-		if err != nil {
-			return Repr{}, err
-		}
-		return Repr{Loc: jr.Loc, Class: clsStr, Hash: jr.Hash, Str: strStr, Seq: jr.Seq,
-			ClassSym: cls, StrSym: str}, nil
-	}
+	var wt wireTable
+	wt.add(symbols)
 	t := New(name)
 	for {
-		var je jsonEntryV2
+		var je WireEntry
 		if err := dec.Decode(&je); err == io.EOF {
 			return t, nil
 		} else if err != nil {
 			return nil, fmt.Errorf("trace: jsonl decode: %w", err)
 		}
-		kind, ok := kindByName[je.Kind]
-		if !ok {
-			return nil, fmt.Errorf("trace: jsonl: unknown event kind %q", je.Kind)
-		}
-		mSym, mStr, err := resolve(je.Method)
+		e, err := wt.entry(&je)
 		if err != nil {
 			return nil, err
-		}
-		memSym, memStr, err := resolve(je.Member)
-		if err != nil {
-			return nil, err
-		}
-		e := Entry{
-			EID: je.EID, TID: je.TID, Method: mStr, MethodSym: mSym,
-			Event: Event{Kind: kind, Member: memStr, MemberSym: memSym},
-		}
-		if e.Self, err = repr(je.Self); err != nil {
-			return nil, err
-		}
-		if e.Event.Target, err = repr(je.Target); err != nil {
-			return nil, err
-		}
-		if len(je.Args) > 0 {
-			e.Event.Args = make([]Repr, len(je.Args))
-			for k := range je.Args {
-				if e.Event.Args[k], err = repr(&je.Args[k]); err != nil {
-					return nil, err
-				}
-			}
-		}
-		if len(je.Stack) > 0 {
-			e.Event.Stack = make([]Frame, len(je.Stack))
-			for k := range je.Stack {
-				jf := &je.Stack[k]
-				fmSym, fmStr, err := resolve(jf.Method)
-				if err != nil {
-					return nil, err
-				}
-				f := Frame{Method: fmStr, MethodSym: fmSym}
-				if f.Caller, err = repr(jf.Caller); err != nil {
-					return nil, err
-				}
-				if f.Callee, err = repr(jf.Callee); err != nil {
-					return nil, err
-				}
-				e.Event.Stack[k] = f
-			}
 		}
 		t.Entries = append(t.Entries, e)
 	}
+}
+
+// wireTable resolves wire symbol refs back to interned symbols and their
+// canonical strings. The table grows monotonically via add — the JSONL
+// reader adds one header block, the streaming decoder adds each frame's
+// symbol delta — and refs index the cumulative table (1-based; 0 is the
+// empty string).
+type wireTable struct {
+	syms []Sym
+	strs []string
+}
+
+// add interns a block of symbol strings and appends them to the table.
+func (wt *wireTable) add(symbols []string) {
+	if wt.syms == nil {
+		wt.syms = make([]Sym, 1, len(symbols)+1)
+		wt.strs = make([]string, 1, len(symbols)+1)
+	}
+	for _, s := range symbols {
+		sym := Intern(s)
+		wt.syms = append(wt.syms, sym)
+		wt.strs = append(wt.strs, SymStr(sym)) // share the table's backing string
+	}
+}
+
+func (wt *wireTable) resolve(id uint32) (Sym, string, error) {
+	if int(id) >= len(wt.syms) {
+		return NoSym, "", fmt.Errorf("trace: wire: symbol ref %d out of range (%d symbols)", id, len(wt.syms)-1)
+	}
+	return wt.syms[id], wt.strs[id], nil
+}
+
+func (wt *wireTable) repr(jr *WireRepr) (Repr, error) {
+	if jr == nil {
+		return Repr{}, nil
+	}
+	cls, clsStr, err := wt.resolve(jr.Cls)
+	if err != nil {
+		return Repr{}, err
+	}
+	str, strStr, err := wt.resolve(jr.Str)
+	if err != nil {
+		return Repr{}, err
+	}
+	return Repr{Loc: jr.Loc, Class: clsStr, Hash: jr.Hash, Str: strStr, Seq: jr.Seq,
+		ClassSym: cls, StrSym: str}, nil
+}
+
+// entry decodes one wire entry, resolving every symbol ref against the
+// cumulative table. The result carries both canonical strings and
+// interned Syms, so it enters the pipeline fully keyed.
+func (wt *wireTable) entry(je *WireEntry) (Entry, error) {
+	kind, ok := kindByName[je.Kind]
+	if !ok {
+		return Entry{}, fmt.Errorf("trace: wire: unknown event kind %q", je.Kind)
+	}
+	mSym, mStr, err := wt.resolve(je.Method)
+	if err != nil {
+		return Entry{}, err
+	}
+	memSym, memStr, err := wt.resolve(je.Member)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{
+		EID: je.EID, TID: je.TID, Method: mStr, MethodSym: mSym,
+		Event: Event{Kind: kind, Member: memStr, MemberSym: memSym},
+	}
+	if e.Self, err = wt.repr(je.Self); err != nil {
+		return Entry{}, err
+	}
+	if e.Event.Target, err = wt.repr(je.Target); err != nil {
+		return Entry{}, err
+	}
+	if len(je.Args) > 0 {
+		e.Event.Args = make([]Repr, len(je.Args))
+		for k := range je.Args {
+			if e.Event.Args[k], err = wt.repr(&je.Args[k]); err != nil {
+				return Entry{}, err
+			}
+		}
+	}
+	if len(je.Stack) > 0 {
+		e.Event.Stack = make([]Frame, len(je.Stack))
+		for k := range je.Stack {
+			jf := &je.Stack[k]
+			fmSym, fmStr, err := wt.resolve(jf.Method)
+			if err != nil {
+				return Entry{}, err
+			}
+			f := Frame{Method: fmStr, MethodSym: fmSym}
+			if f.Caller, err = wt.repr(jf.Caller); err != nil {
+				return Entry{}, err
+			}
+			if f.Callee, err = wt.repr(jf.Callee); err != nil {
+				return Entry{}, err
+			}
+			e.Event.Stack[k] = f
+		}
+	}
+	return e, nil
 }
 
 // readJSONLv1 reads the legacy headerless format, starting from the

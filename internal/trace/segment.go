@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -65,31 +66,76 @@ func (w *SegmentWriter) Flush() error {
 // Close flushes any remaining entries.
 func (w *SegmentWriter) Close() error { return w.Flush() }
 
+// SegmentLoadReport describes what LoadSegmentsReport recovered: how
+// many segments were read and whether a truncated trailing segment
+// (crash mid-write) was skipped.
+type SegmentLoadReport struct {
+	// Segments is the number of segment files successfully loaded.
+	Segments int
+	// SkippedTail is the path of a trailing segment dropped because it
+	// failed to decode ("" when the load was clean).
+	SkippedTail string
+	// Warning is a human-readable account of the skipped tail.
+	Warning string
+}
+
+// Truncated reports whether a trailing segment was skipped.
+func (r SegmentLoadReport) Truncated() bool { return r.SkippedTail != "" }
+
 // LoadSegments reassembles a segmented trace written by SegmentWriter,
-// verifying that entry ids are globally consecutive.
+// verifying that entry ids are globally consecutive. A truncated
+// trailing segment — the signature of a crash mid-write — is skipped
+// with a logged warning rather than failing the whole load; use
+// LoadSegmentsReport to observe the skip programmatically.
 func LoadSegments(dir, name string) (*Trace, error) {
+	t, rep, err := LoadSegmentsReport(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Truncated() {
+		log.Printf("trace: %s", rep.Warning)
+	}
+	return t, nil
+}
+
+// LoadSegmentsReport is LoadSegments returning a load report instead of
+// logging. Decode failure of the *last* segment resyncs: the readable
+// prefix is returned along with a report naming the dropped file. Decode
+// failure of any earlier segment — corruption inside the sequence, which
+// skipping would silently hole — still fails the load, as does a first
+// segment so damaged that nothing is recoverable.
+func LoadSegmentsReport(dir, name string) (*Trace, *SegmentLoadReport, error) {
 	pattern := filepath.Join(dir, name+".*.seg")
 	paths, err := filepath.Glob(pattern)
 	if err != nil {
-		return nil, fmt.Errorf("trace: glob %q: %w", pattern, err)
+		return nil, nil, fmt.Errorf("trace: glob %q: %w", pattern, err)
 	}
 	if len(paths) == 0 {
-		return nil, fmt.Errorf("trace: no segments match %q", pattern)
+		return nil, nil, fmt.Errorf("trace: no segments match %q", pattern)
 	}
 	sort.Strings(paths)
 	out := New(name)
-	for _, p := range paths {
+	rep := &SegmentLoadReport{}
+	for i, p := range paths {
 		seg, err := Load(p)
 		if err != nil {
-			return nil, err
+			if i == len(paths)-1 && len(out.Entries) > 0 {
+				rep.SkippedTail = p
+				rep.Warning = fmt.Sprintf(
+					"skipped truncated trailing segment %s (crash mid-write?): %v; recovered %d entries from %d segment(s)",
+					p, err, len(out.Entries), rep.Segments)
+				return out, rep, nil
+			}
+			return nil, nil, err
 		}
 		for _, e := range seg.Entries {
 			if int(e.EID) != len(out.Entries) {
-				return nil, fmt.Errorf("trace: segment %s: entry id %d out of order (want %d)",
+				return nil, nil, fmt.Errorf("trace: segment %s: entry id %d out of order (want %d)",
 					p, e.EID, len(out.Entries))
 			}
 			out.Entries = append(out.Entries, e)
 		}
+		rep.Segments++
 	}
-	return out, nil
+	return out, rep, nil
 }

@@ -130,3 +130,99 @@ func TestLoadSegmentsDetectsGap(t *testing.T) {
 		t.Error("LoadSegments accepted a trace with a missing segment")
 	}
 }
+
+// corrupt truncates or scribbles over a segment file per the mode.
+func corrupt(t *testing.T, path, mode string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch mode {
+	case "truncate-half":
+		raw = raw[:len(raw)/2]
+	case "truncate-1":
+		raw = raw[:1]
+	case "empty":
+		raw = nil
+	case "garbage":
+		for i := range raw {
+			raw[i] ^= 0x5a
+		}
+	default:
+		t.Fatalf("unknown corruption mode %q", mode)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadSegmentsResyncsTruncatedTail(t *testing.T) {
+	// Crash mid-write leaves a partial trailing segment: the loader must
+	// recover the readable prefix with a warning, whatever the damage.
+	const n, limit = 30, 10 // 3 full segments
+	for _, tc := range []struct {
+		name string
+		mode string
+	}{
+		{"half-written tail", "truncate-half"},
+		{"one-byte tail", "truncate-1"},
+		{"empty tail", "empty"},
+		{"scribbled tail", "garbage"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeSegmented(t, dir, "run", n, limit)
+			corrupt(t, filepath.Join(dir, "run.000002.seg"), tc.mode)
+
+			got, rep, err := LoadSegmentsReport(dir, "run")
+			if err != nil {
+				t.Fatalf("LoadSegmentsReport failed instead of resyncing: %v", err)
+			}
+			if !rep.Truncated() {
+				t.Fatal("report does not flag the skipped tail")
+			}
+			if rep.Segments != 2 || got.Len() != 20 {
+				t.Errorf("recovered %d entries from %d segments, want 20 from 2", got.Len(), rep.Segments)
+			}
+			if rep.Warning == "" || rep.SkippedTail == "" {
+				t.Errorf("report lacks warning/path: %+v", rep)
+			}
+			for i, e := range got.Entries {
+				if int(e.EID) != i {
+					t.Fatalf("recovered prefix not consecutive at %d (eid %d)", i, e.EID)
+				}
+			}
+			// The forgiving wrapper recovers too.
+			viaLoad, err := LoadSegments(dir, "run")
+			if err != nil {
+				t.Fatalf("LoadSegments failed instead of resyncing: %v", err)
+			}
+			if viaLoad.Len() != got.Len() {
+				t.Errorf("LoadSegments recovered %d entries, report path %d", viaLoad.Len(), got.Len())
+			}
+		})
+	}
+}
+
+func TestLoadSegmentsMidCorruptionStillFails(t *testing.T) {
+	// Corruption anywhere but the tail would hole the entry sequence if
+	// skipped; that must stay a hard error.
+	dir := t.TempDir()
+	writeSegmented(t, dir, "run", 30, 10)
+	corrupt(t, filepath.Join(dir, "run.000001.seg"), "truncate-half")
+	if _, _, err := LoadSegmentsReport(dir, "run"); err == nil {
+		t.Error("LoadSegmentsReport accepted a corrupted middle segment")
+	}
+}
+
+func TestLoadSegmentsAllCorruptFails(t *testing.T) {
+	// Nothing recoverable: a lone unreadable segment is an error, not an
+	// empty trace.
+	dir := t.TempDir()
+	writeSegmented(t, dir, "run", 5, 0)
+	corrupt(t, filepath.Join(dir, "run.000000.seg"), "truncate-half")
+	if _, _, err := LoadSegmentsReport(dir, "run"); err == nil {
+		t.Error("LoadSegmentsReport returned success with zero readable segments")
+	}
+}

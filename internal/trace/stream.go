@@ -1,0 +1,84 @@
+package trace
+
+// Streaming wire format: the segment-frame encoding live capture uses to
+// ship a growing trace between processes — the capture recorder streams
+// frames to rprism-serve's POST /traces/stream, and the server decodes
+// them into an append-open corpus session.
+//
+// A stream is a sequence of WireSegments. Each segment carries a batch of
+// entries in the compact symbol-referencing form of JSONL v2 plus the
+// *delta* of symbol strings first referenced in that batch; refs index
+// the cumulative symbol table of the whole stream, so a session's
+// decoder interns each distinct string exactly once no matter how many
+// frames mention it. Entries keep their globally consecutive EIDs, which
+// makes re-delivery after a dropped connection idempotent: a receiver
+// simply skips entries below its high-water mark (see corpus.Session).
+
+// WireSegment is one batch of a streamed trace: the symbol strings first
+// referenced by this batch (in reference order) and the batch's entries
+// in symbol-referencing wire form. It marshals to/from JSON as one
+// segment-frame payload.
+type WireSegment struct {
+	Symbols []string    `json:"symbols,omitempty"`
+	Entries []WireEntry `json:"entries,omitempty"`
+}
+
+// WireEncoder translates entry batches into wire segments, carrying the
+// cumulative symbol table across calls so each string is shipped once
+// per stream. The zero value is ready to use. Not safe for concurrent
+// use; a capture recorder drives one encoder from its sequencer.
+type WireEncoder struct {
+	fs fileSyms
+}
+
+// Segment encodes a batch of entries, returning the segment frame to
+// transmit. The Symbols field holds only the strings this batch
+// introduced; earlier strings are referenced by their established ids.
+func (enc *WireEncoder) Segment(entries []Entry) WireSegment {
+	base := len(enc.fs.strs)
+	seg := WireSegment{Entries: make([]WireEntry, len(entries))}
+	for i := range entries {
+		seg.Entries[i] = encodeWireEntry(&enc.fs, &entries[i])
+	}
+	if delta := enc.fs.strs[base:]; len(delta) > 0 {
+		seg.Symbols = append([]string(nil), delta...)
+	}
+	return seg
+}
+
+// SymbolCount reports how many distinct strings the stream has shipped —
+// the receiver's table must be exactly this long for refs to resolve.
+func (enc *WireEncoder) SymbolCount() int { return len(enc.fs.strs) }
+
+// WireDecoder is the receiving side: it accumulates each segment's
+// symbol delta and decodes entries against the cumulative table. The
+// zero value is ready to use. Not safe for concurrent use; the server
+// guards each session's decoder with the session's stream lock.
+type WireDecoder struct {
+	wt wireTable
+}
+
+// Segment decodes one frame into fully interned entries.
+func (dec *WireDecoder) Segment(seg WireSegment) ([]Entry, error) {
+	dec.wt.add(seg.Symbols)
+	if len(seg.Entries) == 0 {
+		return nil, nil
+	}
+	out := make([]Entry, len(seg.Entries))
+	for i := range seg.Entries {
+		e, err := dec.wt.entry(&seg.Entries[i])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// SymbolCount reports how many distinct strings the decoder has seen.
+func (dec *WireDecoder) SymbolCount() int {
+	if dec.wt.syms == nil {
+		return 0
+	}
+	return len(dec.wt.syms) - 1
+}

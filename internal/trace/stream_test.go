@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// streamFixture builds a small trace exercising every symbol-bearing
+// field: methods, classes, value strings, args, and fork stacks.
+func streamFixture() *Trace {
+	t := New("stream")
+	self := Repr{Loc: 1, Class: "Main", Seq: 1}
+	other := Repr{Loc: 2, Class: "Worker", Seq: 1}
+	str := Repr{Class: "String", Hash: 99, Str: "hello"}
+	t.Append(0, "Main.main/0", self, Event{Kind: KindCall, Target: other, Member: "Worker.run/1", Args: []Repr{str}})
+	t.Append(0, "Main.main/0", self, Event{Kind: KindFork, Member: "1", Stack: []Frame{
+		{Method: "Main.main/0", Caller: Repr{}, Callee: self},
+	}})
+	t.Append(1, "Worker.run/1", other, Event{Kind: KindGet, Target: other, Member: "state", Args: []Repr{str}})
+	t.Append(1, "Worker.run/1", other, Event{Kind: KindReturn, Target: other, Member: "Worker.run/1"})
+	t.Append(1, "", Repr{}, Event{Kind: KindEnd, Stack: []Frame{{Method: "Worker.run/1", Callee: other}}})
+	return t
+}
+
+func TestWireSegmentRoundTrip(t *testing.T) {
+	tr := streamFixture()
+	var enc WireEncoder
+	var dec WireDecoder
+
+	// Stream in two batches so the second frame's symbol delta excludes
+	// everything the first already shipped.
+	segA := enc.Segment(tr.Entries[:2])
+	segB := enc.Segment(tr.Entries[2:])
+	if len(segA.Symbols) == 0 {
+		t.Fatal("first segment shipped no symbols")
+	}
+	for _, s := range segB.Symbols {
+		for _, prev := range segA.Symbols {
+			if s == prev {
+				t.Errorf("symbol %q shipped twice", s)
+			}
+		}
+	}
+
+	// Frames survive JSON (the actual wire) and decode back.
+	var got []Entry
+	for _, seg := range []WireSegment{segA, segB} {
+		raw, err := json.Marshal(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back WireSegment
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := dec.Segment(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, entries...)
+	}
+	if len(got) != tr.Len() {
+		t.Fatalf("decoded %d entries, want %d", len(got), tr.Len())
+	}
+	if !reflect.DeepEqual(got, tr.Entries) {
+		t.Errorf("round-trip mismatch:\n got %v\nwant %v", got, tr.Entries)
+	}
+	if enc.SymbolCount() != dec.SymbolCount() {
+		t.Errorf("symbol tables diverged: encoder %d, decoder %d", enc.SymbolCount(), dec.SymbolCount())
+	}
+}
+
+func TestWireDecoderRejectsDanglingRef(t *testing.T) {
+	var dec WireDecoder
+	_, err := dec.Segment(WireSegment{Entries: []WireEntry{{Kind: "call", Method: 7}}})
+	if err == nil {
+		t.Error("decoder accepted a symbol ref with no symbol block")
+	}
+}
+
+func TestWireDecoderRejectsUnknownKind(t *testing.T) {
+	var dec WireDecoder
+	_, err := dec.Segment(WireSegment{Entries: []WireEntry{{Kind: "warp"}}})
+	if err == nil {
+		t.Error("decoder accepted an unknown event kind")
+	}
+}
+
+func TestWireSegmentEmpty(t *testing.T) {
+	var enc WireEncoder
+	var dec WireDecoder
+	entries, err := dec.Segment(enc.Segment(nil))
+	if err != nil || entries != nil {
+		t.Errorf("empty segment round-trip: entries=%v err=%v", entries, err)
+	}
+}

@@ -1,0 +1,225 @@
+package views
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// appendInSegments feeds tr to a fresh builder in random-sized segments
+// drawn from rng, returning the builder.
+func appendInSegments(t *testing.T, tr *trace.Trace, rng *rand.Rand, maxSeg int) *IncrementalBuilder {
+	t.Helper()
+	b := NewIncrementalBuilder(tr.Name)
+	for lo := 0; lo < tr.Len(); {
+		hi := lo + 1 + rng.Intn(maxSeg)
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		if err := b.Append(tr.Entries[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	return b
+}
+
+// TestIncrementalMatchesBatch is the incremental-vs-batch equivalence
+// property: a builder fed N random segment appends snapshots to a web
+// semantically identical to a fresh build over the same entries — for
+// small serial appends, threshold-crossing sharded appends, and
+// everything between.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	for _, tc := range []struct {
+		n, maxSeg int
+	}{
+		{1, 1},
+		{50, 7},
+		{1000, 64},
+		{9001, 500},
+		{20000, 40000}, // one append over the sharded threshold
+		{40000, 17000}, // mixed serial and sharded appends
+	} {
+		rng := rand.New(rand.NewSource(int64(tc.n)*31 + int64(tc.maxSeg)))
+		tr := shardedFixture(tc.n, int64(tc.n))
+		b := appendInSegments(t, tr, rng, tc.maxSeg)
+		fresh, err := BuildCtxOpts(context.Background(), tr, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("n=%d maxSeg=%d", tc.n, tc.maxSeg)
+		got := b.Snapshot()
+		requireEqualWebs(t, fresh, got, label)
+		if err := Equivalent(fresh, got); err != nil {
+			t.Errorf("%s: Equivalent: %v", label, err)
+		}
+		if b.Len() != tr.Len() {
+			t.Errorf("%s: builder holds %d entries, want %d", label, b.Len(), tr.Len())
+		}
+		if !reflect.DeepEqual(b.SnapshotTrace().Entries, tr.Entries) {
+			t.Errorf("%s: snapshot trace entries differ from the source", label)
+		}
+	}
+}
+
+// TestIncrementalMidStreamSnapshots checks every prefix: after each
+// append, the snapshot equals a fresh build over the prefix, so a live
+// session is query-ready at any moment, not only at the end.
+func TestIncrementalMidStreamSnapshots(t *testing.T) {
+	tr := shardedFixture(600, 77)
+	rng := rand.New(rand.NewSource(77))
+	b := NewIncrementalBuilder(tr.Name)
+	for lo := 0; lo < tr.Len(); {
+		hi := lo + 1 + rng.Intn(90)
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		if err := b.Append(tr.Entries[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		prefix := &trace.Trace{Name: tr.Name, Entries: tr.Entries[:hi:hi]}
+		fresh, err := BuildCtxOpts(context.Background(), prefix, BuildOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Equivalent(fresh, b.Snapshot()); err != nil {
+			t.Fatalf("prefix [0,%d): %v", hi, err)
+		}
+		lo = hi
+	}
+}
+
+// TestIncrementalSnapshotStableUnderAppends is the liveness property the
+// server relies on: webs snapshotted mid-stream stay valid and unchanged
+// while the builder keeps appending (readers hold a diff over them
+// concurrently). Run under -race this doubles as the no-rewrite proof;
+// it also checks the reader goroutines drain (no leaks).
+func TestIncrementalSnapshotStableUnderAppends(t *testing.T) {
+	tr := shardedFixture(4000, 13)
+	rng := rand.New(rand.NewSource(13))
+	b := NewIncrementalBuilder(tr.Name)
+
+	baseline := runtime.NumGoroutine()
+	var wg sync.WaitGroup
+	type snap struct {
+		web *Web
+		n   int
+	}
+	checks := make(chan error, 64)
+	reader := func(s snap) {
+		defer wg.Done()
+		// Re-walk the snapshot several times while appends continue.
+		for k := 0; k < 3; k++ {
+			if got := s.web.Trace.Len(); got != s.n {
+				checks <- fmt.Errorf("snapshot length changed: %d -> %d", s.n, got)
+				return
+			}
+			total := 0
+			for _, n := range s.web.Names() {
+				v := s.web.View(n)
+				for i, eid := range v.EIDs {
+					if int(eid) >= s.n {
+						checks <- fmt.Errorf("view %s leaked future entry %d into a %d-entry snapshot", n, eid, s.n)
+						return
+					}
+					if i > 0 && v.EIDs[i-1] >= eid {
+						checks <- fmt.Errorf("view %s no longer ascending at %d", n, i)
+						return
+					}
+				}
+				total += v.Len()
+			}
+			if total == 0 && s.n > 0 {
+				checks <- fmt.Errorf("%d-entry snapshot has empty views", s.n)
+				return
+			}
+		}
+		checks <- nil
+	}
+
+	for lo := 0; lo < tr.Len(); {
+		hi := lo + 1 + rng.Intn(300)
+		if hi > tr.Len() {
+			hi = tr.Len()
+		}
+		if err := b.Append(tr.Entries[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go reader(snap{web: b.Snapshot(), n: hi})
+		lo = hi
+	}
+	wg.Wait()
+	close(checks)
+	for err := range checks {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("snapshot readers leaked goroutines: %d before, %d after", baseline, g)
+	}
+}
+
+func TestIncrementalAppendValidation(t *testing.T) {
+	tr := shardedFixture(40, 5)
+	b := NewIncrementalBuilder("v")
+	if err := b.Append(tr.Entries[:10]); err != nil {
+		t.Fatal(err)
+	}
+	// Re-delivery of an already-applied prefix is idempotent.
+	if err := b.Append(tr.Entries[:20]); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 20 {
+		t.Fatalf("after overlapping redelivery: %d entries, want 20", b.Len())
+	}
+	// A gap is an error.
+	if err := b.Append(tr.Entries[25:]); err == nil {
+		t.Error("Append accepted a gapped segment")
+	}
+	// Empty appends are no-ops.
+	if err := b.Append(nil); err != nil || b.Len() != 20 {
+		t.Errorf("empty append: err=%v len=%d", err, b.Len())
+	}
+}
+
+// BenchmarkIncrementalAppend measures streaming-ingestion throughput:
+// entries appended per second through the incremental builder in
+// capture-sized segments. rprism-bench reports the same figure as its
+// entries_per_sec row.
+func BenchmarkIncrementalAppend(b *testing.B) {
+	tr := shardedFixture(1<<15, 42)
+	const seg = 4096
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ib := NewIncrementalBuilder(tr.Name)
+		for lo := 0; lo < tr.Len(); lo += seg {
+			hi := lo + seg
+			if hi > tr.Len() {
+				hi = tr.Len()
+			}
+			if err := ib.Append(tr.Entries[lo:hi]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	entries := float64(tr.Len()) * float64(b.N)
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(entries/secs, "entries/s")
+	}
+}

@@ -1,0 +1,76 @@
+package rprism
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/trace"
+)
+
+// TestFromSessionLiveDiff checks the engine-level live-source semantics:
+// FromSession resolves to a fresh snapshot per analysis, so the same
+// Source value sees the session grow between calls — unlike every other
+// (memoized) source.
+func TestFromSessionLiveDiff(t *testing.T) {
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(WithCorpus(store))
+	ctx := context.Background()
+
+	mk := func(n int, bias string) *trace.Trace {
+		tr := trace.New("s")
+		for i := 0; i < n; i++ {
+			obj := trace.Repr{Loc: trace.Loc(1 + i%5), Class: "C", Seq: 1 + i%5}
+			tr.Append(0, "C.m/0", obj, trace.Event{Kind: trace.KindSet, Target: obj, Member: "f",
+				Args: []trace.Repr{trace.PrimRepr("Int", fmt.Sprint(i%7)+bias)}})
+		}
+		return tr
+	}
+	baseline := mk(120, "")
+	baseID, _, err := store.Put(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := store.OpenSession("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := mk(120, "x")
+	if _, err := sess.Append(grow.Entries[:40]); err != nil {
+		t.Fatal(err)
+	}
+	live := FromSession(sess)
+
+	d1, err := eng.Diff(ctx, live, FromCorpus(baseID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(grow.Entries[40:]); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := eng.Diff(ctx, live, FromCorpus(baseID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Left.Len() >= d2.Left.Len() {
+		t.Errorf("same Source did not see session growth: %d then %d entries",
+			d1.Left.Len(), d2.Left.Len())
+	}
+	if d2.NumDiffs() == 0 {
+		t.Error("biased live session diffs clean against baseline")
+	}
+
+	// The trace path resolves live too (LCS baseline needs raw traces).
+	if _, err := eng.DiffLCS(ctx, live, FromCorpus(baseID), LCSOptions{}); err != nil {
+		t.Errorf("DiffLCS over a live session: %v", err)
+	}
+
+	if _, err := eng.Diff(ctx, FromSession(nil), FromCorpus(baseID)); err == nil {
+		t.Error("FromSession(nil) resolved")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/corpus"
 	"repro/internal/interp"
 	"repro/internal/trace"
 	"repro/internal/views"
@@ -25,7 +26,9 @@ func ParseDigest(s string) (Digest, error) { return trace.ParseDigest(s) }
 // passing one Source to many analyses pays for resolution a single time.
 //
 // The interface is sealed; construct sources with FromTrace, FromWeb,
-// FromFile, FromCorpus, FromCorpusID, or FromRun.
+// FromFile, FromCorpus, FromCorpusID, FromRun, or FromSession (the one
+// deliberate exception to once-only resolution: live sessions resolve
+// to a fresh snapshot per analysis).
 type Source interface {
 	// resolve materializes the source's view web on e, honoring ctx.
 	resolve(ctx context.Context, e *Engine) (*views.Web, error)
@@ -160,6 +163,37 @@ func (s *corpusSource) resolveTrace(ctx context.Context, e *Engine) (*trace.Trac
 		return nil, err
 	}
 	return e.store.Get(id)
+}
+
+// FromSession sources a live, append-open capture session. Unlike every
+// other source it is deliberately NOT memoized: each resolution takes a
+// fresh point-in-time snapshot of the still-growing session (trace and
+// query-ready web), so an analysis sees the program as of the moment it
+// started while the session keeps streaming underneath it. Snapshots
+// are immutable and share storage with the session, making resolution
+// O(views + objects), not O(entries).
+func FromSession(s *corpus.Session) Source { return &sessionSource{s: s} }
+
+type sessionSource struct{ s *corpus.Session }
+
+func (s *sessionSource) resolve(ctx context.Context, e *Engine) (*views.Web, error) {
+	if s.s == nil {
+		return nil, fmt.Errorf("rprism: FromSession(nil)")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.s.Web(), nil
+}
+
+func (s *sessionSource) resolveTrace(ctx context.Context, e *Engine) (*trace.Trace, error) {
+	if s.s == nil {
+		return nil, fmt.Errorf("rprism: FromSession(nil)")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.s.Snapshot(), nil
 }
 
 // FromRun sources the trace of executing a compiled program under the
