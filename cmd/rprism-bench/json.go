@@ -1,10 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -35,6 +37,9 @@ type BenchRecord struct {
 	// incremental-append row: trace entries absorbed into a live web per
 	// second.
 	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
+	// SpeedupVsJSONL is a format row's wall-clock speedup over the
+	// JSONLIngest baseline of the same run — the RSEG trajectory number.
+	SpeedupVsJSONL float64 `json:"speedup_vs_jsonl,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -252,6 +257,75 @@ func writeJSONReport(path string) error {
 	})
 	if rec.NsPerOp > 0 {
 		rec.EntriesPerSec = float64(ml.Len()) / (rec.NsPerOp / 1e9)
+	}
+
+	// Segment-format ingestion: decoding the multithreaded trace from an
+	// in-memory image in each on-disk encoding. JSONLIngest is the legacy
+	// baseline; the RSEG rows carry their speedup over it.
+	var jsonlImage bytes.Buffer
+	if err := ml.WriteJSONL(&jsonlImage); err != nil {
+		return err
+	}
+	var rsegImage bytes.Buffer
+	if err := ml.WriteRSEG(&rsegImage); err != nil {
+		return err
+	}
+	rsegPath := filepath.Join(dir, "bench.rseg")
+	if err := os.WriteFile(rsegPath, rsegImage.Bytes(), 0o644); err != nil {
+		return err
+	}
+	rec = record("JSONLIngest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.ReadJSONL("bench", bytes.NewReader(jsonlImage.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	jsonlNs := rec.NsPerOp
+	rec = record("RSEGIngest", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rd, err := trace.OpenRSEGBytes(rsegImage.Bytes(), "bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rd.Trace(); err != nil {
+				b.Fatal(err)
+			}
+			rd.Close()
+		}
+	})
+	if rec.NsPerOp > 0 {
+		rec.SpeedupVsJSONL = jsonlNs / rec.NsPerOp
+	}
+	rec = record("RSEGLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.LoadRSEG(rsegPath); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if rec.NsPerOp > 0 {
+		rec.SpeedupVsJSONL = jsonlNs / rec.NsPerOp
+	}
+	// The corpus disk tier end to end: a cold store serving Get from RSEG
+	// segments (mirrors BenchmarkCorpusGetCold).
+	rec = record("CorpusGetCold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cold, err := corpus.New(dir, corpus.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cold.Get(lid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if rec.NsPerOp > 0 {
+		rec.SpeedupVsJSONL = jsonlNs / rec.NsPerOp
 	}
 
 	report.Symbols = trace.GlobalSymbolStats()

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/trace"
+)
+
+func convertFixture() *trace.Trace {
+	tr := trace.New("fix")
+	for i := 0; i < 25; i++ {
+		tr.Append(trace.ThreadID(i%3), fmt.Sprintf("C.m%d/0", i%5),
+			trace.Repr{Loc: trace.Loc(i + 1), Class: "C", Seq: i + 1},
+			trace.Event{Kind: trace.KindCall, Member: fmt.Sprintf("C.m%d/0", i%5),
+				Args: []trace.Repr{trace.PrimRepr("Int", fmt.Sprint(i))}})
+	}
+	return tr
+}
+
+func TestConvertSingleFile(t *testing.T) {
+	tr := convertFixture()
+	want := tr.ComputeDigest()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := tr.SaveFormat(path, trace.FormatGob); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := convertFile(path, "", trace.RSEGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := trace.SniffFile(path); err != nil || f != trace.FormatRSEG {
+		t.Fatalf("after convert file sniffs as %v, %v", f, err)
+	}
+	got, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.ComputeDigest(); d != want {
+		t.Errorf("conversion changed digest: %s, want %s", d, want)
+	}
+
+	// Idempotent: a second run skips.
+	msg, err := convertFile(path, "", trace.RSEGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msg, "skipped") {
+		t.Errorf("second convert did not skip: %q", msg)
+	}
+}
+
+func TestConvertToSeparateOutput(t *testing.T) {
+	tr := convertFixture()
+	dir := t.TempDir()
+	src := filepath.Join(dir, "run.jsonl")
+	dst := filepath.Join(dir, "run.rseg")
+	if err := tr.SaveFormat(src, trace.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := convertFile(src, dst, trace.RSEGOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Source untouched, destination equivalent.
+	if f, _ := trace.SniffFile(src); f != trace.FormatJSONL {
+		t.Error("convert -out rewrote the source")
+	}
+	got, err := trace.Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.ComputeDigest(); d != tr.ComputeDigest() {
+		t.Errorf("converted copy digest %s, want %s", d, tr.ComputeDigest())
+	}
+}
+
+func TestConvertCorpusDir(t *testing.T) {
+	// A corpus written by an earlier gob-only version: force gob segments,
+	// then convert the directory in place and reopen it.
+	dir := t.TempDir()
+	store, err := corpus.New(dir, corpus.Options{SegmentLimit: 8, SegmentFormat: trace.FormatGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := convertFixture()
+	id, created, err := store.Put(tr)
+	if err != nil || !created {
+		t.Fatalf("Put = %v, %v", created, err)
+	}
+
+	if err := convertDir(dir, trace.RSEGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "*.seg"))
+	if len(segs) == 0 {
+		t.Fatal("corpus has no segments")
+	}
+	for _, p := range segs {
+		if f, err := trace.SniffFile(p); err != nil || f != trace.FormatRSEG {
+			t.Errorf("segment %s sniffs as %v, %v after convert", p, f, err)
+		}
+	}
+
+	// Idempotent second run.
+	if err := convertDir(dir, trace.RSEGOptions{}); err != nil {
+		t.Fatalf("second convert failed: %v", err)
+	}
+
+	// The store reopens and serves the trace under its original digest.
+	reopened, err := corpus.New(dir, corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reopened.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.ComputeDigest(); d != id {
+		t.Errorf("converted corpus trace digest %s, want %s", d, id)
+	}
+}
+
+func TestConvertRefusesCorruptInput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.seg")
+	tr := convertFixture()
+	if err := tr.SaveFormat(path, trace.FormatJSONL); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := convertDir(dir, trace.RSEGOptions{}); err == nil {
+		t.Fatal("convert accepted a corrupt segment")
+	}
+	// The damaged original is left in place, untouched.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(raw)/2 {
+		t.Error("convert modified a file it failed to convert")
+	}
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*rseg-tmp*")); len(tmps) != 0 {
+		t.Errorf("convert left temp files behind: %v", tmps)
+	}
+}

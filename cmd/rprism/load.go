@@ -6,6 +6,7 @@ import (
 	"os"
 
 	rprism "repro"
+	"repro/internal/trace"
 )
 
 // loadTraceFile loads a trace for a CLI flag, translating low-level I/O
@@ -18,7 +19,11 @@ func loadTraceFile(flagName, path string) (*rprism.Trace, error) {
 	if err == nil {
 		return t, nil
 	}
+	var fe *trace.FormatError
 	switch {
+	case errors.As(err, &fe):
+		return nil, fmt.Errorf("-%s: trace file %q is damaged: %s data is malformed at byte offset %d: %s (the file may be truncated or partially written; re-record it or restore from a backup)",
+			flagName, path, fe.Format, fe.Offset, fe.Msg)
 	case errors.Is(err, os.ErrNotExist):
 		return nil, fmt.Errorf("-%s: trace file %q does not exist (record one with 'rprism trace -src prog.mj -out %s')",
 			flagName, path, path)

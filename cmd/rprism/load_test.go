@@ -42,8 +42,10 @@ func TestLoadTraceFileErrors(t *testing.T) {
 			[]string{"-left", "does not exist", "rprism trace"}},
 		{"corrupt file", "right", corrupt,
 			[]string{"-right", "not a valid trace file", corrupt}},
+		// A truncated RSEG file is structurally detected: the message
+		// names the file, the format, and the byte offset of the damage.
 		{"truncated file", "trace", truncated,
-			[]string{"-trace", "not a valid trace file"}},
+			[]string{"-trace", "damaged", truncated, "rseg", "byte offset"}},
 		{"directory", "left", dir,
 			[]string{"-left", "directory"}},
 		{"valid file", "left", valid, nil},

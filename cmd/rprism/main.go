@@ -7,6 +7,7 @@
 //	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20] [-parallel N]
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
+//	rprism convert -dir corpusDir | -trace run.trace [-out new.trace] [-compress]
 //	rprism analyses
 //
 // Every subcommand drives the shared rprism.Engine; analyses run under a
@@ -55,6 +56,8 @@ func main() {
 		err = cmdViews(ctx, os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(ctx, os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
 	case "protocol":
@@ -73,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|diff|views|analyze|check|protocol|impact|analyses} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|diff|views|analyze|convert|check|protocol|impact|analyses} [flags]")
 	os.Exit(2)
 }
 

@@ -75,6 +75,9 @@ type Options struct {
 	// Client is the HTTP client for streaming (default http.DefaultClient
 	// with a 30s timeout).
 	Client *http.Client
+	// SegmentFormat is the on-disk encoding of captured segments (disk
+	// capture only). The zero value is the default format, RSEG.
+	SegmentFormat trace.Format
 }
 
 func (o Options) withDefaults() Options {
@@ -159,7 +162,7 @@ func Start(opts Options) (*Recorder, error) {
 	}
 	r := &Recorder{opts: opts}
 	if opts.Dir != "" {
-		w, err := trace.NewSegmentWriter(opts.Dir, opts.Name, opts.SegmentLimit)
+		w, err := trace.NewSegmentWriterFormat(opts.Dir, opts.Name, opts.SegmentLimit, opts.SegmentFormat)
 		if err != nil {
 			return nil, fmt.Errorf("capture: %w", err)
 		}

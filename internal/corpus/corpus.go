@@ -61,6 +61,11 @@ type Options struct {
 	// and rejects corrupted content. Costs one canonical-encoding pass
 	// per cache miss.
 	VerifyOnLoad bool
+	// SegmentFormat is the on-disk encoding of newly written segments
+	// (default trace.FormatRSEG, the binary columnar format). Reads sniff
+	// per segment, so a store holding legacy gob segments keeps serving
+	// them regardless of this setting; `rprism convert` migrates in place.
+	SegmentFormat trace.Format
 	// MaxSessions bounds concurrently open live-capture sessions
 	// (default 64). Sessions hold their entries and incremental webs in
 	// memory, so without a cap abandoned recorders (crashed clients that
@@ -254,7 +259,7 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 	// corrupt this trace.
 	removeSegs()
 
-	w, err := trace.NewSegmentWriter(s.dir, id.String(), s.opts.SegmentLimit)
+	w, err := trace.NewSegmentWriterFormat(s.dir, id.String(), s.opts.SegmentLimit, s.opts.SegmentFormat)
 	if err != nil {
 		return id, false, err
 	}

@@ -391,3 +391,50 @@ func TestGetRejectsTruncatedDiskTier(t *testing.T) {
 		t.Fatal("Get served a trace whose trailing segment is truncated")
 	}
 }
+
+// benchCorpusTrace builds a loop-heavy trace with a bounded symbol
+// vocabulary — the workload shape the paper's subject programs produce,
+// and the one the disk tier serves in practice.
+func benchCorpusTrace(threads, per int) *trace.Trace {
+	t := trace.New("bench-corpus")
+	for tid := 1; tid <= threads; tid++ {
+		for i := 0; i < per; i++ {
+			obj := trace.Repr{Loc: trace.Loc(i%97 + 1), Class: "Worker", Seq: i % 500}
+			val := trace.Repr{Class: "Int", Hash: uint64(i % 1000), Str: fmt.Sprintf("%d", i%1000)}
+			t.Append(trace.ThreadID(tid), fmt.Sprintf("Worker.step%d/1", i%40), obj,
+				trace.Event{Kind: trace.KindCall, Target: obj,
+					Member: fmt.Sprintf("Worker.step%d/1", i%40), Args: []trace.Repr{val}})
+		}
+	}
+	return t
+}
+
+// BenchmarkCorpusGetCold measures a cache-miss Get: a fresh store over
+// the corpus directory, so every iteration pays the full disk-tier load
+// of the RSEG segments (the decoded-trace LRU never helps).
+func BenchmarkCorpusGetCold(b *testing.B) {
+	dir := b.TempDir()
+	s, err := New(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, _, err := s.Put(benchCorpusTrace(8, 2500))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cold, err := New(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := cold.Get(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Len() != 8*2500 {
+			b.Fatalf("loaded %d entries", tr.Len())
+		}
+	}
+}

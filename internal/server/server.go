@@ -1,6 +1,7 @@
 // Package server exposes the trace corpus and the analysis engine over
 // an HTTP JSON API — the long-running service face of the repo
-// (rprism-serve). Traces are uploaded once in the gob format written by
+// (rprism-serve). Traces are uploaded once in any trace file format
+// (RSEG, gob, or JSONL — the encoding is sniffed) as written by
 // `rprism trace`, then addressed by content digest for any number of
 // analysis queries; heavy work runs under a bounded worker pool so a
 // burst of requests degrades to queueing, not to unbounded goroutines
@@ -29,7 +30,7 @@
 //
 // Endpoints:
 //
-//	PUT  /traces                 upload a trace (body: gob trace file)
+//	PUT  /traces                 upload a trace (body: any trace file format)
 //	POST /traces/stream          stream live capture frames (NDJSON)
 //	GET  /traces                 list stored traces
 //	GET  /traces/{id}            metadata of one trace
@@ -432,7 +433,7 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-	t, err := trace.ReadFrom(body)
+	t, err := trace.ReadAny("upload", body)
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -441,7 +442,7 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeErr(w, http.StatusBadRequest, CodeBadRequest,
-			fmt.Errorf("body is not a gob trace (write one with 'rprism trace'): %w", err))
+			fmt.Errorf("body is not a trace file (write one with 'rprism trace'): %w", err))
 		return
 	}
 	if t.Len() == 0 {

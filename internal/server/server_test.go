@@ -701,3 +701,40 @@ func TestDiffParallelismKnob(t *testing.T) {
 		t.Errorf("stats diff_parallelism = %d, want 4", stats.Server.DiffParallelism)
 	}
 }
+
+// TestUploadSniffsFormats uploads the same trace in all three file
+// encodings; each must land on the identical content digest (the digest
+// is format-independent), with the later two deduplicating.
+func TestUploadSniffsFormats(t *testing.T) {
+	ts, _ := newTestServer(t, Options{})
+	tr, _ := tracePair(t)
+
+	var rseg, jsonl bytes.Buffer
+	if err := tr.WriteRSEG(&rseg); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	bodies := [][]byte{rseg.Bytes(), gobBytes(t, tr), jsonl.Bytes()}
+
+	var first TraceInfo
+	for i, body := range bodies {
+		var info TraceInfo
+		status, raw := doJSON(t, http.MethodPut, ts.URL+"/traces", body, &info)
+		switch {
+		case i == 0 && status != http.StatusCreated:
+			t.Fatalf("rseg upload: status %d: %s", status, raw)
+		case i > 0 && status != http.StatusOK:
+			t.Fatalf("upload %d should deduplicate (200), got %d: %s", i, status, raw)
+		}
+		if i == 0 {
+			first = info
+		} else if info.ID != first.ID {
+			t.Fatalf("format %d digest %s != rseg digest %s", i, info.ID, first.ID)
+		}
+	}
+	if _, raw := doJSON(t, http.MethodGet, ts.URL+"/traces/"+first.ID, nil, nil); raw == "" {
+		t.Fatal("stored trace not retrievable")
+	}
+}

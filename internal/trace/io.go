@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 )
 
 // Encode serializes the trace in a binary format (gob) suitable for the
@@ -37,25 +38,132 @@ func ReadFrom(r io.Reader) (*Trace, error) {
 	return &t, nil
 }
 
-// Save writes the trace to a file.
-func (t *Trace) Save(path string) error {
+// ReadAny reads a trace of any supported format from a stream, sniffing
+// the encoding (RSEG, JSONL, or gob) from the first bytes. The name
+// labels the trace for formats that do not carry one (JSONL) and errors.
+// It is the upload-endpoint counterpart of Load: a bounded body whose
+// format the client chose.
+func ReadAny(name string, r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	prefix, err := br.Peek(4)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: read %s: %w", name, err)
+	}
+	switch SniffFormat(prefix) {
+	case FormatRSEG:
+		// RSEG is indexed from the tail, so a stream must land in memory
+		// before parsing; upload paths already bound the body size.
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: read %s: %w", name, err)
+		}
+		rd, err := OpenRSEGBytes(data, name)
+		if err != nil {
+			return nil, err
+		}
+		return rd.Trace()
+	case FormatJSONL:
+		return ReadJSONL(name, br)
+	default:
+		return ReadFrom(br)
+	}
+}
+
+// Save writes the trace to a file in the default on-disk format (RSEG;
+// see rseg.go). Load reads any supported format back, so files written
+// by earlier gob-only versions of Save remain loadable.
+func (t *Trace) Save(path string) error { return t.SaveFormat(path, FormatRSEG) }
+
+// SaveFormat writes the trace to a file in an explicit format — the
+// migration hook for tooling (rprism convert) that must produce legacy
+// encodings.
+func (t *Trace) SaveFormat(path string, format Format) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("trace: save: %w", err)
 	}
 	defer f.Close()
-	if err := t.Encode(f); err != nil {
+	switch format {
+	case FormatRSEG:
+		err = t.WriteRSEG(f)
+	case FormatGob:
+		err = t.Encode(f)
+	case FormatJSONL:
+		err = t.WriteJSONL(f)
+	default:
+		err = fmt.Errorf("trace: save: unknown format %v", format)
+	}
+	if err != nil {
 		return err
 	}
 	return f.Close()
 }
 
-// Load reads a trace from a file written by Save.
+// SniffFormat detects the on-disk format of a trace file from its first
+// bytes: the RSEG magic, a JSON object open (JSONL, both versions), or
+// anything else (gob, whose streams for our types begin with a small
+// type-descriptor length byte — never '{' or 'R').
+func SniffFormat(prefix []byte) Format {
+	switch {
+	case len(prefix) >= 4 && string(prefix[:4]) == rsegMagic:
+		return FormatRSEG
+	case len(prefix) >= 2 && prefix[0] == '{' && prefix[1] == '"':
+		return FormatJSONL
+	default:
+		return FormatGob
+	}
+}
+
+// SniffFile detects the format of a trace file on disk.
+func SniffFile(path string) (Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return FormatGob, fmt.Errorf("trace: sniff: %w", err)
+	}
+	defer f.Close()
+	var prefix [4]byte
+	n, err := io.ReadFull(f, prefix[:])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		return FormatGob, fmt.Errorf("trace: sniff %s: %w", path, err)
+	}
+	return SniffFormat(prefix[:n]), nil
+}
+
+// Load reads a trace from a file written by Save (any format version:
+// RSEG, gob, or JSONL — detected from the file's first bytes).
 func Load(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: load: %w", err)
 	}
 	defer f.Close()
-	return ReadFrom(f)
+	var prefix [4]byte
+	n, rerr := io.ReadFull(f, prefix[:])
+	if rerr != nil && rerr != io.ErrUnexpectedEOF && rerr != io.EOF {
+		return nil, fmt.Errorf("trace: load %s: %w", path, rerr)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("trace: load %s: %w", path, err)
+	}
+	switch SniffFormat(prefix[:n]) {
+	case FormatRSEG:
+		return LoadRSEG(path)
+	case FormatJSONL:
+		return ReadJSONL(filepath.Base(path), f)
+	default:
+		return ReadFrom(f)
+	}
+}
+
+// LoadRSEG eagerly loads an RSEG file: map, materialize every thread,
+// release the mapping. The FromFile engine source and the segment
+// reassembler land here via Load's sniffing; callers that want lazy
+// per-thread access use OpenRSEG directly.
+func LoadRSEG(path string) (*Trace, error) {
+	r, err := OpenRSEG(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return r.Trace()
 }

@@ -258,6 +258,18 @@ func (wt *wireTable) add(symbols []string) {
 	}
 }
 
+// addBytes interns a block of symbol strings from their raw bytes and
+// appends them to the table — the RSEG loader's batch path: one global
+// lock round trip for the whole block, no per-string copy for strings
+// the process has already interned.
+func (wt *wireTable) addBytes(bs [][]byte) {
+	if wt.syms == nil {
+		wt.syms = make([]Sym, 1, len(bs)+1)
+		wt.strs = make([]string, 1, len(bs)+1)
+	}
+	wt.syms, wt.strs = Symbols.InternBatch(bs, wt.syms, wt.strs)
+}
+
 func (wt *wireTable) resolve(id uint32) (Sym, string, error) {
 	if int(id) >= len(wt.syms) {
 		return NoSym, "", fmt.Errorf("trace: wire: symbol ref %d out of range (%d symbols)", id, len(wt.syms)-1)

@@ -6,7 +6,47 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 )
+
+// segmentIndex extracts the numeric segment index from a path of the
+// form <dir>/<name>.<index>.seg.
+func segmentIndex(path, name string) (int, bool) {
+	base := filepath.Base(path)
+	mid, ok := strings.CutPrefix(base, name+".")
+	if !ok {
+		return 0, false
+	}
+	mid, ok = strings.CutSuffix(mid, ".seg")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(mid)
+	return n, err == nil && n >= 0
+}
+
+// sortSegmentPaths orders segment files numerically by their segment
+// index, not lexicographically by filename: our own writer zero-pads to
+// six digits, but foreign producers (and writers that outlive the pad
+// width) emit bare indices, where string order would interleave seg.10
+// between seg.1 and seg.2. Paths without a parseable index sort after
+// the indexed ones, by name — the id-consecutiveness check then reports
+// them rather than silently reordering.
+func sortSegmentPaths(paths []string, name string) {
+	sort.SliceStable(paths, func(i, j int) bool {
+		ni, oki := segmentIndex(paths[i], name)
+		nj, okj := segmentIndex(paths[j], name)
+		switch {
+		case oki && okj:
+			return ni < nj
+		case oki != okj:
+			return oki
+		default:
+			return paths[i] < paths[j]
+		}
+	})
+}
 
 // SegmentWriter implements RPRISM's smart trace segmentation (§5): long
 // executions are recorded as a series of relatively short trace segments;
@@ -16,7 +56,8 @@ import (
 type SegmentWriter struct {
 	dir     string
 	name    string
-	limit   int // entries per segment before a flush
+	limit   int    // entries per segment before a flush
+	format  Format // on-disk encoding of each segment
 	current *Trace
 	base    EntryID // eid of the first entry in the current segment
 	next    EntryID
@@ -24,12 +65,20 @@ type SegmentWriter struct {
 }
 
 // NewSegmentWriter creates a writer that stores segments of at most limit
-// entries under dir. A limit of 0 means unbounded (a single segment).
+// entries under dir, in the default format (RSEG). A limit of 0 means
+// unbounded (a single segment).
 func NewSegmentWriter(dir, name string, limit int) (*SegmentWriter, error) {
+	return NewSegmentWriterFormat(dir, name, limit, FormatRSEG)
+}
+
+// NewSegmentWriterFormat is NewSegmentWriter with an explicit segment
+// encoding — the migration hook for producing legacy gob/JSONL segment
+// sets. Loaders sniff per segment, so mixed directories stay readable.
+func NewSegmentWriterFormat(dir, name string, limit int, format Format) (*SegmentWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("trace: segment dir: %w", err)
 	}
-	return &SegmentWriter{dir: dir, name: name, limit: limit, current: New(name)}, nil
+	return &SegmentWriter{dir: dir, name: name, limit: limit, format: format, current: New(name)}, nil
 }
 
 // Append records an entry, flushing the current segment to disk when the
@@ -54,7 +103,7 @@ func (w *SegmentWriter) Flush() error {
 		return nil
 	}
 	path := filepath.Join(w.dir, fmt.Sprintf("%s.%06d.seg", w.name, w.flushed))
-	if err := w.current.Save(path); err != nil {
+	if err := w.current.SaveFormat(path, w.format); err != nil {
 		return err
 	}
 	w.flushed++
@@ -113,7 +162,7 @@ func LoadSegmentsReport(dir, name string) (*Trace, *SegmentLoadReport, error) {
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("trace: no segments match %q", pattern)
 	}
-	sort.Strings(paths)
+	sortSegmentPaths(paths, name)
 	out := New(name)
 	rep := &SegmentLoadReport{}
 	for i, p := range paths {

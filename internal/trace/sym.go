@@ -65,6 +65,53 @@ func (st *SymbolTable) Intern(s string) Sym {
 	return id
 }
 
+// InternBytes is Intern for a byte slice. A string already in the table
+// is found without copying b (the map lookup converts in place); only a
+// first sight pays the string allocation — the fast path for loaders
+// that decode symbol blocks from (possibly memory-mapped) file images.
+func (st *SymbolTable) InternBytes(b []byte) Sym {
+	if len(b) == 0 {
+		return NoSym
+	}
+	st.mu.RLock()
+	id, ok := st.ids[string(b)]
+	st.mu.RUnlock()
+	if ok {
+		return id
+	}
+	return st.Intern(string(b))
+}
+
+// InternBatch interns every byte string in bs under a single lock
+// acquisition, appending each symbol and its canonical string to syms
+// and strs (returned re-sliced). One lock round trip per *block* instead
+// of two atomic operations per *string* is what keeps loading a
+// many-symbol trace file cheap; strings already in the table are found
+// without copying their bytes.
+func (st *SymbolTable) InternBatch(bs [][]byte, syms []Sym, strs []string) ([]Sym, []string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, b := range bs {
+		if len(b) == 0 {
+			syms = append(syms, NoSym)
+			strs = append(strs, "")
+			continue
+		}
+		id, ok := st.ids[string(b)]
+		if !ok {
+			s := string(b)
+			id = Sym(len(st.strs))
+			st.ids[s] = id
+			st.strs = append(st.strs, s)
+			st.hashes = append(st.hashes, fnv64a(s))
+			st.bytes += int64(len(s))
+		}
+		syms = append(syms, id)
+		strs = append(strs, st.strs[id])
+	}
+	return syms, strs
+}
+
 // Lookup returns the symbol for s without interning it.
 func (st *SymbolTable) Lookup(s string) (Sym, bool) {
 	if s == "" {
