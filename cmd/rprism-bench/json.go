@@ -40,6 +40,10 @@ type BenchRecord struct {
 	// SpeedupVsJSONL is a format row's wall-clock speedup over the
 	// JSONLIngest baseline of the same run — the RSEG trajectory number.
 	SpeedupVsJSONL float64 `json:"speedup_vs_jsonl,omitempty"`
+	// SpeedupVsFullRediff is the sentinel row's wall-clock speedup of an
+	// incremental re-diff over a from-scratch re-diff of the same
+	// snapshot, measured in this run.
+	SpeedupVsFullRediff float64 `json:"speedup_vs_full_rediff,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -257,6 +261,68 @@ func writeJSONReport(path string) error {
 	})
 	if rec.NsPerOp > 0 {
 		rec.EntriesPerSec = float64(ml.Len()) / (rec.NsPerOp / 1e9)
+	}
+
+	// The sentinel hot path: a watched quiet session takes one small
+	// single-thread segment and the watch re-diffs against its pinned
+	// baseline (mirrors BenchmarkSentinelIncrementalRediff). One of 17
+	// thread pairs is dirty, so the incremental evaluation recomputes
+	// ~6% of the pairs and patches the merged similarity/difference
+	// state; the full row is what every evaluation would cost without
+	// the cache, and the speedup is the always-on-watch economics.
+	const sentinelTail = 96
+	sentBase, _, err := multithreadedPair(16, 100)
+	if err != nil {
+		return err
+	}
+	sentWL := views.Build(sentBase)
+	liveTr := trace.New("bench-live")
+	for _, e := range sentBase.Entries {
+		liveTr.Append(e.TID, e.Method, e.Self, e.Event)
+	}
+	quiet := trace.Repr{Loc: trace.Loc(9001), Class: "Quiet", Seq: 1}
+	for k := 0; k < sentinelTail; k++ {
+		liveTr.Append(0, "Quiet.tick/0", quiet,
+			trace.Event{Kind: trace.KindCall, Target: quiet, Member: "Quiet.tick/0"})
+	}
+	ib2 := views.NewIncrementalBuilder(liveTr.Name)
+	if err := ib2.Append(liveTr.Entries[:sentBase.Len()]); err != nil {
+		return err
+	}
+	snap0 := ib2.Snapshot()
+	if err := ib2.Append(liveTr.Entries[sentBase.Len():]); err != nil {
+		return err
+	}
+	snap1 := ib2.Snapshot()
+	rec = record("SentinelIncrementalRediff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			inc := diff.NewIncremental(sentWL, diff.ViewOptions{})
+			if _, _, err := inc.Rediff(ctx, snap0); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, _, err := inc.Rediff(ctx, snap1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	incNs := rec.NsPerOp
+	if incNs > 0 {
+		rec.EntriesPerSec = float64(sentinelTail) / (incNs / 1e9)
+	}
+	incIdx := len(report.Benchmarks) - 1
+	rec = record("SentinelFullRediff", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diff.ViewDiffWebsCtx(ctx, sentWL, snap1, diff.ViewOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if incNs > 0 {
+		report.Benchmarks[incIdx].SpeedupVsFullRediff = rec.NsPerOp / incNs
 	}
 
 	// Segment-format ingestion: decoding the multithreaded trace from an

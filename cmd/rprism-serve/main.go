@@ -41,15 +41,17 @@ func main() {
 	verify := flag.Bool("verify", false, "verify digests of traces loaded from disk")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period")
 	reqTimeout := flag.Duration("request-timeout", 0, "kill analyses exceeding this deadline (0 = none)")
+	debounce := flag.Duration("watch-debounce", 0, "quiet period coalescing appends before a watch re-evaluates (0 = default)")
+	ring := flag.Int("watch-ring", 0, "events buffered per watch for SSE replay (0 = default)")
 	flag.Parse()
 
-	if err := run(*addr, *dir, *workers, *parallel, *traceCache, *webCache, *segLimit, *verify, *grace, *reqTimeout); err != nil {
+	if err := run(*addr, *dir, *workers, *parallel, *traceCache, *webCache, *segLimit, *verify, *grace, *reqTimeout, *debounce, *ring); err != nil {
 		fmt.Fprintln(os.Stderr, "rprism-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, parallel, traceCache, webCache, segLimit int, verify bool, grace, reqTimeout time.Duration) error {
+func run(addr, dir string, workers, parallel, traceCache, webCache, segLimit int, verify bool, grace, reqTimeout, debounce time.Duration, ring int) error {
 	store, err := corpus.New(dir, corpus.Options{
 		TraceCacheSize: traceCache,
 		WebCacheSize:   webCache,
@@ -67,7 +69,8 @@ func run(addr, dir string, workers, parallel, traceCache, webCache, segLimit int
 	// diff toward serial instead of oversubscribing.
 	eng := rprism.NewEngine(rprism.WithCorpus(store),
 		rprism.WithWorkers(workers),
-		rprism.WithDiffParallelism(parallel))
+		rprism.WithDiffParallelism(parallel),
+		rprism.WithSentinelOptions(rprism.SentinelOptions{Debounce: debounce, RingSize: ring}))
 	srv := server.New(eng, server.Options{Workers: workers, RequestTimeout: reqTimeout})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

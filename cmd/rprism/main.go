@@ -4,6 +4,7 @@
 //	rprism trace   -src prog.mj -out run.trace [-args a,b] [-exclude C,D]
 //	rprism record  -out run.trace [-url serveURL] -- <cmd> [args...]
 //	rprism attach  -url serveURL -trace run.trace [-batch N]
+//	rprism watch   <session> -url serveURL -baseline <digest> [-webhook URL]
 //	rprism diff    -left a.trace -right b.trace [-lcs] [-max 20] [-parallel N]
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
@@ -17,6 +18,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +52,8 @@ func main() {
 		err = cmdRecord(ctx, os.Args[2:])
 	case "attach":
 		err = cmdAttach(ctx, os.Args[2:])
+	case "watch":
+		err = cmdWatch(ctx, os.Args[2:])
 	case "diff":
 		err = cmdDiff(ctx, os.Args[2:])
 	case "views":
@@ -71,12 +75,15 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rprism:", err)
+		if errors.Is(err, errDiverged) {
+			os.Exit(3) // regression detected, as distinct from operational failure
+		}
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|diff|views|analyze|convert|check|protocol|impact|analyses} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|watch|diff|views|analyze|convert|check|protocol|impact|analyses} [flags]")
 	os.Exit(2)
 }
 

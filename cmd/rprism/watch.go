@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// errDiverged is the sentinel error of `rprism watch`: the watched
+// session diverged from its baseline. main maps it to exit code 3 so CI
+// can distinguish "regression detected" from operational failures.
+var errDiverged = errors.New("watch: session diverged from baseline")
+
+// watchEvent mirrors the server's sentinel event wire format (the
+// fields this command prints).
+type watchEvent struct {
+	Seq        uint64 `json:"seq"`
+	Kind       string `json:"kind"`
+	WatchID    string `json:"watch_id"`
+	SessionID  string `json:"session_id"`
+	Baseline   string `json:"baseline"`
+	Entries    int    `json:"entries"`
+	Watermark  int64  `json:"eid_watermark"`
+	Candidates int    `json:"candidates"`
+	Summary    []struct {
+		EID    int64  `json:"eid"`
+		Kind   string `json:"kind"`
+		Method string `json:"method"`
+		Member string `json:"member"`
+		Class  string `json:"class"`
+	} `json:"summary"`
+	Reason string `json:"reason"`
+}
+
+// cmdWatch attaches a regression sentinel to a live rprism-serve
+// session and tails its event stream:
+//
+//	rprism watch <session> -url http://localhost:8372 -baseline <digest>
+//
+// The command blocks until the watch closes (session over, watch
+// detached server-side, or Ctrl-C) and exits 0 if the session never
+// diverged, 3 on divergence, 1 on operational errors — so a CI job can
+// gate on "the new build replayed its baseline cleanly".
+func cmdWatch(ctx context.Context, args []string) error {
+	session := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		session, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	url := fs.String("url", "", "rprism-serve base URL")
+	baseline := fs.String("baseline", "", "baseline trace digest to diff the session against")
+	webhook := fs.String("webhook", "", "also deliver divergence events to this webhook URL")
+	expectedOld := fs.String("expected-old", "", "expected-change pair: old trace digest")
+	expectedNew := fs.String("expected-new", "", "expected-change pair: new trace digest")
+	asJSON := fs.Bool("json", false, "print raw events as JSON lines")
+	_ = fs.Parse(args)
+	if session == "" && fs.NArg() > 0 {
+		session = fs.Arg(0)
+	}
+	if session == "" {
+		return fmt.Errorf("watch: no session given (usage: rprism watch <session> -url URL -baseline DIGEST)")
+	}
+	if *url == "" || *baseline == "" {
+		return fmt.Errorf("watch: -url and -baseline are required")
+	}
+	base := strings.TrimRight(*url, "/")
+
+	w, err := createWatch(ctx, base, map[string]any{
+		"session":      session,
+		"baseline":     *baseline,
+		"webhook":      *webhook,
+		"expected_old": *expectedOld,
+		"expected_new": *expectedNew,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "rprism watch: %s watching session %s against %s\n", w.ID, w.Session, w.Baseline)
+
+	diverged, err := tailWatch(ctx, base, w.ID, *asJSON)
+	if err != nil {
+		return err
+	}
+	if diverged {
+		return errDiverged
+	}
+	return nil
+}
+
+// watchInfo is the subset of the server's watch resource this command
+// reads.
+type watchInfo struct {
+	ID       string `json:"id"`
+	Session  string `json:"session"`
+	Baseline string `json:"baseline"`
+	Diverged bool   `json:"diverged"`
+	Closed   bool   `json:"closed"`
+}
+
+func createWatch(ctx context.Context, base string, body map[string]any) (*watchInfo, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/watches", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("watch: %w", err)
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return nil, fmt.Errorf("watch: create failed: %s", serverErr(resp.StatusCode, payload))
+	}
+	var w watchInfo
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return nil, fmt.Errorf("watch: bad create response: %w", err)
+	}
+	return &w, nil
+}
+
+// tailWatch follows the watch's SSE stream to its terminal event,
+// reconnecting with Last-Event-ID resume semantics if the connection
+// drops, and reports whether a divergence event was seen.
+func tailWatch(ctx context.Context, base, id string, asJSON bool) (diverged bool, err error) {
+	var after uint64
+	for retries := 0; ; {
+		done, derr := tailOnce(ctx, base, id, &after, &diverged, asJSON)
+		if done || ctx.Err() != nil {
+			return diverged, derr
+		}
+		if derr != nil {
+			retries++
+			if retries > 5 {
+				return diverged, derr
+			}
+			select {
+			case <-time.After(time.Duration(retries) * 200 * time.Millisecond):
+			case <-ctx.Done():
+				return diverged, ctx.Err()
+			}
+			continue
+		}
+		retries = 0
+	}
+}
+
+// tailOnce consumes one SSE connection. done is true when the watch
+// reached its terminal event (or is already gone server-side — it
+// closed while we were disconnected).
+func tailOnce(ctx context.Context, base, id string, after *uint64, diverged *bool, asJSON bool) (done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/watches/%s/events?after=%d", base, id, *after), nil)
+	if err != nil {
+		return true, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("watch: events stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The watch finished and was reaped between connections; whatever
+		// state we accumulated is all there is.
+		return true, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return true, fmt.Errorf("watch: events stream: %s", serverErr(resp.StatusCode, payload))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev watchEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			return true, fmt.Errorf("watch: bad event: %w", err)
+		}
+		*after = ev.Seq
+		if asJSON {
+			fmt.Println(strings.TrimPrefix(line, "data: "))
+		} else {
+			printEvent(ev)
+		}
+		switch ev.Kind {
+		case "divergence":
+			*diverged = true
+		case "watch_closed":
+			return true, nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return false, fmt.Errorf("watch: events stream: %w", err)
+	}
+	// EOF without a terminal event: server went away mid-stream; resume.
+	return ctx.Err() != nil, ctx.Err()
+}
+
+func printEvent(ev watchEvent) {
+	switch ev.Kind {
+	case "divergence":
+		fmt.Printf("DIVERGENCE session=%s baseline=%s entries=%d watermark=%d candidates=%d\n",
+			ev.SessionID, ev.Baseline, ev.Entries, ev.Watermark, ev.Candidates)
+		for _, c := range ev.Summary {
+			fmt.Printf("  eid=%d %s %s", c.EID, c.Kind, c.Member)
+			if c.Class != "" {
+				fmt.Printf(" class=%s", c.Class)
+			}
+			if c.Method != "" {
+				fmt.Printf(" in=%s", c.Method)
+			}
+			fmt.Println()
+		}
+	case "watch_closed":
+		fmt.Printf("watch closed: %s (entries=%d)\n", ev.Reason, ev.Entries)
+	default:
+		fmt.Printf("%s: %+v\n", ev.Kind, ev)
+	}
+}
+
+// serverErr renders a server error payload, preferring the JSON
+// envelope's message.
+func serverErr(status int, payload []byte) string {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(payload, &env) == nil && env.Error.Message != "" {
+		return fmt.Sprintf("%s (%s)", env.Error.Message, env.Error.Code)
+	}
+	return fmt.Sprintf("HTTP %d", status)
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	rprism "repro"
+	"repro/internal/capture"
+	"repro/internal/corpus"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+// watchServe spins up a full rprism-serve stack (corpus, engine,
+// HTTP handler) for the watch CLI to talk to.
+func watchServe(t *testing.T) (*httptest.Server, *corpus.Store) {
+	t.Helper()
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := rprism.NewEngine(rprism.WithCorpus(store))
+	srv := server.New(eng, server.Options{})
+	t.Cleanup(eng.Close) // before ts.Close (LIFO): watches end, SSE drains
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, store
+}
+
+func watchCLITrace(n int) *trace.Trace {
+	tr := trace.New("watchcli")
+	for i := 0; i < n; i++ {
+		obj := trace.Repr{Loc: trace.Loc(1 + i%5), Class: "Node", Seq: 1 + i%5}
+		tr.Append(trace.ThreadID(i%2), fmt.Sprintf("C.m%d/0", i%3), obj,
+			trace.Event{Kind: trace.KindCall, Target: obj, Member: fmt.Sprintf("C.m%d/0", (i+1)%3)})
+	}
+	return tr
+}
+
+// streamFrames POSTs capture protocol frames and returns the ack — the
+// raw wire path a live program's stream sink uses.
+func streamFrames(t *testing.T, url string, frames []capture.StreamFrame) capture.StreamAck {
+	t.Helper()
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, f := range frames {
+		if err := enc.Encode(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url+"/traces/stream", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ack capture.StreamAck
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	return ack
+}
+
+// TestCmdWatchEndToEnd is the acceptance path of the watch feature: a
+// live capture stream diverges from its pinned baseline, the sentinel's
+// divergence event reaches the CLI over SSE within one appended
+// segment, and the CLI exits non-zero (errDiverged → exit code 3). The
+// control half: a clean replay ends with exit 0 and zero divergence
+// events.
+func TestCmdWatchEndToEnd(t *testing.T) {
+	ts, _ := watchServe(t)
+
+	base := watchCLITrace(200)
+	ack, err := capture.StreamTrace(context.Background(), ts.URL, base, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Trace == nil {
+		t.Fatal("baseline did not finalize")
+	}
+	baseDig := ack.Trace.ID
+
+	// Divergence run: open a live session, watch it, stream a clean
+	// prefix then a divergent segment, then abort.
+	var enc trace.WireEncoder
+	open := streamFrames(t, ts.URL, []capture.StreamFrame{{Frame: capture.FrameOpen, Name: "live"}})
+	sessID := open.Session
+
+	done := make(chan error, 1)
+	go func() {
+		done <- cmdWatch(context.Background(), []string{sessID, "-url", ts.URL, "-baseline", baseDig})
+	}()
+	// The watch must exist before divergent data lands… it does not have
+	// to (attach evaluates the backlog), but waiting pins the "event
+	// within one appended segment" claim.
+	awaitWatchCount(t, ts.URL, 1)
+
+	seg := enc.Segment(base.Entries[:100])
+	streamFrames(t, ts.URL, []capture.StreamFrame{
+		{Frame: capture.FrameOpen, Session: sessID},
+		{Frame: capture.FrameSegment, Symbols: seg.Symbols, Entries: seg.Entries},
+	})
+
+	divergent := trace.New("live")
+	for _, e := range base.Entries[:100] {
+		divergent.Append(e.TID, e.Method, e.Self, e.Event)
+	}
+	novel := trace.Repr{Loc: trace.Loc(700), Class: "Bug", Seq: 2}
+	for k := 0; k < 10; k++ {
+		divergent.Append(0, "Bug.trip/0", novel,
+			trace.Event{Kind: trace.KindCall, Target: novel, Member: "Bug.trip/0"})
+	}
+	seg = enc.Segment(divergent.Entries[100:])
+	streamFrames(t, ts.URL, []capture.StreamFrame{
+		{Frame: capture.FrameOpen, Session: sessID},
+		{Frame: capture.FrameSegment, Symbols: seg.Symbols, Entries: seg.Entries},
+	})
+
+	// The divergence must surface from the appended segment alone —
+	// before anything ends the session.
+	awaitWatch(t, ts.URL, func(list []watchInfo) bool {
+		return len(list) == 1 && list[0].Diverged
+	})
+
+	// End the session; the watch emits its terminal event and the CLI
+	// returns. It must report the divergence it saw.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/sessions/"+sessID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, errDiverged) {
+			t.Fatalf("cmdWatch returned %v, want errDiverged", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("cmdWatch did not return after session delete")
+	}
+
+	// Control run: replay the baseline verbatim and close cleanly — the
+	// CLI must exit clean (no divergence).
+	var enc2 trace.WireEncoder
+	open2 := streamFrames(t, ts.URL, []capture.StreamFrame{{Frame: capture.FrameOpen, Name: "control"}})
+	done2 := make(chan error, 1)
+	go func() {
+		done2 <- cmdWatch(context.Background(), []string{open2.Session, "-url", ts.URL, "-baseline", baseDig})
+	}()
+	awaitWatchCount(t, ts.URL, 1)
+	seg2 := enc2.Segment(base.Entries)
+	streamFrames(t, ts.URL, []capture.StreamFrame{
+		{Frame: capture.FrameOpen, Session: open2.Session},
+		{Frame: capture.FrameSegment, Symbols: seg2.Symbols, Entries: seg2.Entries},
+		{Frame: capture.FrameClose},
+	})
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatalf("control cmdWatch returned %v, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("control cmdWatch did not return after session close")
+	}
+}
+
+// awaitWatch polls GET /watches until pred accepts the listing.
+func awaitWatch(t *testing.T, url string, pred func([]watchInfo) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/watches")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var list []watchInfo
+		err = json.NewDecoder(resp.Body).Decode(&list)
+		resp.Body.Close()
+		if err == nil && pred(list) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("watch listing never reached the awaited state")
+}
+
+func awaitWatchCount(t *testing.T, url string, want int) {
+	t.Helper()
+	awaitWatch(t, url, func(list []watchInfo) bool { return len(list) == want })
+}
+
+// TestCmdWatchValidation pins the CLI argument contract.
+func TestCmdWatchValidation(t *testing.T) {
+	if err := cmdWatch(context.Background(), nil); err == nil {
+		t.Fatal("watch without a session succeeded")
+	}
+	if err := cmdWatch(context.Background(), []string{"sess1"}); err == nil {
+		t.Fatal("watch without -url/-baseline succeeded")
+	}
+}

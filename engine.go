@@ -11,6 +11,7 @@ import (
 	"repro/internal/impact"
 	"repro/internal/protocol"
 	"repro/internal/regression"
+	"repro/internal/sentinel"
 	"repro/internal/trace"
 	"repro/internal/views"
 )
@@ -34,10 +35,13 @@ type Engine struct {
 	diffOpts diff.ViewOptions
 	workers  chan struct{} // nil: unbounded
 
+	sentinelOpts sentinel.Options
+
 	mu       sync.Mutex
 	webs     map[*trace.Trace]*views.Web
 	webOrder []*trace.Trace // FIFO eviction order
 	webCap   int
+	sentinel *sentinel.Monitor // lazily created by Sentinel()
 }
 
 // EngineOption configures an Engine at construction.

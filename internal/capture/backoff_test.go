@@ -1,0 +1,115 @@
+package capture
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails a configurable prefix of requests — by resetting
+// the connection or by returning a status — then serves clean acks.
+type flakyServer struct {
+	requests atomic.Int32
+	resets   atomic.Int32 // remaining requests to kill mid-flight
+	fails    atomic.Int32 // remaining requests to fail with failStatus
+	status   int
+}
+
+func (f *flakyServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		f.requests.Add(1)
+		if f.resets.Add(-1) >= 0 {
+			conn, _, err := w.(http.Hijacker).Hijack()
+			if err == nil {
+				conn.Close() // client sees a reset/EOF mid-request
+			}
+			return
+		}
+		if f.fails.Add(-1) >= 0 {
+			http.Error(w, `{"error":{"code":"x","message":"injected"}}`, f.status)
+			return
+		}
+		json.NewEncoder(w).Encode(StreamAck{Session: "s1"})
+	}
+}
+
+// TestPostFramesBackoff tables the stream client's retry policy:
+// transient failures (5xx, reset connections) retry with backoff up to
+// the attempt bound; definitive 4xx rejections fail fast.
+func TestPostFramesBackoff(t *testing.T) {
+	cases := []struct {
+		name     string
+		resets   int32
+		fails    int32
+		status   int
+		attempts int
+		wantErr  string // "" = success
+		wantReqs int32
+	}{
+		{name: "clean first try", attempts: 4, wantReqs: 1},
+		{name: "recovers after one 500", fails: 1, status: 500, attempts: 4, wantReqs: 2},
+		{name: "recovers after two 500s", fails: 2, status: 500, attempts: 4, wantReqs: 3},
+		{name: "recovers after 503", fails: 1, status: 503, attempts: 4, wantReqs: 2},
+		{name: "recovers after connection resets", resets: 2, attempts: 4, wantReqs: 3},
+		{name: "reset then 500 then ok", resets: 1, fails: 1, status: 500, attempts: 4, wantReqs: 3},
+		{name: "exhausts attempts", fails: 99, status: 500, attempts: 3, wantErr: "3 attempts failed", wantReqs: 3},
+		{name: "exhausts attempts on resets", resets: 99, attempts: 2, wantErr: "2 attempts failed", wantReqs: 2},
+		{name: "terminal 400 fails fast", fails: 99, status: 400, attempts: 4, wantErr: "injected", wantReqs: 1},
+		{name: "terminal 404 fails fast", fails: 99, status: 404, attempts: 4, wantErr: "injected", wantReqs: 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := &flakyServer{status: tc.status}
+			f.resets.Store(tc.resets)
+			f.fails.Store(tc.fails)
+			srv := httptest.NewServer(f.handler())
+			defer srv.Close()
+
+			s := newStreamSink(Options{
+				ServerURL:     srv.URL,
+				Name:          "flaky",
+				SegmentLimit:  8,
+				RetryAttempts: tc.attempts,
+				RetryBackoff:  time.Millisecond,
+			})
+			ack, err := s.postFrames([]StreamFrame{{Frame: FrameOpen, Name: "flaky"}})
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("postFrames: %v", err)
+				}
+				if ack.Session != "s1" {
+					t.Fatalf("ack: %+v", ack)
+				}
+			} else {
+				if err == nil {
+					t.Fatalf("postFrames succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+			}
+			if got := f.requests.Load(); got != tc.wantReqs {
+				t.Fatalf("server saw %d requests, want %d", got, tc.wantReqs)
+			}
+		})
+	}
+}
+
+// TestJitteredBackoffBounds pins the backoff envelope: attempt n waits
+// d/2 ≤ wait < 3d/2 with d = base·2ⁿ⁻¹.
+func TestJitteredBackoffBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := base << (attempt - 1)
+		for i := 0; i < 200; i++ {
+			got := jitteredBackoff(base, attempt)
+			if got < d/2 || got >= d+d/2 {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", attempt, got, d/2, d+d/2)
+			}
+		}
+	}
+}

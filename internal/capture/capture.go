@@ -78,6 +78,15 @@ type Options struct {
 	// SegmentFormat is the on-disk encoding of captured segments (disk
 	// capture only). The zero value is the default format, RSEG.
 	SegmentFormat trace.Format
+	// RetryAttempts bounds how many times a stream request is tried
+	// against transient failures — transport errors (connection reset)
+	// and 5xx responses — before giving up (default 4). Definitive 4xx
+	// rejections never retry.
+	RetryAttempts int
+	// RetryBackoff is the base of the jittered exponential backoff
+	// between stream retries (default 100ms): the wait before try n+1 is
+	// uniform in [d/2, 3d/2) with d = RetryBackoff·2ⁿ⁻¹.
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"time"
 
@@ -105,13 +106,15 @@ type StreamAck struct {
 // [+ close]), so a failed request can simply be retried: the server
 // dedups by entry id.
 type streamSink struct {
-	url     string
-	name    string
-	client  *http.Client
-	batch   int
-	session string
-	enc     trace.WireEncoder
-	buf     []trace.Entry
+	url      string
+	name     string
+	client   *http.Client
+	batch    int
+	attempts int
+	backoff  time.Duration
+	session  string
+	enc      trace.WireEncoder
+	buf      []trace.Entry
 }
 
 func newStreamSink(opts Options) *streamSink {
@@ -119,11 +122,21 @@ func newStreamSink(opts Options) *streamSink {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	attempts := opts.RetryAttempts
+	if attempts <= 0 {
+		attempts = 4
+	}
+	backoff := opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
 	return &streamSink{
-		url:    opts.ServerURL,
-		name:   opts.Name,
-		client: client,
-		batch:  opts.SegmentLimit,
+		url:      opts.ServerURL,
+		name:     opts.Name,
+		client:   client,
+		batch:    opts.SegmentLimit,
+		attempts: attempts,
+		backoff:  backoff,
 	}
 }
 
@@ -211,8 +224,9 @@ func (e *terminalError) Error() string { return e.err.Error() }
 func (e *terminalError) Unwrap() error { return e.err }
 
 // postFrames encodes and sends one request body, retrying transient
-// failures (transport errors, 5xx) with the identical bytes and failing
-// fast on definitive 4xx rejections.
+// failures (transport errors like a reset connection, 5xx responses)
+// with the identical bytes under jittered exponential backoff, and
+// failing fast on definitive 4xx rejections.
 func (s *streamSink) postFrames(frames []StreamFrame) (*StreamAck, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
@@ -222,9 +236,9 @@ func (s *streamSink) postFrames(frames []StreamFrame) (*StreamAck, error) {
 		}
 	}
 	var lastErr error
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < s.attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 100 * time.Millisecond)
+			time.Sleep(jitteredBackoff(s.backoff, attempt))
 		}
 		ack, err := s.send(body.Bytes())
 		if err != nil {
@@ -237,7 +251,15 @@ func (s *streamSink) postFrames(frames []StreamFrame) (*StreamAck, error) {
 		}
 		return ack, nil
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("capture: %d attempts failed: %w", s.attempts, lastErr)
+}
+
+// jitteredBackoff is base·2^(attempt−1), uniformly jittered over
+// [d/2, 3d/2) so a fleet of captures hitting the same recovering server
+// does not retry in lockstep.
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 func (s *streamSink) send(body []byte) (*StreamAck, error) {

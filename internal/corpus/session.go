@@ -41,6 +41,24 @@ type SessionInfo struct {
 	Entries int    `json:"entries"`
 }
 
+// SessionEvent is one subscription notification: the session grew, was
+// finalized into the store, or was discarded. Events are coalesced — a
+// subscriber that lags sees the latest state change, not every
+// intermediate one — so Entries is the entry count at notification
+// time, to be treated as a "re-snapshot now" trigger rather than a
+// delta. Digest is set only on Closed.
+type SessionEvent struct {
+	Entries int
+	Closed  bool
+	Aborted bool
+	Digest  trace.Digest
+}
+
+// Terminal reports whether the event ends the session (and therefore
+// the subscription: the channel is closed right after a terminal
+// event).
+func (e SessionEvent) Terminal() bool { return e.Closed || e.Aborted }
+
 // Session is one append-open live trace. All methods are safe for
 // concurrent use; Append calls are serialized against each other and
 // against snapshots, while the traces and webs handed out stay valid
@@ -54,6 +72,9 @@ type Session struct {
 	mu      sync.Mutex
 	builder *views.IncrementalBuilder
 	closed  bool
+	subs    map[int]chan SessionEvent
+	nextSub int
+	finalEv *SessionEvent
 }
 
 // newSessionID returns a random live-session id. The "live-" prefix
@@ -156,6 +177,74 @@ func (s *Session) Info() SessionInfo {
 	return SessionInfo{ID: s.id, Name: s.name, Entries: s.Len()}
 }
 
+// Subscribe registers for the session's lifecycle events: one
+// (coalesced) notification per append, and a final Closed or Aborted
+// event after which the channel is closed. The returned cancel function
+// detaches the subscription; it is idempotent and safe to call after
+// the channel closed. Subscribing to an already-finalized session
+// yields the terminal event immediately.
+//
+// Delivery never blocks the appender: the channel holds one pending
+// event, and a newer event replaces an unconsumed older one. This makes
+// subscribers level-triggered — on receipt, snapshot the session and
+// act on its current state.
+func (s *Session) Subscribe() (<-chan SessionEvent, func()) {
+	ch := make(chan SessionEvent, 1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalEv != nil {
+		ch <- *s.finalEv
+		close(ch)
+		return ch, func() {}
+	}
+	if s.subs == nil {
+		s.subs = make(map[int]chan SessionEvent)
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// notifyLocked delivers ev to every subscriber without blocking; the
+// caller holds s.mu. A full channel is drained of its stale event first
+// (coalescing), so the send after the drain cannot fail: all sends and
+// closes happen under s.mu, leaving the receiver as the only other
+// party touching the channel. A terminal event is recorded for late
+// subscribers and closes every channel.
+func (s *Session) notifyLocked(ev SessionEvent) {
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		select {
+		case <-ch:
+		default:
+		}
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	if ev.Terminal() {
+		s.finalEv = &ev
+		for _, ch := range s.subs {
+			close(ch)
+		}
+		s.subs = nil
+	}
+}
+
 // Append extends the session with one segment of entries and returns the
 // new entry count. Entry ids must continue the session's dense
 // numbering; entries below the current high-water mark are skipped, so
@@ -169,6 +258,7 @@ func (s *Session) Append(entries []trace.Entry) (int, error) {
 	if err := s.builder.Append(entries); err != nil {
 		return s.builder.Len(), err
 	}
+	s.notifyLocked(SessionEvent{Entries: s.builder.Len()})
 	return s.builder.Len(), nil
 }
 
@@ -215,6 +305,9 @@ func (s *Session) Close() (trace.Digest, bool, error) {
 	s.mu.Unlock()
 
 	if final.Len() == 0 {
+		s.mu.Lock()
+		s.notifyLocked(SessionEvent{Aborted: true})
+		s.mu.Unlock()
 		s.store.dropSession(s.id)
 		return trace.Digest{}, false, fmt.Errorf("%w: closing empty session %s", ErrInvalidTrace, s.id)
 	}
@@ -225,6 +318,9 @@ func (s *Session) Close() (trace.Digest, bool, error) {
 		s.mu.Unlock()
 		return trace.Digest{}, false, err
 	}
+	s.mu.Lock()
+	s.notifyLocked(SessionEvent{Entries: final.Len(), Closed: true, Digest: id})
+	s.mu.Unlock()
 	s.store.dropSession(s.id)
 	return id, created, nil
 }
@@ -234,6 +330,9 @@ func (s *Session) Abort() {
 	s.mu.Lock()
 	wasClosed := s.closed
 	s.closed = true
+	if !wasClosed {
+		s.notifyLocked(SessionEvent{Entries: s.builder.Len(), Aborted: true})
+	}
 	s.mu.Unlock()
 	if !wasClosed {
 		s.store.dropSession(s.id)

@@ -1,0 +1,120 @@
+package corpus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func recvEvent(t *testing.T, ch <-chan SessionEvent) (SessionEvent, bool) {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		return ev, ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for session event")
+		return SessionEvent{}, false
+	}
+}
+
+func TestSessionSubscribeAppendAndClose(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sessionFixture(60)
+	sess, err := store.OpenSession(src.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := sess.Subscribe()
+	defer cancel()
+
+	if _, err := sess.Append(src.Entries[:20]); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := recvEvent(t, ch)
+	if !ok || ev.Terminal() || ev.Entries != 20 {
+		t.Fatalf("append event = %+v ok=%v, want entries=20 non-terminal", ev, ok)
+	}
+
+	// Two appends with a lagging subscriber coalesce: the pending event
+	// is replaced, and the next receive sees the latest entry count.
+	if _, err := sess.Append(src.Entries[20:40]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Append(src.Entries[40:]); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok = recvEvent(t, ch)
+	if !ok || ev.Entries != 60 {
+		t.Fatalf("coalesced event = %+v ok=%v, want entries=60", ev, ok)
+	}
+
+	dig, _, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, ok = recvEvent(t, ch)
+	if !ok || !ev.Closed || ev.Digest != dig {
+		t.Fatalf("close event = %+v ok=%v, want Closed with digest %s", ev, ok, dig)
+	}
+	if _, ok = recvEvent(t, ch); ok {
+		t.Fatal("channel not closed after terminal event")
+	}
+
+	// A late subscriber on the finalized session gets the terminal event
+	// immediately.
+	late, lateCancel := sess.Subscribe()
+	defer lateCancel()
+	ev, ok = recvEvent(t, late)
+	if !ok || !ev.Closed || ev.Digest != dig {
+		t.Fatalf("late subscribe event = %+v ok=%v, want terminal Closed", ev, ok)
+	}
+	if _, ok = recvEvent(t, late); ok {
+		t.Fatal("late channel not closed after terminal event")
+	}
+}
+
+func TestSessionSubscribeAbortAndCancel(t *testing.T) {
+	store, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := store.OpenSession("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel := sess.Subscribe()
+	dropped, dropCancel := sess.Subscribe()
+	dropCancel()
+	dropCancel() // idempotent
+	if _, ok := recvEvent(t, dropped); ok {
+		t.Fatal("canceled subscription channel not closed")
+	}
+
+	src := sessionFixture(5)
+	if _, err := sess.Append(src.Entries); err != nil {
+		t.Fatal(err)
+	}
+	sess.Abort()
+	// The append event was coalesced away by the terminal abort, or
+	// arrives first; either way the last event is the abort.
+	var last SessionEvent
+	for {
+		ev, ok := recvEvent(t, ch)
+		if !ok {
+			break
+		}
+		last = ev
+	}
+	if !last.Aborted {
+		t.Fatalf("last event = %+v, want Aborted", last)
+	}
+	cancel() // safe after channel close
+	var zero trace.Digest
+	if last.Digest != zero {
+		t.Fatalf("abort event carries digest %s", last.Digest)
+	}
+}

@@ -1,0 +1,331 @@
+package diff
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/lcs"
+	"repro/internal/trace"
+	"repro/internal/views"
+)
+
+// pairKey identifies a correlated thread-view pair across evaluations.
+type pairKey struct {
+	lid, rid trace.ThreadID
+}
+
+// cachedUnit is an evaluated unit plus the fingerprint of every
+// growth-sensitive right-side read it performed. A unit's inputs are the
+// fixed left web and, on the right, its thread view's EID prefix, entry
+// payloads, links (NamesOf), and positions (PosIn) — all of which are
+// append-stable under views.IncrementalBuilder growth. The only read
+// whose outcome can change when the right web grows is a secondary-view
+// window that was clamped at the view's tail (see unit.trackTail), so
+// validity reduces to two length checks.
+type cachedUnit struct {
+	u        *unit
+	rightLen int // right thread view length at evaluation time
+}
+
+// valid reports whether re-evaluating the unit against wr would read
+// exactly the inputs it read at cache time: the right thread view has
+// not grown, and no view it took a tail-clamped window over has grown.
+func (c *cachedUnit) valid(wr *views.Web) bool {
+	if viewLen(wr, views.ThreadName(c.u.rid)) != c.rightLen {
+		return false
+	}
+	for name, n := range c.u.tailViews {
+		if viewLen(wr, name) != n {
+			return false
+		}
+	}
+	return true
+}
+
+func viewLen(w *views.Web, n views.Name) int {
+	if v := w.View(n); v != nil {
+		return len(v.EIDs)
+	}
+	return 0
+}
+
+// Incremental re-diffs a growing right-hand trace against a pinned
+// left-hand baseline, caching per-thread-pair unit results between
+// evaluations. On each Rediff only the dirty pairs — those whose
+// growth-sensitive inputs changed since their cached evaluation — are
+// recomputed; clean pairs reuse their cached outputs. The merge is
+// incremental too: the similarity unions are kept as reference counts
+// over the cached units and patched by the delta of evicted and
+// admitted units, and the difference sets are extended by scanning only
+// the entries appended since the previous evaluation — so a quiet
+// 100-thread session whose appends touch a handful of threads re-diffs
+// in O(dirty pairs + appended entries), not O(trace). The Result is
+// DeepEqual to a from-scratch ViewDiffWebs over the same snapshot.
+//
+// Contract: successive Rediff calls must pass snapshots of the same
+// monotonically growing trace (e.g. corpus Session.Web snapshots) —
+// each right web an append-only extension of the previous one. The
+// cache cannot detect a caller that substitutes an unrelated trace of
+// coincidentally equal view lengths. Incremental is not safe for
+// concurrent use; the sentinel serializes evaluations per watch.
+//
+// Ownership: the returned Result's SimilarLeft and SimilarRight maps
+// are the Incremental's live merged state, shared across calls — they
+// are valid until the next Rediff, which may mutate them in place. A
+// caller retaining a Result across evaluations must copy them. The
+// DiffLeft/DiffRight slices and everything else are safe to retain:
+// slices are either extended past their returned length or replaced,
+// never rewritten.
+type Incremental struct {
+	wl      *views.Web
+	wlBytes int64 // wl.MemBytes(), fixed for the Incremental's lifetime
+	opts    ViewOptions
+	tm      *views.ThreadMatcher
+	pairs   map[pairKey]*cachedUnit
+	lastLen int // right trace length at the previous Rediff
+
+	// Merged similarity state: refL/refR count, per entry, how many
+	// cached units mark it similar (units may mark entries on other
+	// threads via cross-thread anchors, so marks overlap); simL/simR are
+	// the membership maps handed to Results — an entry is present iff
+	// its count is positive.
+	refL, refR map[trace.EntryID]int32
+	simL, simR map[trace.EntryID]bool
+
+	// Merged difference state. diffL mirrors diffsFromSimilar(left,
+	// simL) and is rebuilt only when left membership changes. diffR
+	// covers the first diffRLen right entries (all with EID <= diffRMax)
+	// and is extended by scanning appended entries; it is rebuilt when
+	// membership changes inside the covered prefix or EIDs stop growing
+	// monotonically.
+	diffL     []trace.EntryID
+	diffLDone bool
+	diffR     []trace.EntryID
+	diffRLen  int
+	diffRMax  trace.EntryID
+}
+
+// NewIncremental pins the baseline web and differencing options for a
+// sequence of incremental re-diffs.
+func NewIncremental(baseline *views.Web, opts ViewOptions) *Incremental {
+	return &Incremental{
+		wl:       baseline,
+		wlBytes:  baseline.MemBytes(),
+		opts:     opts,
+		tm:       views.NewThreadMatcher(baseline.Trace),
+		pairs:    make(map[pairKey]*cachedUnit),
+		refL:     make(map[trace.EntryID]int32),
+		refR:     make(map[trace.EntryID]int32),
+		simL:     make(map[trace.EntryID]bool),
+		simR:     make(map[trace.EntryID]bool),
+		diffRMax: -1,
+	}
+}
+
+// IncrementalStats describes one Rediff evaluation: how many correlated
+// thread pairs the snapshot had, and how many were recomputed versus
+// served from the cache. Dirty/Pairs is the dirty-pair ratio surfaced in
+// /stats.
+type IncrementalStats struct {
+	Pairs  int // correlated thread pairs this evaluation
+	Dirty  int // pairs recomputed (cache miss or invalidated)
+	Reused int // pairs served from the cache
+}
+
+// Rediff evaluates the diff of the pinned baseline against the snapshot
+// web wr, reusing cached per-pair results where valid. Thread matching
+// is recomputed per call (new threads can appear and shift pairings —
+// that affects only the hit rate, never correctness, because a pair is
+// cached under both tids). Cached entries for pairs absent from the
+// current matching are pruned.
+func (inc *Incremental) Rediff(ctx context.Context, wr *views.Web) (*Result, IncrementalStats, error) {
+	var st IncrementalStats
+	if n := wr.Trace.Len(); n < inc.lastLen {
+		return nil, st, fmt.Errorf("diff: incremental right trace shrank (%d -> %d entries); snapshots must grow append-only", inc.lastLen, n)
+	}
+	opts := inc.opts.withDefaults()
+	tm := inc.tm.Match(wr.Trace)
+
+	lids := make([]trace.ThreadID, 0, len(tm.Pairs))
+	for lid := range tm.Pairs {
+		lids = append(lids, lid)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+
+	budget := lcs.NewBudget(opts.LCSCellBudget)
+	units := make([]*unit, len(lids))
+	var dirty []*unit
+	next := make(map[pairKey]*cachedUnit, len(lids))
+	for i, lid := range lids {
+		rid := tm.Pairs[lid]
+		key := pairKey{lid, rid}
+		if c, ok := inc.pairs[key]; ok && c.valid(wr) {
+			units[i] = c.u
+			next[key] = c
+			continue
+		}
+		u := newUnit(ctx, opts, inc.wl, wr, lid, rid, budget)
+		u.trackTail = true
+		units[i] = u
+		dirty = append(dirty, u)
+	}
+	st.Pairs = len(units)
+	st.Dirty = len(dirty)
+	st.Reused = len(units) - len(dirty)
+
+	runUnits(ctx, dirty, opts.Parallelism)
+	for _, u := range dirty {
+		if u.err != nil {
+			return nil, st, u.err
+		}
+	}
+	// Admit the fresh evaluations. Dropping the web/context/budget
+	// references keeps a cached unit from pinning old snapshots or
+	// context chains; nothing after evalPair reads them.
+	for _, u := range dirty {
+		rlen := viewLen(wr, views.ThreadName(u.rid))
+		u.ctx, u.wl, u.wr, u.budget = nil, nil, nil, nil
+		next[pairKey{u.lid, u.rid}] = &cachedUnit{u: u, rightLen: rlen}
+	}
+
+	// Patch the merged similarity unions by the cache delta: units that
+	// left the cache (invalidated, replaced, or pruned) release their
+	// marks, fresh units acquire theirs. Touched entries are then
+	// reconciled against the membership maps — an entry released and
+	// re-acquired by the unit's re-evaluation nets out to no change.
+	var touchedL, touchedR []trace.EntryID
+	for key, c := range inc.pairs {
+		if next[key] != c {
+			touchedL = updateRefs(inc.refL, c.u.similarLeft, -1, touchedL)
+			touchedR = updateRefs(inc.refR, c.u.similarRight, -1, touchedR)
+		}
+	}
+	for _, u := range dirty {
+		touchedL = updateRefs(inc.refL, u.similarLeft, +1, touchedL)
+		touchedR = updateRefs(inc.refR, u.similarRight, +1, touchedR)
+	}
+	inc.pairs = next
+	inc.lastLen = wr.Trace.Len()
+
+	leftChanged, _ := syncMembership(inc.refL, inc.simL, touchedL, -1)
+	_, rightInterior := syncMembership(inc.refR, inc.simR, touchedR, inc.diffRMax)
+	inc.refreshDiffs(wr.Trace, leftChanged, rightInterior)
+
+	return inc.buildResult(wr, tm, units), st, nil
+}
+
+// updateRefs applies a reference-count delta for every entry a unit
+// marks similar, recording the touched entry ids.
+func updateRefs(ref map[trace.EntryID]int32, marks map[trace.EntryID]bool, d int32, touched []trace.EntryID) []trace.EntryID {
+	for id := range marks {
+		if n := ref[id] + d; n == 0 {
+			delete(ref, id)
+		} else {
+			ref[id] = n
+		}
+		touched = append(touched, id)
+	}
+	return touched
+}
+
+// syncMembership reconciles the membership map against the reference
+// counts for the touched entries. It reports whether any membership
+// actually changed, and whether a change landed at or below boundary
+// (pass -1 to ignore the boundary).
+func syncMembership(ref map[trace.EntryID]int32, sim map[trace.EntryID]bool, touched []trace.EntryID, boundary trace.EntryID) (changed, belowBoundary bool) {
+	for _, id := range touched {
+		now := ref[id] > 0
+		if now == sim[id] {
+			continue
+		}
+		if now {
+			sim[id] = true
+		} else {
+			delete(sim, id)
+		}
+		changed = true
+		if id <= boundary {
+			belowBoundary = true
+		}
+	}
+	return changed, belowBoundary
+}
+
+// refreshDiffs brings the merged difference sets up to date. The left
+// trace is fixed, so diffL only changes when left membership does. diffR
+// normally extends by scanning just the appended entries; membership
+// changes inside the already-covered prefix, or EIDs that stop growing
+// monotonically, force a from-scratch rebuild of the side.
+func (inc *Incremental) refreshDiffs(r *trace.Trace, leftChanged, rightInterior bool) {
+	if leftChanged || !inc.diffLDone {
+		inc.diffL = diffsFromSimilar(inc.wl.Trace, inc.simL)
+		inc.diffLDone = true
+	}
+	rebuild := rightInterior
+	if !rebuild {
+		for _, e := range r.Entries[inc.diffRLen:] {
+			if e.IsEOF() {
+				continue
+			}
+			if e.EID <= inc.diffRMax {
+				rebuild = true
+				break
+			}
+			inc.diffRMax = e.EID
+			if !inc.simR[e.EID] {
+				inc.diffR = append(inc.diffR, e.EID)
+			}
+		}
+	}
+	if rebuild {
+		inc.diffR = diffsFromSimilar(r, inc.simR)
+		inc.diffRMax = -1
+		for _, e := range r.Entries {
+			if !e.IsEOF() && e.EID > inc.diffRMax {
+				inc.diffRMax = e.EID
+			}
+		}
+	}
+	inc.diffRLen = len(r.Entries)
+}
+
+// buildResult assembles the Result from the cached units and the merged
+// similarity/difference state. It mirrors mergeUnits exactly — same
+// unit order, same unmatched-thread sequences, same filtering, same
+// Stats — so an incremental Result is byte-identical to a from-scratch
+// one over the same snapshot (TestIncrementalRediffEquivalence pins
+// this); only the union and difference computations are amortized.
+func (inc *Incremental) buildResult(wr *views.Web, tm views.ThreadMatch, units []*unit) *Result {
+	l, r := inc.wl.Trace, wr.Trace
+	res := &Result{
+		Left: l, Right: r,
+		SimilarLeft:  inc.simL,
+		SimilarRight: inc.simR,
+	}
+	var st Stats
+	for _, u := range units {
+		res.Sequences = append(res.Sequences, u.seqs...)
+		st.Compares += u.compares
+		st.ViewExplorations += u.explorations
+		st.MemBytes += u.memBytes()
+	}
+	st.MemBytes += inc.wlBytes + wr.MemBytes()
+
+	for _, lid := range tm.LeftOnly {
+		if v := inc.wl.ThreadView(lid); v != nil {
+			res.Sequences = append(res.Sequences, Sequence{Kind: Delete, Left: v.EIDs})
+		}
+	}
+	for _, rid := range tm.RightOnly {
+		if v := wr.ThreadView(rid); v != nil {
+			res.Sequences = append(res.Sequences, Sequence{Kind: Insert, Right: v.EIDs})
+		}
+	}
+
+	res.DiffLeft = inc.diffL
+	res.DiffRight = inc.diffR
+	res.Sequences = filterSequences(res.Sequences, inc.simL, inc.simR)
+	res.Stats = st
+	return res
+}

@@ -43,6 +43,15 @@ type unit struct {
 	memo       map[memoKey]bool
 	peakCells  int64 // largest windowed-LCS DP table (cells)
 	maxAnchors int   // widest anchor set of a single divergence
+
+	// Incremental-cache support (Incremental): when trackTail is set the
+	// unit records every right-side view it windowed over where the
+	// window was clamped at the view's tail — the only reads whose
+	// outcome can change when the right web grows without the right
+	// thread view growing. tailViews maps each such view to its length
+	// at evaluation time; see cachedUnit.valid for the invalidation rule.
+	trackTail bool
+	tailViews map[views.Name]int
 }
 
 func newUnit(ctx context.Context, opts ViewOptions, wl, wr *views.Web,
@@ -523,6 +532,19 @@ func (u *unit) windowLCS(thL, thR views.Name, lk, rk linked, budget *int) []anch
 	u.explorations++
 	*budget--
 
+	if u.trackTail {
+		// Views grow append-only, so a window whose upper bound was NOT
+		// clamped at the view's tail returns the identical slice on any
+		// later snapshot. A tail-clamped window is the one read that can
+		// change without the right thread view itself growing; record the
+		// view's length so the cache can detect that growth.
+		if v := u.wr.View(rk.name); v != nil && rpos+u.opts.Window+1 > len(v.EIDs) {
+			if u.tailViews == nil {
+				u.tailViews = make(map[views.Name]int)
+			}
+			u.tailViews[rk.name] = len(v.EIDs)
+		}
+	}
 	lwin := u.wl.Window(lk.name, lk.eid, u.opts.Window)
 	rwin := u.wr.Window(rk.name, rk.eid, u.opts.Window)
 	if len(lwin) == 0 || len(rwin) == 0 {

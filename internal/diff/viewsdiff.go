@@ -164,10 +164,20 @@ func ViewDiffWebsCtx(ctx context.Context, wl, wr *views.Web, opts ViewOptions) (
 		}
 	}
 
-	// Deterministic merge: sequences concatenate in unit (ascending left
-	// tid) order; similarity marks union — a unit may mark entries on
-	// other threads via cross-thread anchors, so subtraction and sequence
-	// filtering run only after every unit has merged.
+	return mergeUnits(wl, wr, tm, units), nil
+}
+
+// mergeUnits performs the deterministic merge of evaluated units into a
+// Result: sequences concatenate in unit (ascending left tid) order;
+// similarity marks union — a unit may mark entries on other threads via
+// cross-thread anchors, so subtraction and sequence filtering run only
+// after every unit has merged. It is shared by the from-scratch path
+// (ViewDiffWebsCtx) and the incremental path (Incremental.Rediff), which
+// is what makes an incremental Result byte-identical to a from-scratch
+// one over the same snapshot: the per-unit outputs are equal, and the
+// merge is a pure function of them.
+func mergeUnits(wl, wr *views.Web, tm views.ThreadMatch, units []*unit) *Result {
+	l, r := wl.Trace, wr.Trace
 	res := &Result{
 		Left: l, Right: r,
 		SimilarLeft:  make(map[trace.EntryID]bool),
@@ -204,7 +214,7 @@ func ViewDiffWebsCtx(ctx context.Context, wl, wr *views.Web, opts ViewOptions) (
 	res.DiffRight = diffsFromSimilar(r, res.SimilarRight)
 	res.Sequences = filterSequences(res.Sequences, res.SimilarLeft, res.SimilarRight)
 	res.Stats = st
-	return res, nil
+	return res
 }
 
 // runUnits evaluates the units on a bounded worker pool. workers <= 1

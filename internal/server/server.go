@@ -28,6 +28,13 @@
 // digest is accepted; the stream's close frame finalizes the session
 // into an ordinary content-addressed trace.
 //
+// Watches (POST /watches) attach always-on regression sentinels to live
+// sessions: the sentinel re-diffs the session against a pinned baseline
+// incrementally after every appended segment, and the first non-empty
+// candidate set emits a structured divergence event to the watch's SSE
+// stream (GET /watches/{id}/events) and optional webhook. See
+// internal/sentinel for the event model and delivery semantics.
+//
 // Endpoints:
 //
 //	PUT  /traces                 upload a trace (body: any trace file format)
@@ -42,7 +49,12 @@
 //	POST /run/{analysis}         run any registered analysis (JSON body)
 //	GET  /diff?left=&right=      views-based diff (digests or session:<id>)
 //	POST /analyze                four-trace regression protocol (JSON body)
-//	GET  /stats                  corpus, cache, symbol, session, server stats
+//	POST /watches                attach a sentinel watch to a session (JSON body)
+//	GET  /watches                list attached watches
+//	GET  /watches/{id}           one watch (divergence + evaluation state)
+//	DELETE /watches/{id}         detach a watch (emits terminal event)
+//	GET  /watches/{id}/events    per-watch SSE event stream (?after=N replay)
+//	GET  /stats                  corpus, cache, symbol, session, sentinel, server stats
 //	GET  /healthz                liveness + open-session counts
 //
 // Every error response is the JSON envelope
@@ -67,6 +79,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/corpus"
 	"repro/internal/diff"
+	"repro/internal/metrics"
 	"repro/internal/regression"
 	"repro/internal/trace"
 )
@@ -161,6 +174,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /run/{analysis}", s.handleRun)
 	mux.HandleFunc("GET /diff", s.handleDiff)
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /watches", s.handleCreateWatch)
+	mux.HandleFunc("GET /watches", s.handleListWatches)
+	mux.HandleFunc("GET /watches/{id}", s.handleGetWatch)
+	mux.HandleFunc("DELETE /watches/{id}", s.handleDeleteWatch)
+	mux.HandleFunc("GET /watches/{id}/events", s.handleWatchEvents)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		sessions := s.store.Sessions()
@@ -215,6 +233,10 @@ func (w *jsonErrorWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach Flush — SSE streaming depends on it.
+func (w *jsonErrorWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // ListenAndServe runs the server until ctx is canceled, then shuts down
 // gracefully: the listener closes immediately, in-flight requests get
 // grace to finish.
@@ -243,6 +265,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, grace time.Duration
 	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
+	// Detach watches first: each emits its terminal event, so open SSE
+	// streams drain and end instead of pinning Shutdown until the grace
+	// deadline. Pending webhook deliveries also finish here.
+	s.eng.Close()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return fmt.Errorf("server: shutdown: %w", err)
 	}
@@ -381,6 +407,10 @@ type StatsResponse struct {
 	// Sessions lists the open capture sessions with per-session entry
 	// counts (always present, [] when none are open).
 	Sessions []corpus.SessionInfo `json:"sessions"`
+	// Sentinel counts watch activity: attached watches, evaluations run
+	// and coalesced, the dirty-pair ratio of incremental re-diffs,
+	// divergences, and webhook deliveries.
+	Sentinel metrics.SentinelSnapshot `json:"sentinel"`
 }
 
 // ServerStats counts request handling.
@@ -754,6 +784,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Corpus:   s.store.Stats(),
 		Symbols:  s.eng.SymbolStats(),
 		Sessions: sessions,
+		Sentinel: s.eng.Sentinel().Counters().Snapshot(),
 		Server: ServerStats{
 			Workers:         s.opts.Workers,
 			DiffParallelism: s.eng.DefaultDiffOptions().Parallelism,

@@ -103,7 +103,61 @@ func describeThreads(t *trace.Trace) []threadDesc {
 // descending similarity with spawn order as the tiebreaker, so it is
 // deterministic.
 func MatchThreads(l, r *trace.Trace) ThreadMatch {
-	lt, rt := describeThreads(l), describeThreads(r)
+	return matchDescs(describeThreads(l), describeThreads(r))
+}
+
+// ThreadMatcher computes MatchThreads against a fixed left trace and a
+// right trace that grows append-only across calls, amortizing the
+// description pass: the left descriptions are extracted once, and each
+// Match folds in only the right entries appended since the previous
+// call. Successive calls must pass snapshots of the same growing trace
+// (each an append-only extension of the previous one); the result is
+// identical to MatchThreads over the same pair. Not safe for concurrent
+// use.
+type ThreadMatcher struct {
+	lt      []threadDesc
+	forked  map[trace.ThreadID][]trace.Frame
+	seen    map[trace.ThreadID]bool
+	order   []trace.ThreadID
+	scanned int
+}
+
+// NewThreadMatcher pins the left-hand trace of a matcher.
+func NewThreadMatcher(l *trace.Trace) *ThreadMatcher {
+	return &ThreadMatcher{
+		lt:     describeThreads(l),
+		forked: make(map[trace.ThreadID][]trace.Frame),
+		seen:   make(map[trace.ThreadID]bool),
+	}
+}
+
+// Match computes XTH between the pinned left trace and the snapshot r,
+// scanning only entries beyond the previous snapshot's length.
+func (m *ThreadMatcher) Match(r *trace.Trace) ThreadMatch {
+	for _, e := range r.Entries[m.scanned:] {
+		if e.Event.Kind == trace.KindFork {
+			var child trace.ThreadID
+			for _, c := range e.Event.Member {
+				child = child*10 + trace.ThreadID(c-'0')
+			}
+			m.forked[child] = e.Event.Stack
+		}
+		if !e.IsEOF() && !m.seen[e.TID] {
+			m.seen[e.TID] = true
+			m.order = append(m.order, e.TID)
+		}
+	}
+	m.scanned = len(r.Entries)
+	rt := make([]threadDesc, 0, len(m.order))
+	for i, id := range m.order {
+		rt = append(rt, threadDesc{id: id, ancestry: m.forked[id], order: i})
+	}
+	return matchDescs(m.lt, rt)
+}
+
+// matchDescs runs the greedy matching over extracted descriptions — the
+// shared core of MatchThreads and ThreadMatcher.Match.
+func matchDescs(lt, rt []threadDesc) ThreadMatch {
 	type cand struct {
 		li, ri int
 		score  float64
