@@ -1,0 +1,123 @@
+// Package woven is the runtime half of rprism's zero-touch weaver: the
+// package `internal/weave` injects into every instrumented function of a
+// target module. Woven code never imports it directly — the weaver adds
+//
+//	import __rprism_weave "repro/capture/woven"
+//
+// to each rewritten file and brackets function bodies with
+//
+//	defer __rprism_weave.Enter("pkg.Type.method/2")()
+//
+// while `go` statements are routed through Go so spawn ancestry and
+// thread ids match the interpreter's fork/end conventions, and the main
+// function additionally defers Close so the capture finalizes cleanly.
+//
+// The package is inert unless activated: its init consults the
+// `rprism record` environment contract (inject.CaptureConfig) via
+// capture.StartFromEnv, so a woven binary run outside the recorder pays
+// one atomic load per hook and records nothing. Embedders that manage
+// their own Recorder can Attach it instead.
+//
+// Re-entrancy and lifecycle guards, in order of defense:
+//   - the weaver hard-excludes this package, repro/capture, and their
+//     transitive closure from weaving, so a hook can never fire from
+//     inside the recorder's own machinery;
+//   - hooks observe the recorder through one atomic pointer that Close
+//     swaps to nil before closing, so late hooks (goroutines outliving
+//     main) degrade to no-ops instead of racing finalization;
+//   - the recorder itself discards events after Close, so even an exit
+//     hook captured before Close and invoked after it stays safe.
+package woven
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/capture"
+)
+
+// rec is the process-wide recorder woven hooks report to; nil means
+// hooks are disabled (not running under `rprism record`, or closed).
+var rec atomic.Pointer[capture.Recorder]
+
+// noopExit is the exit hook returned while recording is disabled; one
+// shared value keeps the disabled fast path allocation-free.
+var noopExit = func(...capture.Repr) {}
+
+// reprs caches the per-hook function representation (a primitive Repr
+// classed "Func" whose value is the hook id) so steady-state hooks do
+// not rehash the id on every call.
+var reprs sync.Map // hook id (string) → capture.Repr
+
+func init() {
+	r, on, err := capture.StartFromEnv()
+	if err != nil {
+		// A malformed injection must fail loudly (the recording the user
+		// asked for is not happening) but not take the program down.
+		fmt.Fprintln(os.Stderr, "rprism weave:", err)
+		return
+	}
+	if on {
+		rec.Store(r)
+	}
+}
+
+// funcRepr returns the cached representation of a hook id.
+func funcRepr(id string) capture.Repr {
+	if v, ok := reprs.Load(id); ok {
+		return v.(capture.Repr)
+	}
+	v, _ := reprs.LoadOrStore(id, capture.Val("Func", id))
+	return v.(capture.Repr)
+}
+
+// Enter records entry into the woven function identified by the stable
+// hook id and returns the exit hook the weaver defers:
+//
+//	defer __rprism_weave.Enter("repro/examples/weave.work/3")()
+//
+// When recording is disabled it returns a shared no-op.
+func Enter(id string) func(...capture.Repr) {
+	r := rec.Load()
+	if r == nil {
+		return noopExit
+	}
+	return r.Enter(id, funcRepr(id))
+}
+
+// Go runs fn on a new goroutine, recording the thread fork with the
+// spawning goroutine's stack as ancestry when recording is enabled. The
+// weaver rewrites every `go` statement through it.
+func Go(fn func()) {
+	if r := rec.Load(); r != nil {
+		r.Go(fn)
+		return
+	}
+	go fn()
+}
+
+// Close detaches and closes the recorder, flushing and finalizing the
+// capture (the last disk segment, or the stream's closing frame). The
+// weaver defers it first in main so it runs after main's own exit hook;
+// goroutines still running afterwards degrade to no-op hooks. Close is
+// safe to call when recording never started, and only the first call
+// closes.
+func Close() {
+	if r := rec.Swap(nil); r != nil {
+		if _, err := r.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rprism weave:", err)
+		}
+	}
+}
+
+// Attach installs an explicitly started recorder for woven hooks to
+// report to, replacing any current one (which is NOT closed — the
+// caller owns it). Programs built with the weaver but wanting a
+// programmatic sink (tests, benchmarks) use this instead of the
+// environment contract.
+func Attach(r *capture.Recorder) { rec.Store(r) }
+
+// Active reports whether woven hooks are currently recording.
+func Active() bool { return rec.Load() != nil }

@@ -1,0 +1,109 @@
+package woven
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/capture"
+	"repro/internal/trace"
+)
+
+func TestDisabledHooksAreInert(t *testing.T) {
+	Attach(nil)
+	if Active() {
+		t.Fatal("Active with no recorder")
+	}
+	exit := Enter("m.f/0")
+	exit() // must not panic
+	done := make(chan struct{})
+	Go(func() { close(done) })
+	<-done
+	Close() // closing a never-attached runtime is a no-op
+}
+
+func TestAttachedHooksRecord(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := capture.Start(capture.Options{Name: "w", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(rec)
+	defer Attach(nil)
+	if !Active() {
+		t.Fatal("not active after Attach")
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	func() {
+		defer Enter("m.outer/0")()
+		Go(func() {
+			defer wg.Done()
+			defer Enter("m.inner/0")()
+		})
+	}()
+	wg.Wait()
+	// Close through the package: detaches, flushes, finalizes.
+	Close()
+	if Active() {
+		t.Fatal("still active after Close")
+	}
+	// A second Close must be harmless.
+	Close()
+
+	tr, err := trace.LoadSegments(dir, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := map[string]bool{}
+	forks := 0
+	for _, e := range tr.Entries {
+		if e.Event.Kind == trace.KindCall {
+			members[e.Event.Member] = true
+		}
+		if e.Event.Kind == trace.KindFork {
+			forks++
+		}
+	}
+	if !members["m.outer/0"] || !members["m.inner/0"] {
+		t.Errorf("missing hooks: %v", members)
+	}
+	if forks != 1 {
+		t.Errorf("forks = %d, want 1", forks)
+	}
+}
+
+func TestLateHooksAfterCloseDegrade(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := capture.Start(capture.Options{Name: "late", Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Attach(rec)
+	// An exit hook captured while recording...
+	exit := Enter("m.f/0")
+	Close()
+	// ...invoked after Close: the recorder's own done-guard absorbs it.
+	exit()
+	if _, err := trace.LoadSegments(dir, "late"); err != nil {
+		t.Fatalf("capture not finalized: %v", err)
+	}
+	// And the segment glob must still load exactly what was recorded
+	// before Close — the late exit added nothing.
+	paths, _ := filepath.Glob(filepath.Join(dir, "late.*.seg"))
+	if len(paths) == 0 {
+		t.Fatal("no segments written")
+	}
+}
+
+func TestFuncReprCached(t *testing.T) {
+	a := funcRepr("m.f/1")
+	b := funcRepr("m.f/1")
+	if a.Class != b.Class || a.Str != b.Str || a.Hash != b.Hash {
+		t.Error("cached reprs differ")
+	}
+	if want := capture.Val("Func", "m.f/1"); a.Class != want.Class || a.Str != want.Str {
+		t.Errorf("repr = %+v, want %+v", a, want)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"testing"
 
 	rprism "repro"
+	"repro/capture"
+	"repro/capture/woven"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/interp"
@@ -44,6 +46,10 @@ type BenchRecord struct {
 	// incremental re-diff over a from-scratch re-diff of the same
 	// snapshot, measured in this run.
 	SpeedupVsFullRediff float64 `json:"speedup_vs_full_rediff,omitempty"`
+	// SlowdownVsUnwoven is a weave-overhead row's per-call cost relative
+	// to the WeaveUnwoven baseline of the same run: what a function call
+	// pays for being woven, with hooks disabled or recording.
+	SlowdownVsUnwoven float64 `json:"slowdown_vs_unwoven,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -51,6 +57,18 @@ type BenchRecord struct {
 type BenchReport struct {
 	Benchmarks []BenchRecord     `json:"benchmarks"`
 	Symbols    trace.SymbolStats `json:"symbols"`
+}
+
+// sinkInt defeats dead-code elimination in the weave-overhead rows.
+var sinkInt int
+
+//go:noinline
+func unwovenStep(n int) int { return n + 1 }
+
+//go:noinline
+func wovenStep(n int) int {
+	defer woven.Enter("bench.wovenStep/1")()
+	return n + 1
 }
 
 // multithreadedPair runs the parallel-diff subject twice (clean and
@@ -392,6 +410,56 @@ func writeJSONReport(path string) error {
 	})
 	if rec.NsPerOp > 0 {
 		rec.SpeedupVsJSONL = jsonlNs / rec.NsPerOp
+	}
+
+	// The weave tax (mirrors BenchmarkWeaveOverhead): what one function
+	// call pays for being woven — with hooks disabled (a woven binary run
+	// outside the recorder) and while recording to a disk capture.
+	rec = record("WeaveUnwoven", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc = unwovenStep(acc)
+		}
+		sinkInt = acc
+	})
+	unwovenNs := rec.NsPerOp
+	woven.Attach(nil)
+	rec = record("WeaveHookOff", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc = wovenStep(acc)
+		}
+		sinkInt = acc
+	})
+	if unwovenNs > 0 {
+		rec.SlowdownVsUnwoven = rec.NsPerOp / unwovenNs
+	}
+	weaveDir, err := os.MkdirTemp("", "rprism-bench-weave-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(weaveDir)
+	wrec, err := capture.Start(capture.Options{Name: "bench", Dir: weaveDir})
+	if err != nil {
+		return err
+	}
+	woven.Attach(wrec)
+	rec = record("WeaveHookRecording", func(b *testing.B) {
+		b.ReportAllocs()
+		acc := 0
+		for i := 0; i < b.N; i++ {
+			acc = wovenStep(acc)
+		}
+		sinkInt = acc
+	})
+	woven.Attach(nil)
+	if _, err := wrec.Close(); err != nil {
+		return err
+	}
+	if unwovenNs > 0 {
+		rec.SlowdownVsUnwoven = rec.NsPerOp / unwovenNs
 	}
 
 	report.Symbols = trace.GlobalSymbolStats()

@@ -1,0 +1,18 @@
+// Command rprism-weave is the go build -toolexec companion of `rprism
+// record --weave -weave-mode=toolexec`: go build re-executes it around
+// every toolchain invocation, and it rewrites compile and link argument
+// lists so the target's packages come out instrumented for rprism
+// capture. It is configured through the RPRISM_WEAVE_CONFIG environment
+// variable (written by the orchestrating rprism process) and behaves as
+// a transparent passthrough without it. Not intended to be run by hand.
+package main
+
+import (
+	"os"
+
+	"repro/internal/weave"
+)
+
+func main() {
+	os.Exit(weave.RunToolexec(os.Args[1:]))
+}

@@ -74,6 +74,12 @@ func main() {
 		usage()
 	}
 	if err != nil {
+		var ec exitCodeError
+		if errors.As(err, &ec) {
+			// `rprism record` forwards the wrapped command's exit code; the
+			// failure was already reported, so no extra noise here.
+			os.Exit(ec.code)
+		}
 		fmt.Fprintln(os.Stderr, "rprism:", err)
 		if errors.Is(err, errDiverged) {
 			os.Exit(3) // regression detected, as distinct from operational failure
@@ -81,6 +87,12 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// exitCodeError carries a specific process exit code through the error
+// return path — the wrapped child's status, forwarded verbatim.
+type exitCodeError struct{ code int }
+
+func (e exitCodeError) Error() string { return fmt.Sprintf("exit status %d", e.code) }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|watch|diff|views|analyze|convert|check|protocol|impact|analyses} [flags]")

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strings"
@@ -13,7 +14,23 @@ import (
 	"repro/internal/capture"
 	"repro/internal/inject"
 	"repro/internal/trace"
+	"repro/internal/weave"
 )
+
+// multiFlag is a repeatable, comma-splittable string-list flag
+// (-match a/... -match b, or -match a/...,b).
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	for _, p := range strings.Split(v, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			*m = append(*m, p)
+		}
+	}
+	return nil
+}
 
 // cmdRecord runs a real program with capture injected — the live-capture
 // analog of `rprism trace` for Go binaries that embed the capture shim
@@ -22,11 +39,22 @@ import (
 //	rprism record -out run.trace -- ./myprog arg1 arg2
 //	rprism record -url http://localhost:8372 -- ./myprog
 //
+// With --weave the command is not a prebuilt binary but a Go package
+// pattern: the zero-touch weaver (internal/weave) rebuilds it with every
+// function instrumented, so a stock Go module records without embedding
+// anything:
+//
+//	rprism record --weave -out run.trace -- ./cmd/anything arg1
+//
 // Disk mode (default, or -dir) points the child at a segment directory,
 // then reassembles the segments after it exits — tolerating a truncated
 // trailing segment if the child crashed mid-write — and saves the trace.
 // With -url the child streams straight into an rprism-serve session
 // instead, so the run is diffable while it is still executing.
+//
+// The child runs in its own process group; SIGINT/SIGTERM are relayed to
+// it (the capture is recovered after it exits), and its exit code is
+// forwarded as rprism's own.
 func cmdRecord(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	out := fs.String("out", "", "output trace file (disk mode)")
@@ -34,10 +62,22 @@ func cmdRecord(ctx context.Context, args []string) error {
 	dir := fs.String("dir", "", "segment directory to keep (disk mode; default: a temp dir)")
 	url := fs.String("url", "", "stream to this rprism-serve URL instead of recording to disk")
 	segment := fs.Int("segment", 0, "entries per segment/stream frame (0 = capture default)")
+	weaveOn := fs.Bool("weave", false, "treat <cmd> as a Go package pattern: rebuild it with zero-touch instrumentation, then record")
+	var match, exclude multiFlag
+	fs.Var(&match, "match", "weave only packages matching this pattern (repeatable; cmd/go ... wildcards)")
+	fs.Var(&exclude, "exclude", "do not weave packages matching this pattern (repeatable)")
+	weaveMode := fs.String("weave-mode", "overlay", "weave build integration: overlay or toolexec")
+	weaveDeps := fs.Bool("weave-deps", false, "also weave the target's module dependencies (stdlib is never woven)")
+	weaveKeep := fs.Bool("weave-keep", false, "keep the weave work directory (rewritten sources, overlay, config)")
+	weaveSrc := fs.String("weave-src", "", "rprism source checkout providing the capture runtime (default: $"+weave.EnvRuntimeSrc+" or auto-detected)")
+	weaveBin := fs.String("weave-bin", "", "also copy the woven binary to this path")
 	_ = fs.Parse(args)
 	argv := fs.Args()
 	if len(argv) == 0 {
 		return fmt.Errorf("record: no command given (usage: rprism record [flags] -- <cmd> [args...])")
+	}
+	if !*weaveOn && (len(match) > 0 || len(exclude) > 0 || *weaveBin != "") {
+		return fmt.Errorf("record: -match/-exclude/-weave-bin only apply with --weave")
 	}
 
 	cfg := inject.CaptureConfig{Name: *name, URL: *url, SegmentLimit: *segment}
@@ -62,14 +102,55 @@ func cmdRecord(ctx context.Context, args []string) error {
 		}
 	}
 
-	child := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	if *weaveOn {
+		mode, err := weave.ParseMode(*weaveMode)
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		res, err := weave.Weave(ctx, weave.Config{
+			Patterns:    argv[:1],
+			Match:       match,
+			Exclude:     exclude,
+			IncludeDeps: *weaveDeps,
+			RuntimeDir:  *weaveSrc,
+			Mode:        mode,
+			KeepWork:    *weaveKeep,
+			Stderr:      os.Stderr,
+		})
+		if res != nil {
+			defer res.Cleanup()
+		}
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "rprism record:", w)
+		}
+		funcs := 0
+		for _, p := range res.Packages {
+			funcs += p.Funcs
+		}
+		fmt.Fprintf(os.Stderr, "rprism record: wove %d packages (%d functions) of %s\n",
+			len(res.Packages), funcs, res.ModulePath)
+		if *weaveKeep {
+			fmt.Fprintf(os.Stderr, "rprism record: weave work kept in %s\n", res.WorkDir)
+		}
+		if *weaveBin != "" {
+			if err := copyFile(res.Binary, *weaveBin); err != nil {
+				return fmt.Errorf("record: copying woven binary: %w", err)
+			}
+		}
+		argv = append([]string{res.Binary}, argv[1:]...)
+	}
+
+	child := exec.Command(argv[0], argv[1:]...)
 	child.Stdout = os.Stdout
 	child.Stderr = os.Stderr
 	child.Stdin = os.Stdin
 	child.Env = cfg.Environ(os.Environ())
-	runErr := child.Run()
+	runErr := runChild(child)
+	var exitErr *exec.ExitError
 	if runErr != nil {
-		var exitErr *exec.ExitError
 		if !errors.As(runErr, &exitErr) {
 			return fmt.Errorf("record: %s: %w", argv[0], runErr)
 		}
@@ -78,13 +159,16 @@ func cmdRecord(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "rprism record: %s exited with %s (recovering the capture)\n",
 			argv[0], exitErr)
 	}
+	// The child's exit code becomes rprism's own, so wrapping a program
+	// in `rprism record` is transparent to CI gates and shell scripts.
+	var childErr error
+	if exitErr != nil {
+		childErr = exitCodeError{code: childExitCode(exitErr)}
+	}
 
 	if *url != "" {
 		fmt.Printf("recorded: streamed to %s (GET %s/sessions or /traces to inspect)\n", *url, *url)
-		// A failing child still exits this command non-zero, exactly as
-		// disk mode does — CI gating on the recorded program's status
-		// must see it.
-		return runErr
+		return childErr
 	}
 
 	tr, rep, err := trace.LoadSegmentsReport(cfg.Dir, *name)
@@ -102,7 +186,26 @@ func cmdRecord(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("saved: %s (digest %s)\n", *out, tr.ComputeDigest())
 	}
-	return runErr
+	return childErr
+}
+
+// copyFile copies the woven binary to a user-chosen path, preserving
+// executability.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o755)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 // cmdAttach streams an existing trace file into an rprism-serve session

@@ -1,0 +1,42 @@
+//go:build !unix
+
+package main
+
+import (
+	"os"
+	"os/exec"
+	"os/signal"
+)
+
+// runChild runs the recorded program, forwarding interrupt signals to
+// it directly (no process groups off unix). Returns cmd.Wait's error.
+func runChild(cmd *exec.Cmd) error {
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	sigs := make(chan os.Signal, 4)
+	signal.Notify(sigs, os.Interrupt)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case sig := <-sigs:
+				_ = cmd.Process.Signal(sig)
+			case <-done:
+				return
+			}
+		}
+	}()
+	err := cmd.Wait()
+	signal.Stop(sigs)
+	close(done)
+	return err
+}
+
+// childExitCode maps a child's failure to the forwarded exit code.
+func childExitCode(ee *exec.ExitError) int {
+	if c := ee.ExitCode(); c >= 0 {
+		return c
+	}
+	return 1
+}

@@ -1,0 +1,78 @@
+//go:build unix
+
+package main
+
+import (
+	"bufio"
+	"errors"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunChildRelaysSignal: a SIGTERM delivered to the rprism process
+// must reach the recorded child (which lives in its own process group,
+// so the terminal's signal would NOT have) — and the child's reaction,
+// here a trapped `exit 42`, must surface through childExitCode. rprism
+// itself survives the signal; that is the point: it has a capture to
+// recover after the child stops.
+func TestRunChildRelaysSignal(t *testing.T) {
+	// Keep the test process alive if the SIGTERM below wins the race with
+	// runChild's own Notify registration.
+	guard := make(chan os.Signal, 1)
+	signal.Notify(guard, syscall.SIGTERM)
+	defer signal.Stop(guard)
+
+	child := exec.Command("sh", "-c", `trap 'exit 42' TERM; echo ready; while :; do sleep 0.05; done`)
+	stdout, err := child.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- runChild(child) }()
+
+	// Wait for the trap to be installed before signaling.
+	if sc := bufio.NewScanner(stdout); !sc.Scan() || sc.Text() != "ready" {
+		t.Fatalf("child never reported ready: %v", sc.Err())
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("want ExitError from trapped child, got %v", err)
+		}
+		if code := childExitCode(ee); code != 42 {
+			t.Errorf("childExitCode = %d, want the trap's 42", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SIGTERM never reached the child's process group")
+	}
+}
+
+// TestChildExitCodeSignalDeath: a child killed outright by a signal (no
+// trap) maps to the conventional 128+N.
+func TestChildExitCodeSignalDeath(t *testing.T) {
+	child := exec.Command("sleep", "60")
+	if err := child.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := child.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err := child.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want ExitError, got %v", err)
+	}
+	if code := childExitCode(ee); code != 128+int(syscall.SIGKILL) {
+		t.Errorf("childExitCode = %d, want %d", code, 128+int(syscall.SIGKILL))
+	}
+}

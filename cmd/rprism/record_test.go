@@ -2,8 +2,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	rprism "repro"
@@ -27,6 +29,12 @@ func TestRecordHelperProcess(t *testing.T) {
 	exit()
 	if _, err := rec.Close(); err != nil {
 		os.Exit(4)
+	}
+	// A nonzero RPRISM_RECORD_EXITCODE simulates a recorded program that
+	// fails after a valid capture — the exit-code-forwarding case.
+	if v := os.Getenv("RPRISM_RECORD_EXITCODE"); v != "" {
+		n, _ := strconv.Atoi(v)
+		os.Exit(n)
 	}
 	os.Exit(0)
 }
@@ -54,6 +62,31 @@ func TestCmdRecordDisk(t *testing.T) {
 	}
 	if tr.Entries[1].Method != "App.main/0" {
 		t.Errorf("middle entry context %q, want App.main/0", tr.Entries[1].Method)
+	}
+}
+
+// TestCmdRecordForwardsExitCode: wrapping a failing program in `rprism
+// record` must stay transparent to CI gates — the capture is recovered
+// AND the child's own exit code comes back as an exitCodeError, which
+// main() turns into rprism's exit status.
+func TestCmdRecordForwardsExitCode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fail.trace")
+	t.Setenv("RPRISM_RECORD_HELPER", "1")
+	t.Setenv("RPRISM_RECORD_EXITCODE", "7")
+	err := cmdRecord(context.Background(), []string{
+		"-out", out, "-name", "fail", "--",
+		os.Args[0], "-test.run=TestRecordHelperProcess",
+	})
+	var ec exitCodeError
+	if !errors.As(err, &ec) {
+		t.Fatalf("want exitCodeError, got %v", err)
+	}
+	if ec.code != 7 {
+		t.Errorf("forwarded code = %d, want 7", ec.code)
+	}
+	// The failing run's capture was still recovered and saved.
+	if tr, err := rprism.LoadTrace(out); err != nil || tr.Len() != 3 {
+		t.Errorf("capture of failing child not recovered: %v", err)
 	}
 }
 

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	rprism "repro"
+	"repro/capture"
+)
+
+// TestWeaveBaselineHelperProcess is the hand-instrumented twin of
+// examples/weave: same functions, same goroutine shape, same workload
+// knob — but the capture brackets are written by hand, exactly as the
+// weaver would inject them (same hook ids, same Func reprs, a spawn
+// routed through Recorder.Go, main's exit hook before Close). It is the
+// interpreter-free baseline the zero-touch weaver is measured against.
+func TestWeaveBaselineHelperProcess(t *testing.T) {
+	if os.Getenv("RPRISM_WEAVE_BASELINE") != "1" {
+		t.Skip("helper process entry point")
+	}
+	rec, on, err := capture.StartFromEnv()
+	if err != nil || !on {
+		os.Exit(3)
+	}
+	enter := func(name string) func(...capture.Repr) {
+		id := "repro/examples/weave." + name
+		return rec.Enter(id, capture.Val("Func", id))
+	}
+
+	type counter struct {
+		mu sync.Mutex
+		n  int
+	}
+	add := func(c *counter, delta int) {
+		defer enter("counter.add/1")()
+		c.mu.Lock()
+		c.n += delta
+		c.mu.Unlock()
+	}
+	total := func(c *counter) int {
+		defer enter("counter.total/0")()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+	step := func(c *counter, i int) {
+		defer enter("step/2")()
+		if i%3 == 0 {
+			add(c, 2)
+			return
+		}
+		add(c, 1)
+	}
+	work := func(c *counter, iters int, wg *sync.WaitGroup) {
+		defer enter("work/3")()
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			step(c, i)
+		}
+	}
+	iterations := func() int {
+		defer enter("iterations/0")()
+		if v := os.Getenv("WEAVE_DEMO_ITERS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				return n
+			}
+		}
+		return 4
+	}
+	mainBody := func() {
+		defer enter("main/0")()
+		c := &counter{}
+		iters := iterations()
+		var wg sync.WaitGroup
+		wg.Add(3)
+		for w := 0; w < 3; w++ {
+			rec.Go(func() { work(c, iters, &wg) })
+		}
+		wg.Wait()
+		fmt.Println("total:", total(c))
+	}
+	mainBody()
+	if _, err := rec.Close(); err != nil {
+		os.Exit(4)
+	}
+	os.Exit(0)
+}
+
+// TestWeaveEquivalence is the acceptance test for the zero-touch weaver:
+// `rprism record --weave` on the stock examples/weave program must
+// produce a trace that diffs cleanly against the hand-instrumented
+// baseline above — zero difference sequences on a matched workload, and
+// an empty regression candidate set D when the four-trace §4.1 protocol
+// is run across the instrumentation boundary (manual = "original
+// version", woven = "new version", iteration count = the workload).
+func TestWeaveEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("weaves and runs binaries")
+	}
+	dir := t.TempDir()
+
+	recordWoven := func(iters string) *rprism.Trace {
+		t.Helper()
+		t.Setenv("WEAVE_DEMO_ITERS", iters)
+		out := filepath.Join(dir, "woven-"+iters+".trace")
+		err := cmdRecord(context.Background(), []string{
+			"-out", out, "-name", "woven", "--weave", "--",
+			"repro/examples/weave",
+		})
+		if err != nil {
+			t.Fatalf("record --weave (iters=%s): %v", iters, err)
+		}
+		tr, err := rprism.LoadTrace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	recordBaseline := func(iters string) *rprism.Trace {
+		t.Helper()
+		t.Setenv("WEAVE_DEMO_ITERS", iters)
+		t.Setenv("RPRISM_WEAVE_BASELINE", "1")
+		out := filepath.Join(dir, "manual-"+iters+".trace")
+		err := cmdRecord(context.Background(), []string{
+			"-out", out, "-name", "manual", "--",
+			os.Args[0], "-test.run=TestWeaveBaselineHelperProcess",
+		})
+		if err != nil {
+			t.Fatalf("record baseline (iters=%s): %v", iters, err)
+		}
+		tr, err := rprism.LoadTrace(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	woven4, woven7 := recordWoven("4"), recordWoven("7")
+	manual4, manual7 := recordBaseline("4"), recordBaseline("7")
+	os.Unsetenv("WEAVE_DEMO_ITERS")
+	os.Unsetenv("RPRISM_WEAVE_BASELINE")
+
+	if woven4.Len() == 0 || manual4.Len() == 0 {
+		t.Fatalf("empty capture: woven=%d manual=%d", woven4.Len(), manual4.Len())
+	}
+	ctx := context.Background()
+	e := rprism.NewEngine()
+
+	// Matched workload, different instrumentation: semantically identical.
+	d, err := e.Diff(ctx, rprism.FromTrace(manual4), rprism.FromTrace(woven4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.NumDiffs(); n != 0 {
+		t.Errorf("woven vs hand-instrumented trace has %d difference sequences, want 0", n)
+		for _, s := range d.Sequences[:min(n, 5)] {
+			t.Logf("  %s: %d left / %d right", s.Kind, len(s.Left), len(s.Right))
+		}
+	}
+
+	// Different workloads must be visibly different, or the empty diff
+	// above (and the empty D below) would be vacuous.
+	dw, err := e.Diff(ctx, rprism.FromTrace(woven4), rprism.FromTrace(woven7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dw.NumDiffs() == 0 {
+		t.Fatal("iters=4 vs iters=7 traces diff clean; workload knob is broken")
+	}
+
+	// The §4.1 protocol across the instrumentation boundary: treating the
+	// weaver as the "code change", no difference survives filtering — the
+	// regression candidate set is empty.
+	an, err := e.AnalyzeRegression(ctx, rprism.RegressionSources{
+		OrigCorrect: rprism.FromTrace(manual4),
+		NewCorrect:  rprism.FromTrace(woven4),
+		OrigRegr:    rprism.FromTrace(manual7),
+		NewRegr:     rprism.FromTrace(woven7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.D) != 0 {
+		t.Errorf("regression candidate set D has %d entries, want 0 (weaver is not a semantic change)", len(an.D))
+	}
+}

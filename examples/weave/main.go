@@ -1,0 +1,74 @@
+// A stock Go program with no capture imports and no hand
+// instrumentation: the subject of rprism's zero-touch weaver. Build and
+// record it with
+//
+//	rprism record --weave -out demo.rseg -- ./examples/weave
+//
+// and every function below shows up in the trace — entries, exits, and
+// three worker goroutines with spawn ancestry — without this file ever
+// mentioning rprism. The same worker-pool shape as examples/capture,
+// which hand-brackets its functions, so the two make a weave-vs-manual
+// comparison pair.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) add(delta int) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+func (c *counter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func step(c *counter, i int) {
+	if i%3 == 0 {
+		c.add(2)
+		return
+	}
+	c.add(1)
+}
+
+func work(c *counter, iters int, wg *sync.WaitGroup) {
+	defer wg.Done()
+	for i := 0; i < iters; i++ {
+		step(c, i)
+	}
+}
+
+func iterations() int {
+	// WEAVE_DEMO_ITERS exists so tests can record the same binary twice
+	// with different workloads and diff the traces.
+	if v := os.Getenv("WEAVE_DEMO_ITERS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 4
+}
+
+func main() {
+	c := &counter{}
+	iters := iterations()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	for w := 0; w < 3; w++ {
+		go work(c, iters, &wg)
+	}
+	wg.Wait()
+	fmt.Println("total:", c.total())
+}

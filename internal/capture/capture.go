@@ -44,6 +44,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/inject"
@@ -149,6 +150,12 @@ type Recorder struct {
 	nextTID trace.ThreadID
 	closed  bool
 	err     error // sticky first sink error
+
+	// done mirrors closed for lock-free hook fast paths: once Close has
+	// run, Enter/Emit/Go degrade to (almost) free no-ops instead of
+	// buffering events that flushShard would only discard — important
+	// for woven binaries whose goroutines outlive main's Close.
+	done atomic.Bool
 
 	shards sync.Map // goroutine id (uint64) → *gshard
 
@@ -311,6 +318,9 @@ func (r *Recorder) newShard() *gshard {
 // The exit hook records the matching return event; pass it the return
 // value's representation, if any.
 func (r *Recorder) Enter(method string, self trace.Repr, args ...trace.Repr) func(results ...trace.Repr) {
+	if r.done.Load() {
+		return noopExit
+	}
 	g := r.shard()
 	g.mu.Lock()
 	ctxMethod, ctxSelf := g.context()
@@ -327,10 +337,16 @@ func (r *Recorder) Enter(method string, self trace.Repr, args ...trace.Repr) fun
 	return func(results ...trace.Repr) { r.exit(g, method, self, results) }
 }
 
+// noopExit is the shared exit hook returned once the recorder is done.
+var noopExit = func(...trace.Repr) {}
+
 // exit pops the shadow stack down to (and including) the matching Enter
 // and records the return event in the revealed context — tolerant of
 // skipped exits (panics unwinding past deferred hooks).
 func (r *Recorder) exit(g *gshard, method string, self trace.Repr, results []trace.Repr) {
+	if r.done.Load() {
+		return
+	}
 	g.mu.Lock()
 	for i := len(g.stack) - 1; i >= 0; i-- {
 		if g.stack[i].method == method {
@@ -371,6 +387,9 @@ func (r *Recorder) EndThread() {
 // the grammar — in the calling goroutine's current context (the
 // innermost Enter'd method and receiver).
 func (r *Recorder) Emit(ev trace.Event) {
+	if r.done.Load() {
+		return
+	}
 	g := r.shard()
 	g.mu.Lock()
 	ctxMethod, ctxSelf := g.context()
@@ -385,6 +404,9 @@ func (r *Recorder) Emit(ev trace.Event) {
 // EmitIn is Emit with an explicit context override, for producers that
 // track their own call structure.
 func (r *Recorder) EmitIn(method string, self trace.Repr, ev trace.Event) {
+	if r.done.Load() {
+		return
+	}
 	g := r.shard()
 	g.mu.Lock()
 	g.pending = append(g.pending, pendingEvent{method: method, self: self, ev: ev})
@@ -401,6 +423,12 @@ func (r *Recorder) EmitIn(method string, self trace.Repr, ev trace.Event) {
 // Goroutines not started through Go still record fine (they get a thread
 // id on first event) but carry no fork event or ancestry.
 func (r *Recorder) Go(fn func()) {
+	if r.done.Load() {
+		// The program's goroutine must still run; only its bracketing is
+		// gone, exactly as if the recorder had never been injected.
+		go fn()
+		return
+	}
 	parent := r.shard()
 	child := r.newShard()
 	parent.mu.Lock()
@@ -545,6 +573,7 @@ func (r *Recorder) Close() (Summary, error) {
 		return Summary{}, errors.New("capture: recorder already closed")
 	}
 	r.closed = true
+	r.done.Store(true)
 	sum := Summary{
 		Entries: int(r.next),
 		Threads: int(r.nextTID),

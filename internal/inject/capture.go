@@ -72,8 +72,9 @@ func (c CaptureConfig) Environ(base []string) []string {
 
 // CaptureConfigFromEnviron parses the contract back out of an
 // environment. The boolean reports whether capture is enabled at all; a
-// malformed segment limit is an error rather than a silent default so a
-// typo'd injection fails loudly in the child.
+// malformed segment limit — or conflicting sink selection (both Dir and
+// URL set, where the contract demands exactly one) — is an error rather
+// than a silent default so a typo'd injection fails loudly in the child.
 func CaptureConfigFromEnviron(env []string) (CaptureConfig, bool, error) {
 	var c CaptureConfig
 	for _, kv := range env {
@@ -95,6 +96,10 @@ func CaptureConfigFromEnviron(env []string) (CaptureConfig, bool, error) {
 			}
 			c.SegmentLimit = n
 		}
+	}
+	if c.Dir != "" && c.URL != "" {
+		return CaptureConfig{}, false, fmt.Errorf(
+			"inject: both %s and %s are set; exactly one sink must be selected", EnvCaptureDir, EnvCaptureURL)
 	}
 	return c, c.Enabled(), nil
 }

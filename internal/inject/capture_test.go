@@ -1,0 +1,38 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCaptureConfigConflictingSinks(t *testing.T) {
+	_, on, err := CaptureConfigFromEnviron([]string{
+		EnvCaptureDir + "=/tmp/segs",
+		EnvCaptureURL + "=http://localhost:8372",
+	})
+	if err == nil {
+		t.Fatal("want error for Dir+URL conflict")
+	}
+	if on {
+		t.Error("conflicting config must not report enabled")
+	}
+	if !strings.Contains(err.Error(), EnvCaptureDir) || !strings.Contains(err.Error(), EnvCaptureURL) {
+		t.Errorf("error should name both variables: %v", err)
+	}
+}
+
+func TestCaptureConfigSingleSinkStillWorks(t *testing.T) {
+	c, on, err := CaptureConfigFromEnviron([]string{EnvCaptureDir + "=/tmp/segs"})
+	if err != nil || !on || c.Dir != "/tmp/segs" {
+		t.Fatalf("dir-only config rejected: %+v %v %v", c, on, err)
+	}
+	c, on, err = CaptureConfigFromEnviron([]string{EnvCaptureURL + "=http://x"})
+	if err != nil || !on || c.URL != "http://x" {
+		t.Fatalf("url-only config rejected: %+v %v %v", c, on, err)
+	}
+	// Round trip: Environ output parses back to the same config.
+	c2, on, err := CaptureConfigFromEnviron(CaptureConfig{Dir: "/d", Name: "n", SegmentLimit: 7}.Environ(nil))
+	if err != nil || !on || c2.Dir != "/d" || c2.Name != "n" || c2.SegmentLimit != 7 {
+		t.Fatalf("round trip failed: %+v %v %v", c2, on, err)
+	}
+}

@@ -1,0 +1,73 @@
+package weave
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// Filter is the --match/--exclude package selection of `rprism record
+// --weave`. Patterns use the cmd/go wildcard grammar: "..." matches any
+// string (including the empty one), and a trailing "/..." also matches
+// the path before it, so "repro/internal/..." selects repro/internal
+// itself. Each pattern is tried against both the full import path and
+// the module-relative path, so `--match internal/...` works without
+// spelling the module prefix.
+//
+// Selection order: an empty Match list matches everything in scope;
+// Exclude always wins over Match. Standard-library and vendored-module
+// exclusion is not the filter's job — the weaver has already narrowed
+// the candidate set to the target module (plus its module deps when
+// requested) before the filter runs.
+type Filter struct {
+	Match   []string
+	Exclude []string
+}
+
+// Selects reports whether the package survives the filter. importPath is
+// the full import path; relPath is the module-relative form ("." for the
+// module root, "" when unknown).
+func (f Filter) Selects(importPath, relPath string) bool {
+	if len(f.Match) > 0 && !matchAny(f.Match, importPath, relPath) {
+		return false
+	}
+	return !matchAny(f.Exclude, importPath, relPath)
+}
+
+func matchAny(patterns []string, importPath, relPath string) bool {
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, "./")
+		if MatchPattern(p, importPath) || (relPath != "" && MatchPattern(p, relPath)) {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	patternMu sync.Mutex
+	patternRe = map[string]*regexp.Regexp{}
+)
+
+// MatchPattern reports whether a cmd/go-style package pattern matches
+// path: "..." is a wildcard for any string, and a pattern ending in
+// "/..." additionally matches the prefix with the suffix removed.
+func MatchPattern(pattern, path string) bool {
+	if pattern == path {
+		return true
+	}
+	if strings.HasSuffix(pattern, "/...") && path == strings.TrimSuffix(pattern, "/...") {
+		return true
+	}
+	if !strings.Contains(pattern, "...") {
+		return false
+	}
+	patternMu.Lock()
+	re := patternRe[pattern]
+	if re == nil {
+		re = regexp.MustCompile("^" + strings.ReplaceAll(regexp.QuoteMeta(pattern), `\.\.\.`, ".*") + "$")
+		patternRe[pattern] = re
+	}
+	patternMu.Unlock()
+	return re.MatchString(path)
+}

@@ -1,0 +1,145 @@
+package weave
+
+import "testing"
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"example.com/m", "example.com/m", true},
+		{"example.com/m", "example.com/m/sub", false},
+		{"example.com/m/...", "example.com/m/sub", true},
+		{"example.com/m/...", "example.com/m/sub/deep", true},
+		{"example.com/m/...", "example.com/m", true}, // trailing /... matches the root too
+		{"example.com/m/...", "example.com/other", false},
+		{"...", "anything/at/all", true},
+		{"internal/...", "internal", true},
+		{"internal/...", "internal/weave", true},
+		{"internal/...", "cmd/internal", false},
+		{"a/.../c", "a/b/c", true},
+		{"a/.../c", "a/b/b2/c", true},
+		{"a/.../c", "a/c", false}, // interior ... still needs its slashes
+		{"a...", "abc", true},
+		{"a...", "b", false},
+	}
+	for _, c := range cases {
+		if got := MatchPattern(c.pattern, c.path); got != c.want {
+			t.Errorf("MatchPattern(%q, %q) = %v, want %v", c.pattern, c.path, got, c.want)
+		}
+	}
+}
+
+func TestFilterSelects(t *testing.T) {
+	cases := []struct {
+		name       string
+		f          Filter
+		importPath string
+		relPath    string
+		want       bool
+	}{
+		{"empty filter selects all", Filter{}, "m/p", "p", true},
+		{"match by import path", Filter{Match: []string{"m/p/..."}}, "m/p/q", "p/q", true},
+		{"match by relative path", Filter{Match: []string{"p/..."}}, "m/p/q", "p/q", true},
+		{"relative match with ./ prefix", Filter{Match: []string{"./p/..."}}, "m/p/q", "p/q", true},
+		{"match misses", Filter{Match: []string{"other/..."}}, "m/p", "p", false},
+		{"exclude wins over match", Filter{Match: []string{"..."}, Exclude: []string{"m/p"}}, "m/p", "p", false},
+		{"exclude by relative path", Filter{Exclude: []string{"gen/..."}}, "m/gen/x", "gen/x", false},
+		{"exclude leaves siblings", Filter{Exclude: []string{"gen/..."}}, "m/core", "core", true},
+		{"no rel path falls back to import path", Filter{Match: []string{"dep.example/..."}}, "dep.example/lib", "", true},
+		{"several match patterns OR", Filter{Match: []string{"a/...", "b/..."}}, "m/b/x", "b/x", true},
+	}
+	for _, c := range cases {
+		if got := c.f.Selects(c.importPath, c.relPath); got != c.want {
+			t.Errorf("%s: Selects(%q, %q) = %v, want %v", c.name, c.importPath, c.relPath, got, c.want)
+		}
+	}
+}
+
+func TestRuntimeClosureAlwaysExcluded(t *testing.T) {
+	// The structural re-entrancy guard: no filter combination may weave
+	// the capture runtime's own closure.
+	for _, p := range []string{
+		"repro",
+		"repro/capture",
+		"repro/capture/woven",
+		"repro/internal/capture",
+		"repro/internal/trace",
+		"repro/cmd/rprism",
+	} {
+		if !runtimeExcluded(p) {
+			t.Errorf("runtimeExcluded(%q) = false, want true", p)
+		}
+	}
+	for _, p := range []string{
+		"repro/examples/weave", // the e2e subject must stay weavable
+		"example.com/capture",  // foreign paths that merely resemble ours
+		"reprox/internal/x",
+	} {
+		if runtimeExcluded(p) {
+			t.Errorf("runtimeExcluded(%q) = true, want false", p)
+		}
+	}
+}
+
+func TestSelectPackagesScope(t *testing.T) {
+	mod := &listModule{Path: "example.com/m"}
+	dep := &listModule{Path: "dep.example/lib"}
+	repro := &listModule{Path: "repro"}
+	pkgs := []*listPkg{
+		{ImportPath: "fmt", Standard: true, GoFiles: []string{"print.go"}},
+		{ImportPath: "example.com/m", Module: mod, GoFiles: []string{"main.go"}},
+		{ImportPath: "example.com/m/sub", Module: mod, GoFiles: []string{"s.go"}},
+		{ImportPath: "example.com/m/vendor-ish", Module: dep, GoFiles: []string{"v.go"}},
+		{ImportPath: "dep.example/lib", Module: dep, GoFiles: []string{"l.go"}},
+		{ImportPath: "repro/capture", Module: repro, GoFiles: []string{"c.go"}},
+		{ImportPath: "example.com/m/empty", Module: mod}, // no Go files (all assembly, say)
+	}
+
+	paths := func(sel []*listPkg) []string {
+		var out []string
+		for _, p := range sel {
+			out = append(out, p.ImportPath)
+		}
+		return out
+	}
+
+	// Default scope: main module only; stdlib, other modules (including
+	// vendored ones, which keep their own module identity), and the
+	// runtime closure are out regardless of filters.
+	got := paths(selectPackages(pkgs, "example.com/m", false, Filter{}))
+	want := []string{"example.com/m", "example.com/m/sub"}
+	if len(got) != len(want) {
+		t.Fatalf("default scope = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("default scope = %v, want %v", got, want)
+		}
+	}
+
+	// IncludeDeps widens to module deps but never stdlib or the runtime.
+	got = paths(selectPackages(pkgs, "example.com/m", true, Filter{}))
+	for _, p := range got {
+		if p == "fmt" || p == "repro/capture" {
+			t.Fatalf("IncludeDeps selected %s", p)
+		}
+	}
+	found := false
+	for _, p := range got {
+		if p == "dep.example/lib" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("IncludeDeps did not select the dep: %v", got)
+	}
+
+	// Filters compose with scope.
+	got = paths(selectPackages(pkgs, "example.com/m", false, Filter{Exclude: []string{"sub"}}))
+	for _, p := range got {
+		if p == "example.com/m/sub" {
+			t.Fatalf("exclude ignored: %v", got)
+		}
+	}
+}

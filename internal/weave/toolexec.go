@@ -1,0 +1,456 @@
+package weave
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// EnvToolexecConfig points the rprism-weave toolexec binary at its
+// configuration file; without it the binary is a transparent passthrough.
+const EnvToolexecConfig = "RPRISM_WEAVE_CONFIG"
+
+// ToolexecConfig is the contract between the orchestrating `rprism
+// record --weave -weave-mode=toolexec` process and the rprism-weave
+// binary go build re-executes for every compile and link.
+type ToolexecConfig struct {
+	// Salt is appended to the compile and link tools' `-V=full` output so
+	// the build cache never confuses woven objects with stock ones (and
+	// distinct weave configurations with each other).
+	Salt string
+	// ModulePath is the target module.
+	ModulePath string
+	// MainPackage is the real import path of the main package; the
+	// compiler is handed `-p main` for it, so hook ids need the mapping.
+	MainPackage string
+	// Weave lists the import paths to instrument (the orchestrator's
+	// package selection, already filtered).
+	Weave []string
+	// MainCloseOnly marks a main package the filters excluded: it still
+	// receives the Close defer (capture finalization is not optional),
+	// but no Enter hooks or go-statement wrapping.
+	MainCloseOnly bool
+	// RuntimeImport is the glue package woven files import.
+	RuntimeImport string
+	// PackageFiles maps the runtime closure's import paths to prebuilt
+	// archives, spliced into compile and link importcfgs.
+	PackageFiles map[string]string
+	// NoTypes forces syntactic go-statement hoisting.
+	NoTypes bool
+
+	weave map[string]bool
+}
+
+func loadToolexecConfig() (*ToolexecConfig, error) {
+	path := os.Getenv(EnvToolexecConfig)
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", EnvToolexecConfig, err)
+	}
+	var c ToolexecConfig
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	c.weave = make(map[string]bool, len(c.Weave))
+	for _, p := range c.Weave {
+		c.weave[p] = true
+	}
+	return &c, nil
+}
+
+// RunToolexec is cmd/rprism-weave's entire behavior: invoked by go build
+// as `rprism-weave <tool> <args...>`, it rewrites the argument lists of
+// compile (woven sources, augmented importcfg) and link (augmented
+// importcfg) invocations, runs the real tool, and propagates its exit
+// code. Configured through EnvToolexecConfig; without it, a passthrough.
+func RunToolexec(args []string) int {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: rprism-weave <tool> [args...] (a go build -toolexec program; see rprism record --weave)")
+		return 2
+	}
+	cfg, err := loadToolexecConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rprism-weave:", err)
+		return 1
+	}
+	tool, rest := args[0], args[1:]
+	base := strings.TrimSuffix(filepath.Base(tool), ".exe")
+
+	if len(rest) == 1 && strings.HasPrefix(rest[0], "-V") {
+		return toolVersion(tool, rest, base, cfg)
+	}
+
+	var cleanup func()
+	if cfg != nil {
+		switch base {
+		case "compile":
+			rest, cleanup, err = cfg.rewriteCompile(rest)
+		case "link":
+			rest, cleanup, err = cfg.rewriteLink(rest)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rprism-weave:", err)
+			return 1
+		}
+	}
+	if cleanup != nil {
+		defer cleanup()
+	}
+	cmd := exec.Command(tool, rest...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "rprism-weave:", err)
+		return 1
+	}
+	return 0
+}
+
+// toolVersion answers go build's tool-identity probe. The salt rides on
+// the tools whose output the weaver changes, keying the build cache on
+// the weave configuration.
+func toolVersion(tool string, args []string, base string, cfg *ToolexecConfig) int {
+	out, err := exec.Command(tool, args...).Output()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rprism-weave:", err)
+		return 1
+	}
+	v := strings.TrimSpace(string(out))
+	if cfg != nil && (base == "compile" || base == "link") {
+		v += " rprism-weave-" + cfg.Salt
+	}
+	fmt.Println(v)
+	return 0
+}
+
+// rewriteCompile intercepts one compiler invocation: when the package is
+// in the weave set, its source files are rewritten into a scratch
+// directory, the importcfg gains the runtime archives, and the argument
+// list is rebuilt accordingly.
+func (c *ToolexecConfig) rewriteCompile(args []string) ([]string, func(), error) {
+	pkgPath := ""
+	importcfgIdx := -1
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-p":
+			if i+1 < len(args) {
+				pkgPath = args[i+1]
+				i++
+			}
+		case "-importcfg":
+			if i+1 < len(args) {
+				importcfgIdx = i + 1
+				i++
+			}
+		}
+	}
+	actual := pkgPath
+	mainPkg := pkgPath == "main"
+	if mainPkg && c.MainPackage != "" {
+		actual = c.MainPackage
+	}
+	if importcfgIdx < 0 {
+		return args, nil, nil
+	}
+	closeOnly := false
+	if !c.weave[actual] {
+		if !c.MainCloseOnly || actual != c.MainPackage {
+			return args, nil, nil
+		}
+		closeOnly = true
+	}
+
+	// Source files are the trailing .go arguments.
+	first := len(args)
+	for first > 0 && strings.HasSuffix(args[first-1], ".go") {
+		first--
+	}
+	if first == len(args) {
+		return args, nil, nil
+	}
+
+	pkgFiles, importMap, err := readImportcfg(args[importcfgIdx])
+	if err != nil {
+		return nil, nil, err
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := pkgFiles[path]
+		if !ok {
+			f, ok = c.PackageFiles[path]
+		}
+		if !ok {
+			return nil, fmt.Errorf("weave: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	if c.NoTypes {
+		lookup = nil
+	}
+
+	in := PackageInput{
+		ImportPath:    actual,
+		MainPkg:       mainPkg,
+		CloseOnly:     closeOnly,
+		RuntimeImport: c.RuntimeImport,
+		Lookup:        lookup,
+		ImportMap:     importMap,
+		LinePragmas:   true,
+	}
+	for _, f := range args[first:] {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		in.Files = append(in.Files, FileInput{Name: f, Src: src})
+	}
+	out, err := RewritePackage(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, w := range out.Warnings {
+		fmt.Fprintln(os.Stderr, "rprism-weave:", w)
+	}
+
+	scratch, err := os.MkdirTemp("", "rprism-weave-pkg-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(scratch) }
+	rewritten := append([]string(nil), args...)
+	for i, fo := range out.Files {
+		if !fo.Changed {
+			continue
+		}
+		dst := filepath.Join(scratch, fmt.Sprintf("%03d_%s", i, filepath.Base(fo.Name)))
+		if err := os.WriteFile(dst, fo.Src, 0o644); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		rewritten[first+i] = dst
+	}
+
+	newCfg, err := augmentImportcfg(args[importcfgIdx], pkgFiles, c.PackageFiles, scratch)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	rewritten[importcfgIdx] = newCfg
+	return rewritten, cleanup, nil
+}
+
+// rewriteLink splices the runtime archives into the linker's importcfg,
+// so object files referencing the woven runtime resolve even though the
+// stock build never linked it.
+func (c *ToolexecConfig) rewriteLink(args []string) ([]string, func(), error) {
+	importcfgIdx := -1
+	for i := 0; i < len(args)-1; i++ {
+		if args[i] == "-importcfg" {
+			importcfgIdx = i + 1
+		}
+	}
+	if importcfgIdx < 0 {
+		return args, nil, nil
+	}
+	pkgFiles, _, err := readImportcfg(args[importcfgIdx])
+	if err != nil {
+		return nil, nil, err
+	}
+	scratch, err := os.MkdirTemp("", "rprism-weave-link-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	cleanup := func() { os.RemoveAll(scratch) }
+	newCfg, err := augmentImportcfg(args[importcfgIdx], pkgFiles, c.PackageFiles, scratch)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	rewritten := append([]string(nil), args...)
+	rewritten[importcfgIdx] = newCfg
+	return rewritten, cleanup, nil
+}
+
+// readImportcfg parses the packagefile and importmap directives of a
+// compiler/linker importcfg.
+func readImportcfg(path string) (pkgFiles, importMap map[string]string, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgFiles = map[string]string{}
+	importMap = map[string]string{}
+	for _, line := range strings.Split(string(data), "\n") {
+		verb, rest, ok := strings.Cut(strings.TrimSpace(line), " ")
+		if !ok {
+			continue
+		}
+		k, v, ok := strings.Cut(rest, "=")
+		if !ok {
+			continue
+		}
+		switch verb {
+		case "packagefile":
+			pkgFiles[k] = v
+		case "importmap":
+			importMap[k] = v
+		}
+	}
+	return pkgFiles, importMap, nil
+}
+
+// augmentImportcfg writes a copy of the importcfg extended with
+// packagefile entries for every runtime archive not already present.
+func augmentImportcfg(orig string, present, runtime map[string]string, scratch string) (string, error) {
+	data, err := os.ReadFile(orig)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.Write(data)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		b.WriteByte('\n')
+	}
+	paths := make([]string, 0, len(runtime))
+	for p := range runtime {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, ok := present[p]; ok {
+			continue
+		}
+		fmt.Fprintf(&b, "packagefile %s=%s\n", p, runtime[p])
+	}
+	out := filepath.Join(scratch, "importcfg")
+	return out, os.WriteFile(out, []byte(b.String()), 0o644)
+}
+
+// weaveToolexec is the toolexec-mode orchestrator: prebuild the runtime
+// closure as archives (the importcfg splice material), build the
+// rprism-weave tool, write its configuration, and run the target's build
+// under -toolexec. Unlike overlay mode, the target's go.mod is never
+// touched — the injected import is satisfied entirely below go build's
+// module layer, which also means this mode cannot weave a module whose
+// build the go command itself would refuse.
+func weaveToolexec(ctx context.Context, cfg *Config, g *goRunner, res *Result, pkgs, selected []*listPkg, mainPkg *listPkg) error {
+	runtimeDir, err := resolveRuntimeDir(ctx, cfg, g, mainPkg.Module)
+	if err != nil {
+		return err
+	}
+	rg := &goRunner{bin: cfg.GoBin, dir: runtimeDir, env: cfg.Env}
+
+	closure, err := listPackages(ctx, rg, false, []string{cfg.RuntimeImport})
+	if err != nil {
+		return fmt.Errorf("weave: listing runtime closure in %s: %w", runtimeDir, err)
+	}
+	arDir := filepath.Join(res.WorkDir, "archives")
+	if err := os.MkdirAll(arDir, 0o755); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Stderr, "rprism weave: prebuilding %d runtime packages (toolexec mode)\n", len(closure))
+	pkgFiles := make(map[string]string, len(closure))
+	for i, p := range closure {
+		if p.ImportPath == "unsafe" {
+			continue // no archive: resolved inside the compiler
+		}
+		ar := filepath.Join(arDir, fmt.Sprintf("%03d.a", i))
+		args := []string{"build", "-buildmode=archive", "-o", ar}
+		args = append(args, cfg.BuildFlags...)
+		args = append(args, p.ImportPath)
+		if _, err := rg.run(ctx, args...); err != nil {
+			return fmt.Errorf("weave: prebuilding %s: %w", p.ImportPath, err)
+		}
+		pkgFiles[p.ImportPath] = ar
+	}
+
+	tool := filepath.Join(res.WorkDir, "rprism-weave")
+	if runtime.GOOS == "windows" {
+		tool += ".exe"
+	}
+	if _, err := rg.run(ctx, "build", "-o", tool, "repro/cmd/rprism-weave"); err != nil {
+		return fmt.Errorf("weave: building toolexec binary: %w", err)
+	}
+
+	var weaveList []string
+	for _, p := range selected {
+		if len(p.CgoFiles) > 0 {
+			res.Warnings = append(res.Warnings, fmt.Sprintf("%s: cgo package left unwoven (toolexec mode)", p.ImportPath))
+			continue
+		}
+		weaveList = append(weaveList, p.ImportPath)
+		res.Packages = append(res.Packages, WovenPackage{ImportPath: p.ImportPath})
+	}
+	sort.Strings(weaveList)
+
+	tc := ToolexecConfig{
+		ModulePath:    mainPkg.Module.Path,
+		MainPackage:   mainPkg.ImportPath,
+		Weave:         weaveList,
+		MainCloseOnly: mainExcluded(selected, mainPkg),
+		RuntimeImport: cfg.RuntimeImport,
+		PackageFiles:  pkgFiles,
+		NoTypes:       cfg.NoTypes,
+	}
+	if tc.MainCloseOnly {
+		res.Warnings = append(res.Warnings,
+			fmt.Sprintf("%s: excluded by filters; woven for capture finalization only", mainPkg.ImportPath))
+	}
+	tc.Salt, err = toolexecSalt(&tc, pkgFiles[cfg.RuntimeImport])
+	if err != nil {
+		return err
+	}
+	tcData, err := json.MarshalIndent(&tc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tcPath := filepath.Join(res.WorkDir, "weave.json")
+	if err := os.WriteFile(tcPath, tcData, 0o644); err != nil {
+		return err
+	}
+
+	env := append(append([]string(nil), cfg.Env...), EnvToolexecConfig+"="+tcPath)
+	bg := &goRunner{bin: cfg.GoBin, dir: cfg.Dir, env: env}
+	args := []string{"build", "-toolexec=" + tool, "-o", res.Binary}
+	args = append(args, cfg.BuildFlags...)
+	args = append(args, cfg.Patterns...)
+	fmt.Fprintf(cfg.Stderr, "rprism weave: building %s (%d packages woven, toolexec mode)\n", mainPkg.ImportPath, len(weaveList))
+	if _, err := bg.run(ctx, args...); err != nil {
+		return fmt.Errorf("weave: building woven binary: %w\n(weave config kept in %s)", err, res.WorkDir)
+	}
+	return nil
+}
+
+// toolexecSalt derives the cache-busting salt from the weave
+// configuration's semantic content plus the glue archive's bytes (which
+// stand in for the runtime's source version). Archive *paths* are
+// excluded on purpose: they point into a fresh temp dir per invocation,
+// and hashing them would defeat the build cache entirely.
+func toolexecSalt(tc *ToolexecConfig, glueArchive string) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n%v\n%v\n%s\n%v\n", tc.ModulePath, tc.MainPackage, tc.Weave, tc.MainCloseOnly, tc.RuntimeImport, tc.NoTypes)
+	if glueArchive != "" {
+		f, err := os.Open(glueArchive)
+		if err != nil {
+			return "", err
+		}
+		defer f.Close()
+		if _, err := io.Copy(h, f); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:12], nil
+}

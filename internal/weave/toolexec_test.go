@@ -1,0 +1,253 @@
+package weave
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadAndAugmentImportcfg(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "importcfg")
+	content := `# import config
+packagefile fmt=/cache/fmt.a
+packagefile sync=/cache/sync.a
+importmap old.example/x=vendored.example/x
+`
+	if err := os.WriteFile(orig, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgFiles, importMap, err := readImportcfg(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkgFiles["fmt"] != "/cache/fmt.a" || pkgFiles["sync"] != "/cache/sync.a" {
+		t.Errorf("packagefile parse wrong: %v", pkgFiles)
+	}
+	if importMap["old.example/x"] != "vendored.example/x" {
+		t.Errorf("importmap parse wrong: %v", importMap)
+	}
+
+	augmented, err := augmentImportcfg(orig, pkgFiles, map[string]string{
+		"repro/capture/woven": "/ar/woven.a",
+		"fmt":                 "/ar/fmt.a", // already present: must NOT be duplicated
+	}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(augmented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "packagefile repro/capture/woven=/ar/woven.a\n") {
+		t.Errorf("runtime entry missing:\n%s", out)
+	}
+	if strings.Count(out, "packagefile fmt=") != 1 {
+		t.Errorf("duplicate fmt entry:\n%s", out)
+	}
+	if !strings.HasPrefix(out, content) {
+		t.Errorf("original content not preserved:\n%s", out)
+	}
+}
+
+func TestRewriteCompilePassthrough(t *testing.T) {
+	c := &ToolexecConfig{
+		MainPackage: "example.com/demo",
+		weave:       map[string]bool{"example.com/demo/sub": true},
+	}
+	// A package outside the weave set passes through untouched.
+	args := []string{"-o", "out.a", "-p", "fmt", "-importcfg", "no-such-file", "print.go"}
+	got, cleanup, err := c.rewriteCompile(args)
+	if err != nil || cleanup != nil {
+		t.Fatalf("passthrough errored: %v", err)
+	}
+	for i := range args {
+		if got[i] != args[i] {
+			t.Fatalf("passthrough changed args: %v", got)
+		}
+	}
+	// So does an invocation with no importcfg at all (e.g. -V probes
+	// routed elsewhere, or exotic builds).
+	if _, _, err := c.rewriteCompile([]string{"-p", "example.com/demo/sub"}); err != nil {
+		t.Fatalf("no-importcfg passthrough errored: %v", err)
+	}
+}
+
+func TestRewriteCompileWeavesMainUnderPMain(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(src, []byte("package main\n\nfunc main() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	importcfg := filepath.Join(dir, "importcfg")
+	if err := os.WriteFile(importcfg, []byte("packagefile runtime=/cache/runtime.a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &ToolexecConfig{
+		MainPackage:   "example.com/demo",
+		RuntimeImport: RuntimeImport,
+		PackageFiles:  map[string]string{"repro/capture/woven": "/ar/woven.a"},
+		NoTypes:       true, // no export data in this synthetic compile
+		weave:         map[string]bool{"example.com/demo": true},
+	}
+	// The compiler names main packages "-p main"; the config maps that
+	// back to the real import path for hook ids.
+	args := []string{"-o", "out.a", "-p", "main", "-importcfg", importcfg, "-pack", src}
+	got, cleanup, err := c.rewriteCompile(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanup == nil {
+		t.Fatal("expected a woven compile (cleanup func)")
+	}
+	defer cleanup()
+	rewrittenSrc := got[len(got)-1]
+	if rewrittenSrc == src {
+		t.Fatal("source file not swapped")
+	}
+	data, err := os.ReadFile(rewrittenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `.Enter("example.com/demo.main/0")`) {
+		t.Errorf("hook id not mapped through MainPackage:\n%s", data)
+	}
+	if !strings.Contains(string(data), ".Close()") {
+		t.Errorf("main package missing Close:\n%s", data)
+	}
+	// The importcfg argument must point at the augmented copy.
+	var gotCfg string
+	for i := 0; i < len(got)-1; i++ {
+		if got[i] == "-importcfg" {
+			gotCfg = got[i+1]
+		}
+	}
+	if gotCfg == importcfg || gotCfg == "" {
+		t.Fatalf("importcfg not swapped: %q", gotCfg)
+	}
+	cfgData, err := os.ReadFile(gotCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cfgData), "packagefile repro/capture/woven=/ar/woven.a") {
+		t.Errorf("augmented importcfg missing runtime:\n%s", cfgData)
+	}
+}
+
+func TestRewriteCompileCloseOnlyMain(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "main.go")
+	if err := os.WriteFile(src, []byte("package main\n\nfunc helper() {}\n\nfunc main() { helper() }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	importcfg := filepath.Join(dir, "importcfg")
+	if err := os.WriteFile(importcfg, []byte("packagefile runtime=/cache/runtime.a\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := &ToolexecConfig{
+		MainPackage:   "example.com/demo",
+		MainCloseOnly: true,
+		RuntimeImport: RuntimeImport,
+		NoTypes:       true,
+		weave:         map[string]bool{}, // main filtered out entirely
+	}
+	got, cleanup, err := c.rewriteCompile([]string{"-p", "main", "-importcfg", importcfg, src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cleanup == nil {
+		t.Fatal("close-only main must still be rewritten")
+	}
+	defer cleanup()
+	data, err := os.ReadFile(got[len(got)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ".Close()") {
+		t.Errorf("Close missing:\n%s", data)
+	}
+	if strings.Contains(string(data), ".Enter(") {
+		t.Errorf("close-only main gained Enter hooks:\n%s", data)
+	}
+}
+
+func TestToolexecSaltStability(t *testing.T) {
+	glue := filepath.Join(t.TempDir(), "woven.a")
+	if err := os.WriteFile(glue, []byte("archive-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tc := &ToolexecConfig{
+		ModulePath:  "example.com/demo",
+		MainPackage: "example.com/demo",
+		Weave:       []string{"example.com/demo", "example.com/demo/sub"},
+	}
+	s1, err := toolexecSalt(tc, glue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same semantic config, different archive paths (a new temp work
+	// dir) must produce the same salt, or every weave run would rebuild
+	// the world.
+	tc2 := *tc
+	tc2.PackageFiles = map[string]string{"fmt": "/somewhere/else.a"}
+	s2, err := toolexecSalt(&tc2, glue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Errorf("salt depends on archive paths: %s vs %s", s1, s2)
+	}
+	// But a different weave set must change it.
+	tc3 := *tc
+	tc3.Weave = []string{"example.com/demo"}
+	s3, err := toolexecSalt(&tc3, glue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Error("salt ignores the weave set")
+	}
+	// And so must different runtime source (glue archive content).
+	glue2 := filepath.Join(t.TempDir(), "woven.a")
+	if err := os.WriteFile(glue2, []byte("other-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s4, err := toolexecSalt(tc, glue2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 == s1 {
+		t.Error("salt ignores runtime archive content")
+	}
+}
+
+func TestCloseOnlyRewrite(t *testing.T) {
+	res, err := RewritePackage(PackageInput{
+		ImportPath: "m",
+		MainPkg:    true,
+		CloseOnly:  true,
+		Files: []FileInput{{Name: "main.go", Src: []byte(`package main
+
+func helper() {}
+
+func spawn() { go helper() }
+
+func main() { spawn() }
+`)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(res.Files[0].Src)
+	if !strings.Contains(out, "func main() {defer __rprism_weave.Close(); ") {
+		t.Errorf("Close missing:\n%s", out)
+	}
+	if strings.Contains(out, ".Enter(") || strings.Contains(out, ".Go(") {
+		t.Errorf("close-only rewrite instrumented more than main:\n%s", out)
+	}
+	if res.Stats.Funcs != 0 || res.Stats.GoStmts != 0 {
+		t.Errorf("stats should be zero for close-only: %+v", res.Stats)
+	}
+}
