@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"repro/capture/woven"
 	"repro/internal/corpus"
 	"repro/internal/diff"
+	"repro/internal/index"
 	"repro/internal/interp"
 	"repro/internal/lang"
 	"repro/internal/subjects"
@@ -50,6 +52,14 @@ type BenchRecord struct {
 	// to the WeaveUnwoven baseline of the same run: what a function call
 	// pays for being woven, with hooks disabled or recording.
 	SlowdownVsUnwoven float64 `json:"slowdown_vs_unwoven,omitempty"`
+	// SpeedupVsExhaustive is the TopKPruned row's wall-clock speedup over
+	// the exhaustive all-pairs scan of the same corpus and query,
+	// measured in this run after asserting both rank identically.
+	SpeedupVsExhaustive float64 `json:"speedup_vs_exhaustive,omitempty"`
+	// SketchFractionOfPut is the SketchCompute row's cost as a fraction
+	// of the CorpusPut row — the ingest overhead the similarity index
+	// adds to Store.Put (acceptance budget: < 0.05).
+	SketchFractionOfPut float64 `json:"sketch_fraction_of_put,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -57,6 +67,9 @@ type BenchRecord struct {
 type BenchReport struct {
 	Benchmarks []BenchRecord     `json:"benchmarks"`
 	Symbols    trace.SymbolStats `json:"symbols"`
+	// CorpusCaches snapshots the search corpus's trace/web LRU counters
+	// after the TopK rows ran — hit ratios on a realistic search load.
+	CorpusCaches *corpus.Stats `json:"corpus_caches,omitempty"`
 }
 
 // sinkInt defeats dead-code elimination in the weave-overhead rows.
@@ -410,6 +423,110 @@ func writeJSONReport(path string) error {
 	})
 	if rec.NsPerOp > 0 {
 		rec.SpeedupVsJSONL = jsonlNs / rec.NsPerOp
+	}
+
+	// The corpus-scale search rows (mirror BenchmarkTopKPruned /
+	// BenchmarkTopKExhaustive): top-10 divergence search over a 200-trace
+	// generated corpus, sketch-pruned vs the exhaustive all-pairs
+	// baseline. The results are asserted identical outside the timers;
+	// the pruned row carries the measured speedup.
+	searchDir, err := os.MkdirTemp("", "rprism-bench-search")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(searchDir)
+	searchStore, err := corpus.New(searchDir, corpus.Options{
+		TraceCacheSize: 256, WebCacheSize: 256,
+	})
+	if err != nil {
+		return err
+	}
+	var queryID trace.Digest
+	for fam := 1; fam <= 10; fam++ {
+		for v := 0; v < 20; v++ {
+			id, _, err := searchStore.Put(subjects.GenCorpusTrace(fam, v, 300))
+			if err != nil {
+				return err
+			}
+			if fam == 1 && v == 0 {
+				queryID = id
+			}
+			if _, err := searchStore.Views(id); err != nil {
+				return err
+			}
+		}
+	}
+	searchEng := rprism.NewEngine(rprism.WithCorpus(searchStore))
+	query := rprism.FromCorpus(queryID)
+	prunedRes, err := searchEng.Search(ctx, query, rprism.SearchOptions{K: 10})
+	if err != nil {
+		return err
+	}
+	exhaustRes, err := searchEng.Search(ctx, query, rprism.SearchOptions{K: 10, Exhaustive: true})
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(prunedRes.Hits, exhaustRes.Hits) {
+		return fmt.Errorf("pruned top-10 differs from exhaustive baseline")
+	}
+	rec = record("TopKExhaustive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := searchEng.Search(ctx, query, rprism.SearchOptions{K: 10, Exhaustive: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	exhaustNs := rec.NsPerOp
+	rec.DiffsPerOp = exhaustRes.Evaluated
+	rec = record("TopKPruned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := searchEng.Search(ctx, query, rprism.SearchOptions{K: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rec.DiffsPerOp = prunedRes.Evaluated
+	if rec.NsPerOp > 0 {
+		rec.SpeedupVsExhaustive = exhaustNs / rec.NsPerOp
+	}
+	searchStats := searchStore.Stats()
+	report.CorpusCaches = &searchStats
+
+	// The sketch ingest tax: what Store.Put pays for sketching a trace it
+	// writes (the sketch is folded into the same segment-write pass).
+	rec = record("CorpusPut", func(b *testing.B) {
+		b.ReportAllocs()
+		putDir, err := os.MkdirTemp("", "rprism-bench-put")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(putDir)
+		putStore, err := corpus.New(putDir, corpus.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			tr := subjects.GenCorpusTrace(99, i, 300)
+			b.StartTimer()
+			if _, _, err := putStore.Put(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	putNs := rec.NsPerOp
+	skTr := subjects.GenCorpusTrace(99, 0, 300)
+	rec = record("SketchCompute", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			index.SketchTrace(skTr)
+		}
+	})
+	if putNs > 0 {
+		rec.SketchFractionOfPut = rec.NsPerOp / putNs
 	}
 
 	// The weave tax (mirrors BenchmarkWeaveOverhead): what one function

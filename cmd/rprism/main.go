@@ -9,6 +9,8 @@
 //	rprism views   -trace run.trace [-show "CM:Main.main/0"] [-max 50]
 //	rprism analyze -orig-correct .. -new-correct .. -orig-regr .. -new-regr .. [-removal]
 //	rprism convert -dir corpusDir | -trace run.trace [-out new.trace] [-compress]
+//	rprism search  <ref> -dir corpusDir | -url serveURL [-k 10] [-farthest]
+//	rprism flaky   <refs...> -dir corpusDir | -url serveURL
 //	rprism analyses
 //
 // Every subcommand drives the shared rprism.Engine; analyses run under a
@@ -68,6 +70,10 @@ func main() {
 		err = cmdProtocol(ctx, os.Args[2:])
 	case "impact":
 		err = cmdImpact(ctx, os.Args[2:])
+	case "search":
+		err = cmdSearch(ctx, os.Args[2:])
+	case "flaky":
+		err = cmdFlaky(ctx, os.Args[2:])
 	case "analyses":
 		err = cmdAnalyses()
 	default:
@@ -95,7 +101,7 @@ type exitCodeError struct{ code int }
 func (e exitCodeError) Error() string { return fmt.Sprintf("exit status %d", e.code) }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|watch|diff|views|analyze|convert|check|protocol|impact|analyses} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: rprism {trace|record|attach|watch|diff|views|analyze|convert|check|protocol|impact|search|flaky|analyses} [flags]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	rprism "repro"
+	"repro/internal/corpus"
+)
+
+// cmdSearch finds the stored traces nearest to (or farthest from) a
+// query reference:
+//
+//	rprism search <ref> -dir corpusDir [-k 10] [-farthest] [-exhaustive] [-json]
+//	rprism search <ref> -url http://host:port [-k 10] [-farthest] [-json]
+//
+// <ref> is a stored digest (full or short prefix) or a local trace
+// file. Local mode opens the corpus directory directly; remote mode
+// posts to a running rprism-serve.
+func cmdSearch(ctx context.Context, args []string) error {
+	ref, args := peelRef(args)
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory (local mode)")
+	url := fs.String("url", "", "rprism-serve base URL (remote mode)")
+	k := fs.Int("k", 10, "how many traces to return")
+	farthest := fs.Bool("farthest", false, "rank by most-divergent instead of least")
+	exhaustive := fs.Bool("exhaustive", false, "diff every stored trace (no sketch pruning)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	_ = fs.Parse(args)
+	if ref == "" && fs.NArg() > 0 {
+		ref = fs.Arg(0)
+	}
+	if ref == "" {
+		return fmt.Errorf("search: a query reference is required (digest, short prefix, or trace file)")
+	}
+
+	if *url != "" {
+		params, _ := json.Marshal(map[string]any{"k": *k, "farthest": *farthest, "exhaustive": *exhaustive})
+		var res rprism.SearchResult
+		if err := runRemote(ctx, *url, "search", map[string]string{"query": ref}, params, &res); err != nil {
+			return err
+		}
+		return printSearch(&res, *jsonOut)
+	}
+
+	if *dir == "" {
+		return fmt.Errorf("search: -dir (local corpus) or -url (rprism-serve) is required")
+	}
+	store, err := corpus.New(*dir, corpus.Options{})
+	if err != nil {
+		return err
+	}
+	e := rprism.NewEngine(rprism.WithCorpus(store))
+	query, err := refSource(ref)
+	if err != nil {
+		return err
+	}
+	res, err := e.Search(ctx, query, rprism.SearchOptions{
+		K: *k, Farthest: *farthest, Exhaustive: *exhaustive,
+	})
+	if err != nil {
+		return err
+	}
+	return printSearch(res, *jsonOut)
+}
+
+// cmdFlaky mines systematic divergence out of repeated runs:
+//
+//	rprism flaky <ref> <ref> [<ref>...] -dir corpusDir [-json]
+//	rprism flaky <ref> <ref> [<ref>...] -url http://host:port [-json]
+//
+// Each <ref> is a stored digest (full or short prefix) or a local trace
+// file. The runs are diffed pairwise; difference signatures present in
+// every pair are the systematic causes, the rest is run-to-run noise.
+func cmdFlaky(ctx context.Context, args []string) error {
+	var refs []string
+	for len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		refs = append(refs, args[0])
+		args = args[1:]
+	}
+	fs := flag.NewFlagSet("flaky", flag.ExitOnError)
+	dir := fs.String("dir", "", "corpus directory (local mode)")
+	url := fs.String("url", "", "rprism-serve base URL (remote mode)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	_ = fs.Parse(args)
+	refs = append(refs, fs.Args()...)
+	if len(refs) < 2 {
+		return fmt.Errorf("flaky: at least 2 run references are required (digests, short prefixes, or trace files)")
+	}
+
+	if *url != "" {
+		traces := make(map[string]string, len(refs))
+		for i, ref := range refs {
+			traces[fmt.Sprintf("run%03d", i)] = ref
+		}
+		var res rprism.FlakyResult
+		if err := runRemote(ctx, *url, "flaky", traces, nil, &res); err != nil {
+			return err
+		}
+		return printFlaky(&res, *jsonOut)
+	}
+
+	var e *rprism.Engine
+	if *dir != "" {
+		store, err := corpus.New(*dir, corpus.Options{})
+		if err != nil {
+			return err
+		}
+		e = rprism.NewEngine(rprism.WithCorpus(store))
+	} else {
+		// All-file runs need no corpus; a digest ref without -dir will
+		// fail resolution with the engine's own diagnosis.
+		e = eng
+	}
+	runs := make([]rprism.Source, len(refs))
+	for i, ref := range refs {
+		src, err := refSource(ref)
+		if err != nil {
+			return err
+		}
+		runs[i] = src
+	}
+	res, err := e.Flaky(ctx, runs, rprism.FlakyOptions{})
+	if err != nil {
+		return err
+	}
+	return printFlaky(res, *jsonOut)
+}
+
+// peelRef takes the leading positional argument (if any) ahead of flag
+// parsing, matching the `rprism watch <session>` idiom.
+func peelRef(args []string) (string, []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// refSource turns a CLI trace reference — an existing file path, or a
+// corpus digest / short prefix — into an engine source.
+func refSource(ref string) (rprism.Source, error) {
+	if fi, err := os.Stat(ref); err == nil && !fi.IsDir() {
+		return loadSource("ref", ref)
+	}
+	return rprism.FromCorpusID(ref), nil
+}
+
+// runRemote posts a generic /run/{analysis} request to rprism-serve and
+// decodes the wrapped result into out.
+func runRemote(ctx context.Context, baseURL, analysis string, traces map[string]string, params json.RawMessage, out any) error {
+	body, _ := json.Marshal(map[string]any{"traces": traces, "params": params})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(baseURL, "/")+"/run/"+analysis, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("%s: %w", analysis, err)
+	}
+	defer resp.Body.Close()
+	payload, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", analysis, serverErr(resp.StatusCode, payload))
+	}
+	var wrapped struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(payload, &wrapped); err != nil || wrapped.Result == nil {
+		return fmt.Errorf("%s: unexpected response: %.200s", analysis, payload)
+	}
+	return json.Unmarshal(wrapped.Result, out)
+}
+
+func printSearch(res *rprism.SearchResult, asJSON bool) error {
+	if asJSON {
+		return printJSON(res)
+	}
+	rank := "nearest"
+	if res.Farthest {
+		rank = "farthest"
+	}
+	fmt.Printf("query %s: top %d %s of %d stored traces (%d diffed, %d pruned)\n",
+		shortID(res.Query), res.K, rank, res.Corpus, res.Evaluated, res.Pruned)
+	for i, h := range res.Hits {
+		name := h.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Printf("%3d. %s  diffs=%-6d jaccard=%.2f  entries=%-7d %s\n",
+			i+1, shortID(h.ID), h.NumDiffs, h.Jaccard, h.Entries, name)
+	}
+	return nil
+}
+
+func printFlaky(res *rprism.FlakyResult, asJSON bool) error {
+	if asJSON {
+		return printJSON(res)
+	}
+	fmt.Printf("%d runs, %d pairwise diffs\n", res.Runs, len(res.Pairs))
+	for _, p := range res.Pairs {
+		fmt.Printf("  run%d vs run%d: %d diffs\n", p.Left, p.Right, p.NumDiffs)
+	}
+	fmt.Printf("systematic signatures (present in every pair): %d; noise signatures: %d\n",
+		len(res.Common), res.Noise)
+	for _, sig := range res.Common {
+		loc := sig.Method
+		if loc == "" {
+			loc = "-"
+		}
+		fmt.Printf("  %-8s member=%s class=%s nargs=%d in %s\n",
+			sig.Kind, orDash(sig.Member), orDash(sig.Class), sig.NArgs, loc)
+	}
+	return nil
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,109 @@
+package rprism
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strconv"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// flakyRun builds run #idx of a synthetic subject: most entries are
+// identical across runs, one entry diverges in EVERY run (the
+// systematic cause, at Sys.check), and one diverges only in run 2 (the
+// scheduling noise, at Noise.jitter).
+func flakyRun(idx, n int) *trace.Trace {
+	t := trace.New("subject")
+	obj := trace.Repr{Loc: 1, Class: "Subject", Seq: 1}
+	for i := 0; i < n; i++ {
+		method := "Subject.step/1"
+		v := i
+		switch {
+		case i == n/2:
+			method = "Sys.check/1"
+			v = 1_000_000 + idx // differs in every run
+		case i == n/3 && idx == 2:
+			method = "Noise.jitter/1"
+			v = 2_000_000 // differs only in run 2
+		case i == n/3:
+			method = "Noise.jitter/1"
+		}
+		val := trace.Repr{Class: "Int", Hash: uint64(v), Str: strconv.Itoa(v)}
+		t.Append(trace.ThreadID(i%2+1), method, obj,
+			trace.Event{Kind: trace.KindCall, Target: obj, Member: method, Args: []trace.Repr{val}})
+	}
+	t.EnsureSyms()
+	return t
+}
+
+func TestFlakySeparatesSystematicFromNoise(t *testing.T) {
+	eng := NewEngine()
+	runs := []Source{FromTrace(flakyRun(0, 60)), FromTrace(flakyRun(1, 60)), FromTrace(flakyRun(2, 60))}
+	res, err := eng.Flaky(context.Background(), runs, FlakyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 3 || len(res.Pairs) != 3 {
+		t.Fatalf("result = %+v, want 3 runs and 3 pairwise diffs", res)
+	}
+	if len(res.Common) != 1 {
+		t.Fatalf("Common = %+v, want exactly the Sys.check signature", res.Common)
+	}
+	sys := res.Common[0]
+	if sys.Method != "Sys.check/1" || sys.Pairs != 3 {
+		t.Errorf("systematic signature = %+v, want Sys.check/1 in all 3 pairs", sys)
+	}
+	if res.Noise == 0 {
+		t.Error("the run-2-only Noise.jitter divergence was not classified as noise")
+	}
+	for _, p := range res.Pairs {
+		if p.NumDiffs == 0 {
+			t.Errorf("pair %+v found no diffs; every run pair diverges at Sys.check", p)
+		}
+	}
+}
+
+// With exactly two runs there is a single pair, so every difference is
+// trivially "common" — the documented degenerate case.
+func TestFlakyTwoRunsEverythingCommon(t *testing.T) {
+	eng := NewEngine()
+	res, err := eng.Flaky(context.Background(),
+		[]Source{FromTrace(flakyRun(0, 40)), FromTrace(flakyRun(1, 40))}, FlakyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Noise != 0 || len(res.Common) == 0 {
+		t.Errorf("two-run result = %+v, want all signatures common", res)
+	}
+}
+
+func TestFlakyNeedsTwoRuns(t *testing.T) {
+	eng := NewEngine()
+	if _, err := eng.Flaky(context.Background(), []Source{FromTrace(flakyRun(0, 10))}, FlakyOptions{}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestFlakyAnalysisRegistered(t *testing.T) {
+	eng := NewEngine()
+	out, err := eng.RunAnalysis(context.Background(), "flaky", AnalysisRequest{
+		Sources: map[string]Source{
+			"run000": FromTrace(flakyRun(0, 50)),
+			"run001": FromTrace(flakyRun(1, 50)),
+			"run002": FromTrace(flakyRun(2, 50)),
+		},
+		Params: json.RawMessage(`{"parallelism": 2}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out.(*FlakyResult)
+	if !ok {
+		t.Fatalf("flaky analysis returned %T", out)
+	}
+	if len(res.Common) != 1 || res.Common[0].Method != "Sys.check/1" {
+		t.Errorf("Common = %+v", res.Common)
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/index"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/views"
 )
@@ -116,6 +118,12 @@ type Stats struct {
 	Evictions      int64 `json:"evictions"`    // trace + web LRU evictions
 	Puts           int64 `json:"puts"`
 	Dedups         int64 `json:"dedups"` // Puts that found the digest already stored
+	// TraceCache and WebCache are the per-LRU hit/miss/eviction
+	// breakdowns (the aggregate fields above predate them and remain for
+	// compatibility). A web-cache miss is a views.Build run; web-cache
+	// waits coalesced onto another goroutine's build stay in WebWaits.
+	TraceCache metrics.CacheSnapshot `json:"trace_cache"`
+	WebCache   metrics.CacheSnapshot `json:"web_cache"`
 }
 
 // Store is the concurrent content-addressed trace corpus. All methods
@@ -137,10 +145,17 @@ type Store struct {
 	webLRU   *list.List
 	sessions map[string]*Session // append-open live sessions, by id
 
-	traceHits, traceMisses atomic.Int64
-	webHits, webBuilds     atomic.Int64
-	webWaits, evictions    atomic.Int64
-	puts, dedups           atomic.Int64
+	// sketches holds the loaded similarity sketches (a subset of the
+	// index: sidecars load lazily on first need) and lsh the LSH-banded
+	// cluster index over them, maintained on Put/Delete.
+	sketches map[trace.Digest]*index.Sketch
+	lsh      *index.Index
+
+	traceCache, webCache metrics.CacheCounters
+	webWaits             atomic.Int64
+	puts, dedups         atomic.Int64
+
+	sketchLoads, sketchBackfills, sketchComputed atomic.Int64
 }
 
 type traceItem struct {
@@ -174,6 +189,8 @@ func New(dir string, opts Options) (*Store, error) {
 		webs:     make(map[trace.Digest]*list.Element),
 		webLRU:   list.New(),
 		sessions: make(map[string]*Session),
+		sketches: make(map[trace.Digest]*index.Sketch),
+		lsh:      index.NewIndex(),
 	}
 	metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
 	if err != nil {
@@ -263,9 +280,14 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 	if err != nil {
 		return id, false, err
 	}
+	// The similarity sketch folds in incrementally on the same pass that
+	// writes segments: ingest stays one walk over the entries, and the
+	// sketch lands with the trace instead of being backfilled later.
+	sketcher := index.NewSketcher()
 	writeAll := func() error {
 		for i := range t.Entries {
 			e := &t.Entries[i]
+			sketcher.Add(e)
 			if _, err := w.Append(e.TID, e.Method, e.Self, e.Event); err != nil {
 				return err
 			}
@@ -275,6 +297,12 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 	if err := writeAll(); err != nil {
 		removeSegs()
 		return id, false, err
+	}
+	sk := sketcher.Sketch()
+	if raw, err := sk.Marshal(); err == nil {
+		// Best effort: a missing sidecar is recomputed lazily on demand,
+		// so a sketch-write failure must not fail an otherwise durable Put.
+		_ = os.WriteFile(s.sketchPath(id), raw, 0o644)
 	}
 	segs, err := filepath.Glob(segPattern)
 	if err != nil {
@@ -288,13 +316,17 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 	}
 	if err := os.WriteFile(s.metaPath(id), raw, 0o644); err != nil {
 		removeSegs()
+		os.Remove(s.sketchPath(id))
 		return id, false, fmt.Errorf("corpus: %w", err)
 	}
 
+	s.sketchComputed.Add(1)
 	s.mu.Lock()
 	s.index[id] = m
 	s.admitTraceLocked(id, t)
+	s.sketches[id] = sk
 	s.mu.Unlock()
+	s.lsh.Add(id, sk)
 	return id, true, nil
 }
 
@@ -308,7 +340,7 @@ func (s *Store) Meta(id trace.Digest) (Meta, error) {
 	defer s.mu.Unlock()
 	m, ok := s.index[id]
 	if !ok {
-		return Meta{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+		return Meta{}, s.notFoundLocked(id)
 	}
 	return m, nil
 }
@@ -341,15 +373,17 @@ func (s *Store) Get(id trace.Digest) (*trace.Trace, error) {
 		s.traceLRU.MoveToFront(el)
 		t := el.Value.(*traceItem).t
 		s.mu.Unlock()
-		s.traceHits.Add(1)
+		s.traceCache.Hits.Add(1)
 		return t, nil
 	}
 	m, ok := s.index[id]
-	s.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		err := s.notFoundLocked(id)
+		s.mu.Unlock()
+		return nil, err
 	}
-	s.traceMisses.Add(1)
+	s.mu.Unlock()
+	s.traceCache.Misses.Add(1)
 
 	// Load outside the lock. Two goroutines missing on the same id both
 	// load; the second admission wins, which is harmless — both copies
@@ -398,7 +432,7 @@ func (s *Store) admitTraceLocked(id trace.Digest, t *trace.Trace) {
 		it := oldest.Value.(*traceItem)
 		s.traceLRU.Remove(oldest)
 		delete(s.traces, it.id)
-		s.evictions.Add(1)
+		s.traceCache.Evictions.Add(1)
 	}
 }
 
@@ -409,8 +443,9 @@ func (s *Store) admitTraceLocked(id trace.Digest, t *trace.Trace) {
 func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 	s.mu.Lock()
 	if _, ok := s.index[id]; !ok {
+		err := s.notFoundLocked(id)
 		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		return nil, err
 	}
 	el, ok := s.webs[id]
 	if ok {
@@ -423,7 +458,7 @@ func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 			it := oldest.Value.(*webItem)
 			s.webLRU.Remove(oldest)
 			delete(s.webs, it.id)
-			s.evictions.Add(1)
+			s.webCache.Evictions.Add(1)
 		}
 	}
 	it := el.Value.(*webItem)
@@ -433,7 +468,7 @@ func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 	built := false
 	it.once.Do(func() {
 		built = true
-		s.webBuilds.Add(1)
+		s.webCache.Misses.Add(1)
 		var t *trace.Trace
 		if t, it.err = s.Get(id); it.err == nil {
 			it.web = views.Build(t)
@@ -442,7 +477,7 @@ func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 	})
 	if !built {
 		if wasDone {
-			s.webHits.Add(1)
+			s.webCache.Hits.Add(1)
 		} else {
 			// We blocked inside once.Do while another goroutine built:
 			// the single-flight coalescing path.
@@ -480,7 +515,7 @@ func (s *Store) ViewsCtx(ctx context.Context, id trace.Digest) (*views.Web, erro
 		if it.done.Load() && it.err == nil {
 			s.webLRU.MoveToFront(el)
 			s.mu.Unlock()
-			s.webHits.Add(1)
+			s.webCache.Hits.Add(1)
 			return it.web, nil
 		}
 	}
@@ -507,8 +542,9 @@ func (s *Store) ViewsCtx(ctx context.Context, id trace.Digest) (*views.Web, erro
 func (s *Store) Delete(id trace.Digest) error {
 	s.mu.Lock()
 	if _, ok := s.index[id]; !ok {
+		err := s.notFoundLocked(id)
 		s.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrNotFound, id)
+		return err
 	}
 	delete(s.index, id)
 	if el, ok := s.traces[id]; ok {
@@ -519,13 +555,15 @@ func (s *Store) Delete(id trace.Digest) error {
 		s.webLRU.Remove(el)
 		delete(s.webs, id)
 	}
+	delete(s.sketches, id)
 	s.mu.Unlock()
+	s.lsh.Remove(id)
 
 	segs, err := filepath.Glob(filepath.Join(s.dir, id.String()+".*.seg"))
 	if err != nil {
 		return fmt.Errorf("corpus: %w", err)
 	}
-	for _, p := range append(segs, s.metaPath(id)) {
+	for _, p := range append(segs, s.metaPath(id), s.sketchPath(id)) {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("corpus: %w", err)
 		}
@@ -547,12 +585,15 @@ func (s *Store) Stats() Stats {
 	}
 	s.mu.Unlock()
 	st.OpenSessions, st.SessionEntries = s.sessionStats()
-	st.TraceHits = s.traceHits.Load()
-	st.TraceMisses = s.traceMisses.Load()
-	st.WebHits = s.webHits.Load()
-	st.WebBuilds = s.webBuilds.Load()
+	st.TraceCache = s.traceCache.Snapshot(st.TraceCacheLen, s.opts.TraceCacheSize)
+	st.WebCache = s.webCache.Snapshot(st.WebCacheLen, s.opts.WebCacheSize)
+	// Legacy aggregates, derived from the per-cache counters.
+	st.TraceHits = st.TraceCache.Hits
+	st.TraceMisses = st.TraceCache.Misses
+	st.WebHits = st.WebCache.Hits
+	st.WebBuilds = st.WebCache.Misses
 	st.WebWaits = s.webWaits.Load()
-	st.Evictions = s.evictions.Load()
+	st.Evictions = st.TraceCache.Evictions + st.WebCache.Evictions
 	st.Puts = s.puts.Load()
 	st.Dedups = s.dedups.Load()
 	return st

@@ -1,0 +1,132 @@
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+func (s *Store) sketchPath(id trace.Digest) string {
+	return filepath.Join(s.dir, id.String()+".sketch.json")
+}
+
+// Sketch returns the similarity sketch of a stored trace, resolving it
+// through three tiers: the in-memory map (populated at Put and by
+// earlier lookups), the persisted sidecar, and — for corpora written
+// before sketches existed, or after a sidecar was lost — a backfill
+// recomputed from the trace itself and re-persisted best-effort. The
+// returned sketch is shared and read-only.
+func (s *Store) Sketch(id trace.Digest) (*index.Sketch, error) {
+	s.mu.Lock()
+	if sk, ok := s.sketches[id]; ok {
+		s.mu.Unlock()
+		return sk, nil
+	}
+	m, ok := s.index[id]
+	if !ok {
+		err := s.notFoundLocked(id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+
+	// Sidecar tier. Unreadable or stale-version sidecars fall through to
+	// the backfill; Total is cross-checked against the meta so a sidecar
+	// belonging to a truncated earlier write cannot be served.
+	if raw, err := os.ReadFile(s.sketchPath(id)); err == nil {
+		if sk, err := index.UnmarshalSketch(raw); err == nil && int(sk.Total) == m.Entries {
+			s.sketchLoads.Add(1)
+			s.admitSketch(id, sk)
+			return sk, nil
+		}
+	}
+
+	// Backfill: decode the trace and sketch it in one pass.
+	t, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	sk := index.SketchTrace(t)
+	s.sketchBackfills.Add(1)
+	if raw, err := sk.Marshal(); err == nil {
+		_ = os.WriteFile(s.sketchPath(id), raw, 0o644)
+	}
+	s.admitSketch(id, sk)
+	return sk, nil
+}
+
+// admitSketch publishes a resolved sketch to the in-memory map and the
+// LSH index. Two goroutines backfilling the same id race benignly: the
+// sketches are identical (pure function of the stored trace).
+func (s *Store) admitSketch(id trace.Digest, sk *index.Sketch) {
+	s.mu.Lock()
+	// A concurrent Delete may have removed the trace while we were
+	// loading; indexing a ghost would resurrect it in search results.
+	if _, ok := s.index[id]; !ok {
+		s.mu.Unlock()
+		return
+	}
+	s.sketches[id] = sk
+	s.mu.Unlock()
+	s.lsh.Add(id, sk)
+}
+
+// EnsureIndexed resolves the sketch of every stored trace (loading
+// sidecars, backfilling where necessary) so the LSH index covers the
+// whole corpus. Corpus-scale analyses call it before consulting the
+// index; after the first call over a given corpus it is cheap (all
+// sketches resident). Returns the first resolution error, after
+// attempting every trace.
+func (s *Store) EnsureIndexed() error {
+	s.mu.Lock()
+	missing := make([]trace.Digest, 0)
+	for id := range s.index {
+		if _, ok := s.sketches[id]; !ok {
+			missing = append(missing, id)
+		}
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, id := range missing {
+		if _, err := s.Sketch(id); err != nil && firstErr == nil {
+			// A trace deleted while we walked is not an indexing failure.
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("corpus: ensure indexed: %w", firstErr)
+	}
+	return nil
+}
+
+// SimilarityIndex exposes the LSH cluster index over the stored
+// sketches. Call EnsureIndexed first if the analysis needs full-corpus
+// coverage; the index is otherwise populated lazily.
+func (s *Store) SimilarityIndex() *index.Index { return s.lsh }
+
+// IndexStats reports similarity-index coverage and provenance.
+type IndexStats struct {
+	index.Stats
+	Traces    int   `json:"traces"`           // traces in the corpus (coverage target)
+	Loads     int64 `json:"sketch_loads"`     // sidecar loads
+	Backfills int64 `json:"sketch_backfills"` // recomputed from trace entries
+	Computed  int64 `json:"sketch_computed"`  // computed inline at Put
+}
+
+// IndexStats snapshots the similarity index.
+func (s *Store) IndexStats() IndexStats {
+	return IndexStats{
+		Stats:     s.lsh.Stats(),
+		Traces:    s.Len(),
+		Loads:     s.sketchLoads.Load(),
+		Backfills: s.sketchBackfills.Load(),
+		Computed:  s.sketchComputed.Load(),
+	}
+}

@@ -1,0 +1,304 @@
+package corpus
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/index"
+	"repro/internal/trace"
+)
+
+func TestPutWritesSketchSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := makeTrace("alpha", 1, 60)
+	want := index.SketchTrace(tr)
+	id := mustPut(t, s, tr)
+
+	raw, err := os.ReadFile(s.sketchPath(id))
+	if err != nil {
+		t.Fatalf("Put did not persist the sketch sidecar: %v", err)
+	}
+	fromDisk, err := index.UnmarshalSketch(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromDisk, want) {
+		t.Error("persisted sketch differs from SketchTrace of the same trace")
+	}
+	got, err := s.Sketch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("in-memory sketch differs from SketchTrace")
+	}
+	st := s.IndexStats()
+	if st.Computed != 1 || st.Loads != 0 || st.Backfills != 0 || st.Sketches != 1 {
+		t.Errorf("IndexStats = %+v, want exactly one Put-computed sketch", st)
+	}
+}
+
+func TestSketchLoadsFromSidecarOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := makeTrace("alpha", 2, 50)
+	want := index.SketchTrace(tr)
+	id := mustPut(t, s1, tr)
+
+	s2, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Sketch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("reloaded sketch differs")
+	}
+	st := s2.IndexStats()
+	if st.Loads != 1 || st.Backfills != 0 {
+		t.Errorf("IndexStats = %+v, want one sidecar load and no backfill", st)
+	}
+}
+
+func TestSketchBackfillWhenSidecarMissing(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := makeTrace("alpha", 3, 50)
+	want := index.SketchTrace(tr)
+	id := mustPut(t, s1, tr)
+	// Simulate a pre-sketch corpus: the sidecar never existed.
+	if err := os.Remove(s1.sketchPath(id)); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Sketch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("backfilled sketch differs")
+	}
+	if st := s2.IndexStats(); st.Backfills != 1 {
+		t.Errorf("IndexStats = %+v, want one backfill", st)
+	}
+	// The backfill re-persists, so a third open loads from the sidecar.
+	if _, err := os.Stat(s2.sketchPath(id)); err != nil {
+		t.Errorf("backfill did not re-persist the sidecar: %v", err)
+	}
+}
+
+func TestSketchRejectsStaleSidecar(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := makeTrace("alpha", 4, 50)
+	want := index.SketchTrace(tr)
+	id := mustPut(t, s, tr)
+	// Corrupt the sidecar with a sketch of the wrong entry count; the
+	// loader must fall through to a backfill rather than serve it.
+	wrong, _ := index.SketchTrace(makeTrace("other", 9, 10)).Marshal()
+	if err := os.WriteFile(s.sketchPath(id), wrong, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Sketch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("stale sidecar was served instead of backfilled")
+	}
+	if st := s2.IndexStats(); st.Backfills != 1 || st.Loads != 0 {
+		t.Errorf("IndexStats = %+v, want a backfill and no load", st)
+	}
+}
+
+// TestIndexRebuildOnReopenEquivalence: the LSH index built lazily after
+// a reopen partitions the corpus exactly as the one maintained
+// incrementally across the original Puts.
+func TestIndexRebuildOnReopenEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 1; seed <= 3; seed++ {
+		for n := 40; n <= 44; n += 2 {
+			mustPut(t, s1, makeTrace("t", seed, n))
+		}
+	}
+	if err := s1.EnsureIndexed(); err != nil {
+		t.Fatal(err)
+	}
+	liveClusters := s1.SimilarityIndex().Clusters(0.5)
+	liveStats := s1.SimilarityIndex().Stats()
+
+	s2, err := New(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.EnsureIndexed(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.SimilarityIndex().Clusters(0.5); !reflect.DeepEqual(got, liveClusters) {
+		t.Errorf("rebuilt clusters differ:\nlive    %v\nrebuilt %v", liveClusters, got)
+	}
+	if got := s2.SimilarityIndex().Stats(); got != liveStats {
+		t.Errorf("rebuilt index stats = %+v, live %+v", got, liveStats)
+	}
+}
+
+func TestDeleteRemovesSketchEverywhere(t *testing.T) {
+	s, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustPut(t, s, makeTrace("alpha", 5, 50))
+	if _, err := s.Sketch(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(s.sketchPath(id)); !errors.Is(err, os.ErrNotExist) {
+		t.Error("Delete left the sketch sidecar on disk")
+	}
+	if st := s.IndexStats(); st.Stats.Sketches != 0 {
+		t.Errorf("Delete left the trace in the LSH index: %+v", st)
+	}
+	if _, err := s.Sketch(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Sketch after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestNotFoundListsNearMisses(t *testing.T) {
+	s, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustPut(t, s, makeTrace("alpha", 6, 50))
+	// An unknown digest sharing the stored one's prefix: flip the tail.
+	near := id.String()[:nearMissPrefix] + strings.Repeat("0", 64-nearMissPrefix)
+	nearID, err := trace.ParseDigest(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearID == id {
+		t.Skip("pathological digest collision")
+	}
+	_, err = s.Get(nearID)
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+	if !strings.Contains(err.Error(), id.String()[:12]) {
+		t.Errorf("near-miss error does not name the stored digest: %v", err)
+	}
+	// A digest sharing no prefix gets the plain message.
+	farHex := strings.Repeat("f", 64)
+	if farHex[:nearMissPrefix] == id.String()[:nearMissPrefix] {
+		farHex = strings.Repeat("0", 64)
+	}
+	farID, _ := trace.ParseDigest(farHex)
+	_, err = s.Meta(farID)
+	if !errors.Is(err, ErrNotFound) || strings.Contains(err.Error(), "near misses") {
+		t.Errorf("plain not-found unexpectedly lists near misses: %v", err)
+	}
+}
+
+func TestResolvePrefix(t *testing.T) {
+	s, err := New(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustPut(t, s, makeTrace("alpha", 7, 50))
+	b := mustPut(t, s, makeTrace("beta", 8, 60))
+
+	got, err := s.ResolvePrefix(a.String()[:8])
+	if err != nil || got != a {
+		t.Fatalf("ResolvePrefix(short) = %v, %v; want %v", got, err, a)
+	}
+	if got, err := s.ResolvePrefix(strings.ToUpper(b.String())); err != nil || got != b {
+		t.Fatalf("ResolvePrefix(full, uppercased) = %v, %v; want %v", got, err, b)
+	}
+	if _, err := s.ResolvePrefix("ab"); err == nil {
+		t.Error("too-short prefix accepted")
+	}
+	if _, err := s.ResolvePrefix("zzzz"); err == nil {
+		t.Error("non-hex prefix accepted")
+	}
+	if _, err := s.ResolvePrefix("0123456789abcdef"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown prefix error = %v, want ErrNotFound", err)
+	}
+	if a.String()[:minResolvePrefix] != b.String()[:minResolvePrefix] {
+		// Ambiguity needs a shared prefix; synthesize one only when the
+		// two digests happen to share the minimum prefix (rare), so just
+		// verify the unique resolutions above in the common case.
+		return
+	}
+	if _, err := s.ResolvePrefix(a.String()[:minResolvePrefix]); err == nil {
+		t.Error("ambiguous prefix resolved")
+	}
+}
+
+func TestStatsCacheSnapshots(t *testing.T) {
+	s, err := New(t.TempDir(), Options{TraceCacheSize: 1, WebCacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustPut(t, s, makeTrace("alpha", 10, 40))
+	b := mustPut(t, s, makeTrace("beta", 11, 40))
+	for _, id := range []trace.Digest{a, b, a, b} {
+		if _, err := s.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Views(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// Legacy aggregates must mirror the per-cache snapshots.
+	if st.TraceHits != st.TraceCache.Hits || st.TraceMisses != st.TraceCache.Misses {
+		t.Errorf("legacy trace counters diverge from snapshot: %+v", st)
+	}
+	if st.WebHits != st.WebCache.Hits || st.WebBuilds != st.WebCache.Misses {
+		t.Errorf("legacy web counters diverge from snapshot: %+v", st)
+	}
+	if st.Evictions != st.TraceCache.Evictions+st.WebCache.Evictions {
+		t.Errorf("legacy Evictions %d != %d + %d", st.Evictions, st.TraceCache.Evictions, st.WebCache.Evictions)
+	}
+	// Both single-entry caches were thrashed by two alternating ids.
+	if st.TraceCache.Evictions == 0 || st.WebCache.Evictions == 0 {
+		t.Errorf("expected evictions in both caches: %+v", st)
+	}
+	if st.TraceCache.Cap != 1 || st.WebCache.Cap != 1 || st.TraceCache.Len != 1 {
+		t.Errorf("cache snapshot len/cap wrong: %+v", st)
+	}
+	if st.TraceCache.Misses > 0 && st.TraceCache.HitRatio <= 0 {
+		// Put admits traces to the cache, so the first Gets hit.
+		t.Errorf("hit ratio not computed: %+v", st.TraceCache)
+	}
+}

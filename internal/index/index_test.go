@@ -1,0 +1,128 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func put(ix *Index, family, variant, n int) (trace.Digest, *Sketch) {
+	tr := genTrace(family, variant, n)
+	sk := SketchTrace(tr)
+	id := tr.ComputeDigest()
+	ix.Add(id, sk)
+	return id, sk
+}
+
+func TestIndexAddRemove(t *testing.T) {
+	ix := NewIndex()
+	id, sk := put(ix, 1, 0, 100)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ix.Len())
+	}
+	if got, ok := ix.Sketch(id); !ok || !reflect.DeepEqual(got, sk) {
+		t.Fatal("Sketch did not return the filed sketch")
+	}
+	if cands := ix.Candidates(sk); len(cands) != 1 || cands[0] != id {
+		t.Fatalf("Candidates = %v, want [%s]", cands, id)
+	}
+	ix.Remove(id)
+	if ix.Len() != 0 || len(ix.Candidates(sk)) != 0 {
+		t.Fatal("Remove left residue")
+	}
+	if st := ix.Stats(); st.Buckets != 0 {
+		t.Fatalf("Stats.Buckets = %d after full removal, want 0", st.Buckets)
+	}
+	ix.Remove(id) // unknown id: no-op
+}
+
+func TestIndexReAddReplacesBuckets(t *testing.T) {
+	ix := NewIndex()
+	tr := genTrace(1, 0, 100)
+	id := tr.ComputeDigest()
+	ix.Add(id, SketchTrace(tr))
+	// Re-file the same id under a very different sketch; the old band
+	// buckets must not keep a ghost entry.
+	other := SketchTrace(genTrace(7, 0, 100))
+	ix.Add(id, other)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d after re-add, want 1", ix.Len())
+	}
+	if cands := ix.Candidates(SketchTrace(genTrace(1, 0, 100))); len(cands) != 0 {
+		t.Fatalf("stale band buckets still list the re-filed trace: %v", cands)
+	}
+}
+
+func TestCandidatesFindSameFamily(t *testing.T) {
+	ix := NewIndex()
+	a, ska := put(ix, 1, 0, 120)
+	b, _ := put(ix, 1, 1, 120)
+	put(ix, 2, 0, 120)
+	cands := ix.Candidates(ska)
+	found := map[trace.Digest]bool{}
+	for _, id := range cands {
+		found[id] = true
+	}
+	if !found[a] || !found[b] {
+		t.Errorf("same-family variants missing from candidates: %v", cands)
+	}
+}
+
+func TestClustersPartitionByFamily(t *testing.T) {
+	ix := NewIndex()
+	byFamily := map[int]map[trace.Digest]bool{}
+	for fam := 1; fam <= 3; fam++ {
+		byFamily[fam] = map[trace.Digest]bool{}
+		for v := 0; v < 4; v++ {
+			id, _ := put(ix, fam, v, 120)
+			byFamily[fam][id] = true
+		}
+	}
+	clusters := ix.Clusters(0.5)
+	if len(clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3 (one per family): %v", len(clusters), clusters)
+	}
+	for _, c := range clusters {
+		if len(c) != 4 {
+			t.Fatalf("cluster size %d, want 4", len(c))
+		}
+		fam := -1
+		for f, members := range byFamily {
+			if members[c[0]] {
+				fam = f
+			}
+		}
+		for _, id := range c {
+			if !byFamily[fam][id] {
+				t.Fatalf("cluster mixes families: %v", c)
+			}
+		}
+	}
+}
+
+func TestClustersDeterministic(t *testing.T) {
+	build := func() [][]trace.Digest {
+		ix := NewIndex()
+		// Insert in different orders across calls: the partition and its
+		// presentation order must not care.
+		for v := 3; v >= 0; v-- {
+			put(ix, 1, v, 100)
+			put(ix, 2, v, 100)
+		}
+		return ix.Clusters(0.5)
+	}
+	if !reflect.DeepEqual(build(), build()) {
+		t.Error("Clusters output is not deterministic")
+	}
+}
+
+func TestIndexStats(t *testing.T) {
+	ix := NewIndex()
+	put(ix, 1, 0, 80)
+	put(ix, 2, 0, 80)
+	st := ix.Stats()
+	if st.Sketches != 2 || st.Bands != Bands || st.Buckets == 0 {
+		t.Errorf("Stats = %+v", st)
+	}
+}

@@ -55,7 +55,12 @@
 //	DELETE /watches/{id}         detach a watch (emits terminal event)
 //	GET  /watches/{id}/events    per-watch SSE event stream (?after=N replay)
 //	GET  /stats                  corpus, cache, symbol, session, sentinel, server stats
+//	GET  /index/stats            similarity-index coverage (sketches, LSH buckets, provenance)
 //	GET  /healthz                liveness + open-session counts
+//
+// Corpus-scale analyses (search, cluster, flaky) dispatch through the
+// same generic POST /run/{analysis} endpoint; trace references there
+// and on /diff also accept git-style short digest prefixes.
 //
 // Every error response is the JSON envelope
 // {"error": {"code": "...", "message": "..."}} — including the 404/405
@@ -180,6 +185,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /watches/{id}", s.handleDeleteWatch)
 	mux.HandleFunc("GET /watches/{id}/events", s.handleWatchEvents)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /index/stats", s.handleIndexStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		sessions := s.store.Sessions()
 		entries := 0
@@ -591,7 +597,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	for role, raw := range req.Traces {
 		src, err := s.sourceRef(raw)
 		if err != nil {
-			if errors.Is(err, corpus.ErrSessionNotFound) {
+			if errors.Is(err, corpus.ErrSessionNotFound) || errors.Is(err, corpus.ErrNotFound) {
 				writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("trace %q: %w", role, err))
 				return
 			}
@@ -737,7 +743,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	} {
 		src, err := s.sourceRef(f.ref)
 		if err != nil {
-			if errors.Is(err, corpus.ErrSessionNotFound) {
+			if errors.Is(err, corpus.ErrSessionNotFound) || errors.Is(err, corpus.ErrNotFound) {
 				writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("field %q: %w", f.field, err))
 				return
 			}
@@ -796,6 +802,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleIndexStats reports similarity-index coverage: how many stored
+// traces have resident sketches, the LSH bucket occupancy, and where
+// the sketches came from (computed at Put, loaded from sidecars, or
+// backfilled from trace entries).
+func (s *Server) handleIndexStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.IndexStats())
+}
+
 // ---- helpers ----
 
 func (s *Server) pathDigest(w http.ResponseWriter, r *http.Request) (trace.Digest, bool) {
@@ -818,7 +832,7 @@ func (s *Server) querySource(w http.ResponseWriter, r *http.Request, key string)
 	}
 	src, err := s.sourceRef(v)
 	if err != nil {
-		if errors.Is(err, corpus.ErrSessionNotFound) {
+		if errors.Is(err, corpus.ErrSessionNotFound) || errors.Is(err, corpus.ErrNotFound) {
 			writeErr(w, http.StatusNotFound, CodeNotFound, fmt.Errorf("parameter %q: %w", key, err))
 		} else {
 			writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("parameter %q: %w", key, err))

@@ -254,9 +254,10 @@ func (s *Server) handleAbortSession(w http.ResponseWriter, r *http.Request) {
 const sessionRefPrefix = "session:"
 
 // sourceRef resolves a trace reference from a request — a 64-hex content
-// digest, or "session:<id>" naming a live capture session — to an engine
-// source. The returned label is the reference itself, used in wire
-// responses where stored traces show their digest.
+// digest, a git-style short digest prefix (≥ 4 hex chars, resolved when
+// unique), or "session:<id>" naming a live capture session — to an
+// engine source. The returned label is the reference itself, used in
+// wire responses where stored traces show their digest.
 func (s *Server) sourceRef(val string) (rprism.Source, error) {
 	if id, ok := strings.CutPrefix(val, sessionRefPrefix); ok {
 		sess, err := s.store.Session(id)
@@ -267,6 +268,12 @@ func (s *Server) sourceRef(val string) (rprism.Source, error) {
 	}
 	d, err := trace.ParseDigest(val)
 	if err != nil {
+		// Not a full digest — try it as a short prefix against the store.
+		if rid, rerr := s.store.ResolvePrefix(val); rerr == nil {
+			return rprism.FromCorpus(rid), nil
+		} else if errors.Is(rerr, corpus.ErrNotFound) {
+			return nil, rerr
+		}
 		return nil, fmt.Errorf("%q is neither a trace digest nor a session:<id> reference: %w", val, err)
 	}
 	return rprism.FromCorpus(d), nil

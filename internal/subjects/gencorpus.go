@@ -1,0 +1,34 @@
+package subjects
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// GenCorpusTrace synthesizes one member of a deterministic trace corpus
+// for corpus-scale tests and benchmarks: traces of the same family
+// share their method/class vocabulary and all of their variant-stable
+// entries, while each variant perturbs the values of a ~10% slice of
+// the entries — so same-family variants are semantically near (small
+// exact diffs), different families are far (disjoint vocabularies), and
+// the whole corpus is reproducible from (family, variant, n) alone.
+func GenCorpusTrace(family, variant, n int) *trace.Trace {
+	t := trace.New(fmt.Sprintf("fam%02d-var%02d", family, variant))
+	for i := 0; i < n; i++ {
+		class := fmt.Sprintf("Fam%dNode", family)
+		method := fmt.Sprintf("Fam%d.op%d/1", family, (i+family)%6)
+		obj := trace.Repr{Loc: trace.Loc(i%13 + 1), Class: class, Seq: i%13 + 1}
+		// Variant-sensitive entries carry the variant in their argument
+		// value; everything else is a pure function of (family, i).
+		v := family*1_000_000 + i
+		if (i*31+7)%100 < 10 {
+			v += (variant + 1) * 10_000
+		}
+		val := trace.Repr{Class: "Int", Hash: uint64(v), Str: fmt.Sprintf("%d", v)}
+		t.Append(trace.ThreadID(i%3+1), method, obj,
+			trace.Event{Kind: trace.KindCall, Target: obj, Member: method, Args: []trace.Repr{val}})
+	}
+	t.EnsureSyms()
+	return t
+}

@@ -1,0 +1,216 @@
+package rprism
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/subjects"
+)
+
+// searchCorpus builds a store of families×variants generated traces and
+// returns the engine plus the digest of one member.
+func searchCorpus(t *testing.T, families, variants, n int) (*Engine, Digest) {
+	t.Helper()
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var query Digest
+	for fam := 1; fam <= families; fam++ {
+		for v := 0; v < variants; v++ {
+			id, _, err := store.Put(subjects.GenCorpusTrace(fam, v, n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fam == 1 && v == 0 {
+				query = id
+			}
+		}
+	}
+	return NewEngine(WithCorpus(store)), query
+}
+
+// TestSearchPrunedMatchesExhaustive is the acceptance property: the
+// sketch-pruned top-K is identical to the exhaustive all-pairs scan —
+// for nearest and farthest ranking, at every parallelism.
+func TestSearchPrunedMatchesExhaustive(t *testing.T) {
+	eng, query := searchCorpus(t, 4, 6, 200)
+	ctx := context.Background()
+	for _, farthest := range []bool{false, true} {
+		var want []SearchHit
+		for _, par := range []int{1, 2, 4} {
+			for _, exhaustive := range []bool{true, false} {
+				res, err := eng.Search(ctx, FromCorpus(query), SearchOptions{
+					K: 5, Farthest: farthest, Exhaustive: exhaustive,
+					Diff: DiffOptions{Parallelism: par},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Hits) != 5 {
+					t.Fatalf("got %d hits, want 5", len(res.Hits))
+				}
+				if exhaustive && res.Pruned != 0 {
+					t.Errorf("exhaustive run pruned %d candidates", res.Pruned)
+				}
+				if want == nil {
+					want = res.Hits
+				} else if !reflect.DeepEqual(res.Hits, want) {
+					t.Errorf("farthest=%v par=%d exhaustive=%v: hits differ from baseline\ngot  %+v\nwant %+v",
+						farthest, par, exhaustive, res.Hits, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchPrunesAndRanksByFamily(t *testing.T) {
+	eng, query := searchCorpus(t, 4, 6, 200)
+	res, err := eng.Search(context.Background(), FromCorpus(query), SearchOptions{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus != 23 { // 24 stored minus the query itself
+		t.Errorf("Corpus = %d, want 23", res.Corpus)
+	}
+	if res.Pruned == 0 {
+		t.Error("nearest search pruned nothing on a clearly clustered corpus")
+	}
+	if res.Evaluated+res.Pruned != res.Corpus {
+		t.Errorf("Evaluated %d + Pruned %d != Corpus %d", res.Evaluated, res.Pruned, res.Corpus)
+	}
+	// The query is fam1-var0; its 5 nearest must be the other fam1
+	// variants (cross-family traces share no vocabulary at all).
+	for _, h := range res.Hits {
+		if !strings.HasPrefix(h.Name, "fam01-") {
+			t.Errorf("nearest hit %s is not from the query's family", h.Name)
+		}
+	}
+}
+
+func TestSearchFromExternalTraceAndPrefix(t *testing.T) {
+	eng, query := searchCorpus(t, 2, 3, 120)
+	ctx := context.Background()
+	// An in-memory query that matches nothing stored byte-for-byte.
+	ext, err := eng.Search(ctx, FromTrace(subjects.GenCorpusTrace(1, 99, 120)), SearchOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Corpus != 6 || len(ext.Hits) != 2 {
+		t.Fatalf("external query: corpus %d hits %d", ext.Corpus, len(ext.Hits))
+	}
+	// A short digest prefix resolves like git.
+	pre, err := eng.Search(ctx, FromCorpusID(query.String()[:10]), SearchOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Query != query.String() {
+		t.Errorf("prefix query resolved to %s, want %s", pre.Query, query.String())
+	}
+}
+
+func TestSearchWithoutCorpusFails(t *testing.T) {
+	eng := NewEngine()
+	_, err := eng.Search(context.Background(), FromCorpusID("abcd"), SearchOptions{})
+	if err == nil || !strings.Contains(err.Error(), "WithCorpus") {
+		t.Errorf("err = %v, want a WithCorpus diagnosis", err)
+	}
+}
+
+func TestSearchAnalysisRegistered(t *testing.T) {
+	eng, query := searchCorpus(t, 2, 3, 100)
+	params, _ := json.Marshal(map[string]any{"k": 3})
+	out, err := eng.RunAnalysis(context.Background(), "search", AnalysisRequest{
+		Sources: map[string]Source{"query": FromCorpus(query)},
+		Params:  params,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := out.(*SearchResult)
+	if !ok {
+		t.Fatalf("search analysis returned %T", out)
+	}
+	if res.K != 3 || len(res.Hits) != 3 {
+		t.Errorf("result = %+v", res)
+	}
+	if _, err := eng.RunAnalysis(context.Background(), "search", AnalysisRequest{}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("missing query role: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestClusterCorpus(t *testing.T) {
+	eng, _ := searchCorpus(t, 3, 4, 150)
+	res, err := eng.ClusterCorpus(context.Background(), ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 12 || res.Threshold != 0.5 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.Clusters) != 3 || res.Singletons != 0 {
+		t.Fatalf("got %d clusters (%d singletons), want 3 family clusters", len(res.Clusters), res.Singletons)
+	}
+	for _, c := range res.Clusters {
+		if c.Size != 4 || len(c.Members) != 4 {
+			t.Errorf("cluster size %d, want 4", c.Size)
+		}
+		fam := c.Members[0].Name[:5]
+		for _, m := range c.Members {
+			if m.Name[:5] != fam {
+				t.Errorf("cluster mixes families: %+v", c.Members)
+			}
+		}
+	}
+	if res.Index.Sketches != 12 {
+		t.Errorf("index stats = %+v", res.Index)
+	}
+	// Registry dispatch with a custom threshold.
+	params, _ := json.Marshal(map[string]float64{"threshold": 0.99})
+	out, err := eng.RunAnalysis(context.Background(), "cluster", AnalysisRequest{Params: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := out.(*ClusterResult)
+	if len(strict.Clusters) <= 3 {
+		t.Errorf("threshold 0.99 should shatter the family clusters, got %d", len(strict.Clusters))
+	}
+}
+
+func TestSearchRaceUnderSharedEngine(t *testing.T) {
+	store, err := corpus.New(t.TempDir(), corpus.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var query Digest
+	for fam := 1; fam <= 2; fam++ {
+		for v := 0; v < 4; v++ {
+			id, _, err := store.Put(subjects.GenCorpusTrace(fam, v, 100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fam == 1 && v == 0 {
+				query = id
+			}
+		}
+	}
+	eng2 := NewEngine(WithCorpus(store), WithWorkers(3))
+	ctx := context.Background()
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := eng2.Search(ctx, FromCorpus(query), SearchOptions{K: 3, Diff: DiffOptions{Parallelism: 2}})
+			done <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

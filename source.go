@@ -2,6 +2,7 @@ package rprism
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -123,7 +124,9 @@ func (s *fileSource) resolveTrace(ctx context.Context, e *Engine) (*trace.Trace,
 func FromCorpus(id Digest) Source { return &corpusSource{id: id} }
 
 // FromCorpusID is FromCorpus for a hex digest string (parsed at
-// resolution time, so construction cannot fail).
+// resolution time, so construction cannot fail). A git-style short
+// prefix (≥ 4 hex chars) resolves to the unique stored digest that
+// begins with it.
 func FromCorpusID(id string) Source { return &corpusSource{raw: id, parse: true} }
 
 type corpusSource struct {
@@ -141,6 +144,12 @@ func (s *corpusSource) digest(e *Engine) (Digest, error) {
 	}
 	id, err := trace.ParseDigest(s.raw)
 	if err != nil {
+		// Not a full digest — try it as a short prefix against the store.
+		if rid, rerr := e.store.ResolvePrefix(s.raw); rerr == nil {
+			return rid, nil
+		} else if errors.Is(rerr, corpus.ErrNotFound) {
+			return Digest{}, rerr
+		}
 		return Digest{}, fmt.Errorf("%w: corpus source: %v", ErrBadRequest, err)
 	}
 	return id, nil
