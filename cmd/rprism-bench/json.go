@@ -5,6 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -14,11 +17,14 @@ import (
 	rprism "repro"
 	"repro/capture"
 	"repro/capture/woven"
+	"repro/internal/blob"
+	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/index"
 	"repro/internal/interp"
 	"repro/internal/lang"
+	"repro/internal/server"
 	"repro/internal/subjects"
 	"repro/internal/trace"
 	"repro/internal/views"
@@ -60,6 +66,12 @@ type BenchRecord struct {
 	// of the CorpusPut row — the ingest overhead the similarity index
 	// adds to Store.Put (acceptance budget: < 0.05).
 	SketchFractionOfPut float64 `json:"sketch_fraction_of_put,omitempty"`
+	// SlowdownVsLocal compares a remote-flavored row against its local
+	// counterpart measured in the same run: BlobGetCold (bucket
+	// hydration) vs BlobGetHydrated (warm disk tier), and
+	// ServeDiffForwarded (one cluster forwarding hop) vs ServeDiffLocal
+	// (the owner answers directly).
+	SlowdownVsLocal float64 `json:"slowdown_vs_local,omitempty"`
 }
 
 // BenchReport is the file written by -json: the perf trajectory of the
@@ -579,6 +591,74 @@ func writeJSONReport(path string) error {
 		rec.SlowdownVsUnwoven = rec.NsPerOp / unwovenNs
 	}
 
+	// The blob tier end to end: Get on a store whose trace exists only
+	// in the bucket (cold — list, download and decode the segments) vs a
+	// store whose disk tier already holds it (hydrated — decode only).
+	// The delta is the pure hydration cost a cache miss pays.
+	bucket := blob.NewMem()
+	blobDir, err := os.MkdirTemp("", "rprism-bench-blob")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(blobDir)
+	seedStore, err := corpus.New(blobDir, corpus.Options{Blob: bucket})
+	if err != nil {
+		return err
+	}
+	blid, _, err := seedStore.Put(ml)
+	if err != nil {
+		return err
+	}
+	rec = record("BlobGetHydrated", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			warm, err := corpus.New(blobDir, corpus.Options{Blob: bucket})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := warm.Get(blid); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	hydratedNs := rec.NsPerOp
+	rec = record("BlobGetCold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			coldDir, err := os.MkdirTemp("", "rprism-bench-blob-cold")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			coldStore, err := corpus.New(coldDir, corpus.Options{Blob: bucket})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := coldStore.Get(blid); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			os.RemoveAll(coldDir)
+			b.StartTimer()
+		}
+	})
+	if hydratedNs > 0 {
+		rec.SlowdownVsLocal = rec.NsPerOp / hydratedNs
+	}
+
+	// The cluster serve rows: one GET /diff through the HTTP API when
+	// the receiving node owns the left digest (local) and when the
+	// request lands on the peer (one buffered forwarding hop). The delta
+	// is the cluster tax — proxying, not recomputing.
+	serveLocalNs, serveRows, err := clusterServeRows(record, l, r)
+	if err != nil {
+		return err
+	}
+	if serveLocalNs > 0 {
+		serveRows.SlowdownVsLocal = serveRows.NsPerOp / serveLocalNs
+	}
+
 	report.Symbols = trace.GlobalSymbolStats()
 	raw, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -589,4 +669,111 @@ func writeJSONReport(path string) error {
 	}
 	fmt.Printf("wrote %d benchmark records to %s\n", len(report.Benchmarks), path)
 	return nil
+}
+
+// clusterServeRows measures the ServeDiffLocal and ServeDiffForwarded
+// rows on a live two-node ring sharing one in-memory bucket. It returns
+// the local row's ns/op and the forwarded record (for the caller to
+// attach the slowdown).
+func clusterServeRows(record func(string, func(*testing.B)) *BenchRecord,
+	l, r *trace.Trace) (float64, *BenchRecord, error) {
+	bucket := blob.NewMem()
+	nodes := make([]*httptest.Server, 2)
+	nodes[0], nodes[1] = httptest.NewUnstartedServer(nil), httptest.NewUnstartedServer(nil)
+	peers := make([]cluster.Peer, 2)
+	for i, id := range []string{"a", "b"} {
+		peers[i] = cluster.Peer{ID: id, URL: "http://" + nodes[i].Listener.Addr().String()}
+	}
+	clusters := make([]*cluster.Cluster, 2)
+	for i := range nodes {
+		dir, err := os.MkdirTemp("", "rprism-bench-cluster")
+		if err != nil {
+			return 0, nil, err
+		}
+		defer os.RemoveAll(dir)
+		store, err := corpus.New(dir, corpus.Options{Blob: bucket})
+		if err != nil {
+			return 0, nil, err
+		}
+		cl, err := cluster.New(cluster.Options{Self: peers[i].ID, Peers: peers})
+		if err != nil {
+			return 0, nil, err
+		}
+		clusters[i] = cl
+		srv := server.New(rprism.NewEngine(rprism.WithCorpus(store)), server.Options{Cluster: cl})
+		nodes[i].Config.Handler = srv.Handler()
+		nodes[i].Start()
+		defer nodes[i].Close()
+	}
+
+	upload := func(tr *trace.Trace) (string, error) {
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			return "", err
+		}
+		req, err := http.NewRequest(http.MethodPut, nodes[0].URL+"/traces", &buf)
+		if err != nil {
+			return "", err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var info struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("upload: status %d", resp.StatusCode)
+		}
+		return info.ID, nil
+	}
+	lid, err := upload(l)
+	if err != nil {
+		return 0, nil, err
+	}
+	rid, err := upload(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	ld, err := trace.ParseDigest(lid)
+	if err != nil {
+		return 0, nil, err
+	}
+	// The left digest decides ownership: the owner serves the diff
+	// locally, the other node takes the forwarding hop.
+	ownerURL, otherURL := nodes[0].URL, nodes[1].URL
+	if clusters[0].Owner(ld).ID == "b" {
+		ownerURL, otherURL = otherURL, ownerURL
+	}
+	get := func(b *testing.B, base string) {
+		resp, err := http.Get(base + "/diff?left=" + lid + "&right=" + rid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("diff: status %d", resp.StatusCode)
+		}
+	}
+	rec := record("ServeDiffLocal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			get(b, ownerURL)
+		}
+	})
+	localNs := rec.NsPerOp
+	rec = record("ServeDiffForwarded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			get(b, otherURL)
+		}
+	})
+	return localNs, rec, nil
 }

@@ -4,13 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/trace"
 )
 
@@ -216,17 +215,10 @@ func (s *streamSink) postData(closeSession bool) (*StreamAck, error) {
 	return ack, nil
 }
 
-// terminalError marks a definitive server rejection (4xx): the request
-// can never succeed as sent, so retrying the identical bytes is wasted.
-type terminalError struct{ err error }
-
-func (e *terminalError) Error() string { return e.err.Error() }
-func (e *terminalError) Unwrap() error { return e.err }
-
 // postFrames encodes and sends one request body, retrying transient
 // failures (transport errors like a reset connection, 5xx responses)
-// with the identical bytes under jittered exponential backoff, and
-// failing fast on definitive 4xx rejections.
+// with the identical bytes under the shared jittered-backoff policy
+// (internal/retry), and failing fast on definitive 4xx rejections.
 func (s *streamSink) postFrames(frames []StreamFrame) (*StreamAck, error) {
 	var body bytes.Buffer
 	enc := json.NewEncoder(&body)
@@ -235,31 +227,19 @@ func (s *streamSink) postFrames(frames []StreamFrame) (*StreamAck, error) {
 			return nil, err
 		}
 	}
-	var lastErr error
-	for attempt := 0; attempt < s.attempts; attempt++ {
-		if attempt > 0 {
-			time.Sleep(jitteredBackoff(s.backoff, attempt))
-		}
-		ack, err := s.send(body.Bytes())
+	var ack *StreamAck
+	p := retry.Policy{Attempts: s.attempts, Base: s.backoff}
+	if err := p.Do(context.Background(), func() error {
+		a, err := s.send(body.Bytes())
 		if err != nil {
-			var term *terminalError
-			if errors.As(err, &term) {
-				return nil, term.err
-			}
-			lastErr = err
-			continue
+			return err
 		}
-		return ack, nil
+		ack = a
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("capture: %w", err)
 	}
-	return nil, fmt.Errorf("capture: %d attempts failed: %w", s.attempts, lastErr)
-}
-
-// jitteredBackoff is base·2^(attempt−1), uniformly jittered over
-// [d/2, 3d/2) so a fleet of captures hitting the same recovering server
-// does not retry in lockstep.
-func jitteredBackoff(base time.Duration, attempt int) time.Duration {
-	d := base << (attempt - 1)
-	return d/2 + time.Duration(rand.Int63n(int64(d)))
+	return ack, nil
 }
 
 func (s *streamSink) send(body []byte) (*StreamAck, error) {
@@ -289,7 +269,8 @@ func (s *streamSink) send(body []byte) (*StreamAck, error) {
 			err = fmt.Errorf("server: %s (%s)", env.Error.Message, env.Error.Code)
 		}
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
-			return nil, &terminalError{err: err}
+			// Definitive rejection: retrying the identical bytes is wasted.
+			return nil, retry.Permanent(err)
 		}
 		return nil, err
 	}

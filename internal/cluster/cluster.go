@@ -1,0 +1,301 @@
+// Package cluster implements digest-sharded ownership and request
+// forwarding for a group of rprism-serve replicas sharing one blob
+// bucket.
+//
+// Ownership is a static ring over the first two bytes of the trace
+// digest: the 65536 possible values are split into contiguous ranges,
+// one per node, nodes sorted by ID. Because digests are uniformly
+// distributed (SHA-256 of the canonical encoding), the ranges balance
+// load without coordination — every node computes the same owner from
+// the same peer list, so there is no membership protocol and no
+// metadata service; the config is the ring.
+//
+// Requests for a trace another node owns are forwarded — one hop,
+// guarded by the X-Rprism-Forwarded header: a forwarded request is
+// always served locally, so two nodes with disagreeing configs
+// degrade to an extra hop, never a loop. When the owner is down the
+// caller falls back to serving from the shared bucket: slower (a
+// hydration instead of a warm cache hit) but correct, because every
+// admitted trace is durable in the bucket before any node serves it.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// ForwardedHeader marks a request that already took its one allowed
+// forwarding hop; a receiving node serves it locally no matter who
+// owns the digest.
+const ForwardedHeader = "X-Rprism-Forwarded"
+
+// NodeHeader names, on every response from a cluster-enabled server,
+// the node that actually served the request — the observable trail of
+// forwarding and fallback decisions.
+const NodeHeader = "X-Rprism-Node"
+
+// Peer is one rprism-serve replica in the ring.
+type Peer struct {
+	ID  string `json:"id"`
+	URL string `json:"url"` // base URL, no trailing slash
+}
+
+// ParsePeers parses the -peers spelling: comma-separated id=url pairs,
+// e.g. "a=http://10.0.0.1:7077,b=http://10.0.0.2:7077". IDs must be
+// unique; URLs must be absolute.
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, rawurl, ok := strings.Cut(part, "=")
+		if !ok || id == "" || rawurl == "" {
+			return nil, fmt.Errorf("cluster: bad peer %q (want id=url)", part)
+		}
+		u, err := url.Parse(rawurl)
+		if err != nil || !u.IsAbs() || u.Host == "" {
+			return nil, fmt.Errorf("cluster: bad peer URL %q", rawurl)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		seen[id] = true
+		peers = append(peers, Peer{ID: id, URL: strings.TrimSuffix(rawurl, "/")})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// Options configure a Cluster.
+type Options struct {
+	// Self is this node's ID; it must appear in Peers.
+	Self string
+	// Peers is the full ring, this node included.
+	Peers []Peer
+	// Client overrides the forwarding HTTP client (default 60s
+	// timeout — forwarded diffs can be slow).
+	Client *http.Client
+	// ProbeTimeout bounds one health probe (default 2s).
+	ProbeTimeout time.Duration
+}
+
+// Cluster is one node's view of the ring. All methods are safe for
+// concurrent use.
+type Cluster struct {
+	self     Peer
+	peers    []Peer // sorted by ID; the ring order
+	client   *http.Client
+	probeTO  time.Duration
+	counters metrics.ClusterCounters
+}
+
+// New builds a node's cluster view.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	peers := append([]Peer(nil), opts.Peers...)
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	var self *Peer
+	for i := range peers {
+		if peers[i].ID == opts.Self {
+			self = &peers[i]
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: node id %q not in peer list", opts.Self)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 60 * time.Second}
+	}
+	probeTO := opts.ProbeTimeout
+	if probeTO <= 0 {
+		probeTO = 2 * time.Second
+	}
+	return &Cluster{self: *self, peers: peers, client: client, probeTO: probeTO}, nil
+}
+
+// Self returns this node's peer record.
+func (c *Cluster) Self() Peer { return c.self }
+
+// Peers returns the ring, sorted by ID.
+func (c *Cluster) Peers() []Peer { return append([]Peer(nil), c.peers...) }
+
+// Counters exposes the node's forwarding/fallback counters (the
+// server wires them into /stats).
+func (c *Cluster) Counters() *metrics.ClusterCounters { return &c.counters }
+
+// Owner returns the peer owning a digest: the ring splits the 2^16
+// values of the first two digest bytes into contiguous equal ranges,
+// one per peer in ID order. Every node computes the same answer from
+// the same peer list.
+func (c *Cluster) Owner(id trace.Digest) Peer {
+	v := int(id[0])<<8 | int(id[1])
+	return c.peers[v*len(c.peers)/65536]
+}
+
+// IsLocal reports whether this node owns the digest.
+func (c *Cluster) IsLocal(id trace.Digest) bool {
+	return c.Owner(id).ID == c.self.ID
+}
+
+// ForwardResult is a fully buffered peer response: Forward never
+// streams, so a peer that dies mid-response is detected here and the
+// caller still has an untouched ResponseWriter for the local
+// fallback.
+type ForwardResult struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// Forward replays a request against a peer: same method, path and
+// query, the given body (nil for bodyless methods), the forwarded
+// marker set. The response is buffered in full; transport errors and
+// 5xx answers return an error so the caller can fall back, while 2-4xx
+// answers are the peer's verdict and are returned as-is.
+func (c *Cluster) Forward(ctx context.Context, peer Peer, r *http.Request, body []byte) (*ForwardResult, error) {
+	c.counters.Forwards.Add(1)
+	u := peer.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, rd)
+	if err != nil {
+		c.counters.ForwardErrors.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", peer.ID, err)
+	}
+	for _, h := range []string{"Content-Type", "Accept", "Last-Event-ID"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	req.Header.Set(ForwardedHeader, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		c.counters.ForwardErrors.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", peer.ID, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.counters.ForwardErrors.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: %w", peer.ID, err)
+	}
+	if resp.StatusCode >= 500 {
+		c.counters.ForwardErrors.Add(1)
+		return nil, fmt.Errorf("cluster: forward to %s: HTTP %d: %s",
+			peer.ID, resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return &ForwardResult{Status: resp.StatusCode, Header: resp.Header, Body: data}, nil
+}
+
+// WriteTo replays the buffered peer response onto w, naming the peer
+// that served it.
+func (f *ForwardResult) WriteTo(w http.ResponseWriter, servedBy string) {
+	for _, h := range []string{"Content-Type", "Content-Disposition"} {
+		if v := f.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(NodeHeader, servedBy)
+	w.WriteHeader(f.Status)
+	w.Write(f.Body)
+}
+
+// PeerHealth is one node's health as seen from this node.
+type PeerHealth struct {
+	Peer
+	Self    bool   `json:"self"`
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+}
+
+// ProbeAll probes every peer's /healthz in parallel. The local node is
+// reported healthy without a probe (we are running this code).
+func (c *Cluster) ProbeAll(ctx context.Context) []PeerHealth {
+	out := make([]PeerHealth, len(c.peers))
+	var wg sync.WaitGroup
+	for i, p := range c.peers {
+		out[i] = PeerHealth{Peer: p, Self: p.ID == c.self.ID}
+		if out[i].Self {
+			out[i].Healthy = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, p Peer) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, c.probeTO)
+			defer cancel()
+			err := c.probe(pctx, p)
+			out[i].Healthy = err == nil
+			if err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+func (c *Cluster) probe(ctx context.Context, p Peer) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// FetchStats retrieves a peer's /stats as raw JSON (decoded by the
+// server's aggregation handler, which owns the wire types).
+func (c *Cluster) FetchStats(ctx context.Context, p Peer) (json.RawMessage, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.URL+"/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(ForwardedHeader, c.self.ID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	return data, nil
+}

@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func threeNodes(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Self: "b",
+		Peers: []Peer{
+			{ID: "c", URL: "http://c:7077"},
+			{ID: "a", URL: "http://a:7077"},
+			{ID: "b", URL: "http://b:7077"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("a=http://10.0.0.1:7077, b=http://10.0.0.2:7077,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 2 || peers[0].ID != "a" || peers[1].URL != "http://10.0.0.2:7077" {
+		t.Fatalf("peers = %+v", peers)
+	}
+	for _, bad := range []string{"", "a=", "=http://x", "justanid", "a=notaurl", "a=http://x,a=http://y"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{Self: "zz", Peers: []Peer{{ID: "a", URL: "http://a"}}}); err == nil {
+		t.Fatal("accepted self not in peer list")
+	}
+	if _, err := New(Options{Self: "a"}); err == nil {
+		t.Fatal("accepted empty peer list")
+	}
+}
+
+// TestOwnerDeterministicAndBalanced: every node computes the same
+// owner regardless of peer-list order, ranges are contiguous in
+// digest space, and random digests spread across all nodes.
+func TestOwnerDeterministicAndBalanced(t *testing.T) {
+	c1 := threeNodes(t)
+	c2, err := New(Options{Self: "a", Peers: []Peer{
+		{ID: "a", URL: "http://a:7077"},
+		{ID: "b", URL: "http://b:7077"},
+		{ID: "c", URL: "http://c:7077"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		var d trace.Digest
+		sum := sha256.Sum256([]byte(fmt.Sprintf("trace-%d", i)))
+		copy(d[:], sum[:])
+		o1, o2 := c1.Owner(d), c2.Owner(d)
+		if o1.ID != o2.ID {
+			t.Fatalf("owner disagreement for %x: %s vs %s", d[:4], o1.ID, o2.ID)
+		}
+		counts[o1.ID]++
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		if counts[id] < 600 {
+			t.Fatalf("node %s owns only %d of 3000 (want roughly a third): %v", id, counts[id], counts)
+		}
+	}
+	// Range boundaries: the first two bytes alone decide ownership.
+	var lo, hi trace.Digest
+	hi[0], hi[1] = 0xff, 0xff
+	if got := c1.Owner(lo).ID; got != "a" {
+		t.Fatalf("owner(0x0000) = %s, want a", got)
+	}
+	if got := c1.Owner(hi).ID; got != "c" {
+		t.Fatalf("owner(0xffff) = %s, want c", got)
+	}
+	if !c1.IsLocal(mustOwnedBy(t, c1, "b")) {
+		t.Fatal("IsLocal false for an owned digest")
+	}
+}
+
+// mustOwnedBy finds a digest the given node owns.
+func mustOwnedBy(t *testing.T, c *Cluster, id string) trace.Digest {
+	t.Helper()
+	for i := 0; i < 65536; i++ {
+		var d trace.Digest
+		d[0], d[1] = byte(i>>8), byte(i)
+		if c.Owner(d).ID == id {
+			return d
+		}
+	}
+	t.Fatalf("no digest owned by %s", id)
+	return trace.Digest{}
+}
+
+func TestForwardRoundTrip(t *testing.T) {
+	var gotMarker, gotPath, gotQuery, gotBody string
+	peerSrv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotMarker = r.Header.Get(ForwardedHeader)
+		gotPath = r.URL.Path
+		gotQuery = r.URL.RawQuery
+		b := make([]byte, 64)
+		n, _ := r.Body.Read(b)
+		gotBody = string(b[:n])
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer peerSrv.Close()
+
+	c, err := New(Options{Self: "a", Peers: []Peer{
+		{ID: "a", URL: "http://a:7077"},
+		{ID: "b", URL: peerSrv.URL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodPost, "/traces?name=x", strings.NewReader("ignored"))
+	res, err := c.Forward(context.Background(), Peer{ID: "b", URL: peerSrv.URL}, r, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMarker != "a" || gotPath != "/traces" || gotQuery != "name=x" || gotBody != "payload" {
+		t.Fatalf("peer saw marker=%q path=%q query=%q body=%q", gotMarker, gotPath, gotQuery, gotBody)
+	}
+	if res.Status != http.StatusCreated || string(res.Body) != `{"ok":true}` {
+		t.Fatalf("result = %d %q", res.Status, res.Body)
+	}
+	rec := httptest.NewRecorder()
+	res.WriteTo(rec, "b")
+	if rec.Code != http.StatusCreated || rec.Header().Get(NodeHeader) != "b" ||
+		rec.Header().Get("Content-Type") != "application/json" {
+		t.Fatalf("replayed response: %d %v", rec.Code, rec.Header())
+	}
+	if c.Counters().Forwards.Load() != 1 || c.Counters().ForwardErrors.Load() != 0 {
+		t.Fatalf("counters: %+v", c.Counters().Snapshot())
+	}
+}
+
+// TestForwardErrorsLeaveWriterUntouched: transport failures and 5xx
+// answers come back as errors with no bytes written anywhere, so the
+// caller can serve the local fallback; 4xx answers are the peer's
+// verdict and pass through.
+func TestForwardErrorsLeaveWriterUntouched(t *testing.T) {
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	downURL := down.URL
+	down.Close() // transport-level failure
+
+	c, err := New(Options{Self: "a", Peers: []Peer{
+		{ID: "a", URL: "http://a:7077"},
+		{ID: "b", URL: downURL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(http.MethodGet, "/traces/abcd", nil)
+	if _, err := c.Forward(context.Background(), Peer{ID: "b", URL: downURL}, r, nil); err == nil {
+		t.Fatal("forward to a dead peer succeeded")
+	}
+
+	fiveHundred := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer fiveHundred.Close()
+	if _, err := c.Forward(context.Background(), Peer{ID: "b", URL: fiveHundred.URL}, r, nil); err == nil {
+		t.Fatal("5xx peer answer did not error")
+	}
+
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such trace", http.StatusNotFound)
+	}))
+	defer notFound.Close()
+	res, err := c.Forward(context.Background(), Peer{ID: "b", URL: notFound.URL}, r, nil)
+	if err != nil {
+		t.Fatalf("4xx should pass through, got %v", err)
+	}
+	if res.Status != http.StatusNotFound {
+		t.Fatalf("status = %d", res.Status)
+	}
+	if got := c.Counters().ForwardErrors.Load(); got != 2 {
+		t.Fatalf("forward errors = %d, want 2", got)
+	}
+}
+
+func TestProbeAll(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer up.Close()
+	downSrv := httptest.NewServer(http.NotFoundHandler())
+	downURL := downSrv.URL
+	downSrv.Close()
+
+	c, err := New(Options{Self: "a", Peers: []Peer{
+		{ID: "a", URL: "http://self:7077"},
+		{ID: "b", URL: up.URL},
+		{ID: "c", URL: downURL},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	health := c.ProbeAll(context.Background())
+	byID := map[string]PeerHealth{}
+	for _, h := range health {
+		byID[h.ID] = h
+	}
+	if !byID["a"].Self || !byID["a"].Healthy {
+		t.Fatalf("self health: %+v", byID["a"])
+	}
+	if !byID["b"].Healthy {
+		t.Fatalf("up peer unhealthy: %+v", byID["b"])
+	}
+	if byID["c"].Healthy || byID["c"].Error == "" {
+		t.Fatalf("down peer healthy: %+v", byID["c"])
+	}
+}

@@ -36,8 +36,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/blob"
 	"repro/internal/index"
 	"repro/internal/metrics"
+	"repro/internal/retry"
 	"repro/internal/trace"
 	"repro/internal/views"
 )
@@ -75,6 +77,20 @@ type Options struct {
 	// OpenSession fails once the cap is reached until sessions close,
 	// abort, or are deleted.
 	MaxSessions int
+	// Blob, when non-nil, adds the object-store tier below the disk
+	// tier: Puts write through to it (a trace is not admitted until its
+	// objects are durable in the bucket) and reads of digests absent
+	// locally hydrate from it. The store layers the repo-wide
+	// jittered-backoff retry policy on top; pass the raw backend.
+	Blob blob.Backend
+	// BlobPrefix namespaces this store's object keys inside the bucket
+	// (a "/" is appended if missing). Empty stores at the bucket root.
+	BlobPrefix string
+	// DiskCacheTraces bounds how many traces the local disk tier keeps
+	// when a blob tier is configured (0 = unbounded). Past the bound
+	// the least recently used local copy is deleted; the trace stays
+	// resolvable through the bucket.
+	DiskCacheTraces int
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +140,11 @@ type Stats struct {
 	// waits coalesced onto another goroutine's build stay in WebWaits.
 	TraceCache metrics.CacheSnapshot `json:"trace_cache"`
 	WebCache   metrics.CacheSnapshot `json:"web_cache"`
+	// Blob is the object-store tier's counters; nil when no blob tier
+	// is configured. RemoteTraces counts traces known to live only in
+	// the bucket (disk-evicted locally or discovered via lookups).
+	Blob         *metrics.BlobSnapshot `json:"blob,omitempty"`
+	RemoteTraces int                   `json:"remote_traces,omitempty"`
 }
 
 // Store is the concurrent content-addressed trace corpus. All methods
@@ -151,7 +172,18 @@ type Store struct {
 	sketches map[trace.Digest]*index.Sketch
 	lsh      *index.Index
 
+	// blob is the retry-wrapped object-store tier (nil: disabled).
+	// local/localLRU track which digests hold disk-tier files, for the
+	// DiskCacheTraces bound; remote caches metas learned from the
+	// bucket for traces not locally resident.
+	blob       blob.Backend
+	blobPrefix string
+	local      map[trace.Digest]*list.Element // values: trace.Digest, in localLRU
+	localLRU   *list.List
+	remote     map[trace.Digest]Meta
+
 	traceCache, webCache metrics.CacheCounters
+	blobCounters         metrics.BlobCounters
 	webWaits             atomic.Int64
 	puts, dedups         atomic.Int64
 
@@ -191,6 +223,21 @@ func New(dir string, opts Options) (*Store, error) {
 		sessions: make(map[string]*Session),
 		sketches: make(map[trace.Digest]*index.Sketch),
 		lsh:      index.NewIndex(),
+		local:    make(map[trace.Digest]*list.Element),
+		localLRU: list.New(),
+		remote:   make(map[trace.Digest]Meta),
+	}
+	if opts.Blob != nil {
+		if opts.BlobPrefix != "" && !strings.HasSuffix(opts.BlobPrefix, "/") {
+			opts.BlobPrefix += "/"
+		}
+		s.blobPrefix = opts.BlobPrefix
+		// The capture stream client's jittered-backoff policy, shared via
+		// internal/retry: transient blob failures (5xx, transport) retry;
+		// ErrNotFound and 4xx fail fast.
+		s.blob = blob.WithRetry(opts.Blob, retry.Policy{}, func() {
+			s.blobCounters.Retries.Add(1)
+		})
 	}
 	metas, err := filepath.Glob(filepath.Join(dir, "*.meta.json"))
 	if err != nil {
@@ -213,6 +260,7 @@ func New(dir string, opts Options) (*Store, error) {
 			return nil, fmt.Errorf("corpus: sidecar %s names digest %s", p, m.ID)
 		}
 		s.index[id] = m
+		s.touchLocalLocked(id)
 	}
 	return s, nil
 }
@@ -319,6 +367,17 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 		os.Remove(s.sketchPath(id))
 		return id, false, fmt.Errorf("corpus: %w", err)
 	}
+	// Write through to the blob tier before admitting: a trace the
+	// index serves must be durable in the bucket, or a disk-tier
+	// eviction (or another cluster node's read) would lose it.
+	if s.blob != nil {
+		if err := s.uploadBlob(context.Background(), id, m, raw); err != nil {
+			removeSegs()
+			os.Remove(s.metaPath(id))
+			os.Remove(s.sketchPath(id))
+			return id, false, fmt.Errorf("corpus: blob write-through: %w", err)
+		}
+	}
 
 	s.sketchComputed.Add(1)
 	s.mu.Lock()
@@ -327,6 +386,7 @@ func (s *Store) Put(t *trace.Trace) (trace.Digest, bool, error) {
 	s.sketches[id] = sk
 	s.mu.Unlock()
 	s.lsh.Add(id, sk)
+	s.touchLocal(id)
 	return id, true, nil
 }
 
@@ -334,14 +394,32 @@ func (s *Store) metaPath(id trace.Digest) string {
 	return filepath.Join(s.dir, id.String()+".meta.json")
 }
 
-// Meta returns the metadata of a stored trace.
+// Meta returns the metadata of a stored trace, consulting the blob
+// tier for traces not locally resident (without hydrating them —
+// metadata needs only the meta object).
 func (s *Store) Meta(id trace.Digest) (Meta, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	m, ok := s.index[id]
-	if !ok {
-		return Meta{}, s.notFoundLocked(id)
+	if m, ok := s.index[id]; ok {
+		s.mu.Unlock()
+		return m, nil
 	}
+	if m, ok := s.remote[id]; ok {
+		s.mu.Unlock()
+		return m, nil
+	}
+	if s.blob == nil {
+		err := s.notFoundLocked(id)
+		s.mu.Unlock()
+		return Meta{}, err
+	}
+	s.mu.Unlock()
+	m, err := s.blobMeta(context.Background(), id)
+	if err != nil {
+		return Meta{}, err
+	}
+	s.mu.Lock()
+	s.remote[id] = m
+	s.mu.Unlock()
 	return m, nil
 }
 
@@ -378,22 +456,48 @@ func (s *Store) Get(id trace.Digest) (*trace.Trace, error) {
 	}
 	m, ok := s.index[id]
 	if !ok {
-		err := s.notFoundLocked(id)
 		s.mu.Unlock()
-		return nil, err
+		// Blob-tier fallback: hydrate the segment set onto local disk
+		// and serve it through the same strict load path below.
+		var err error
+		if m, err = s.hydrate(context.Background(), id, false); err != nil {
+			return nil, err
+		}
+	} else {
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	s.traceCache.Misses.Add(1)
 
-	// Load outside the lock. Two goroutines missing on the same id both
-	// load; the second admission wins, which is harmless — both copies
-	// are immutable and identical.
-	//
-	// The store is strict where the capture-recovery loader is
-	// forgiving: a content-addressed trace that loads short — truncated
-	// tail skipped, or fewer entries than its sidecar recorded — is
-	// corruption, not a crash to salvage, and serving the prefix would
-	// silently break the digest contract every analysis relies on.
+	t, err := s.loadLocal(id, m)
+	if err != nil && s.blob != nil {
+		// The local files may have been disk-evicted (or corrupted)
+		// between the index check and the load; re-pull the authoritative
+		// copy from the bucket and retry once.
+		if _, herr := s.hydrate(context.Background(), id, true); herr == nil {
+			t, err = s.loadLocal(id, m)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.admitTraceLocked(id, t)
+	s.touchLocalLocked(id)
+	s.mu.Unlock()
+	return t, nil
+}
+
+// loadLocal decodes a trace from its disk-tier segments, enforcing the
+// store's strictness. It runs outside the locks: two goroutines
+// missing on the same id both load; the second admission wins, which
+// is harmless — both copies are immutable and identical.
+//
+// The store is strict where the capture-recovery loader is
+// forgiving: a content-addressed trace that loads short — truncated
+// tail skipped, or fewer entries than its sidecar recorded — is
+// corruption, not a crash to salvage, and serving the prefix would
+// silently break the digest contract every analysis relies on.
+func (s *Store) loadLocal(id trace.Digest, m Meta) (*trace.Trace, error) {
 	t, rep, err := trace.LoadSegmentsReport(s.dir, id.String())
 	if err != nil {
 		return nil, fmt.Errorf("corpus: load %s: %w", id, err)
@@ -412,9 +516,6 @@ func (s *Store) Get(id trace.Digest) (*trace.Trace, error) {
 			return nil, fmt.Errorf("corpus: trace %s corrupted on disk (digest %s)", id, got)
 		}
 	}
-	s.mu.Lock()
-	s.admitTraceLocked(id, t)
-	s.mu.Unlock()
 	return t, nil
 }
 
@@ -443,9 +544,13 @@ func (s *Store) admitTraceLocked(id trace.Digest, t *trace.Trace) {
 func (s *Store) Views(id trace.Digest) (*views.Web, error) {
 	s.mu.Lock()
 	if _, ok := s.index[id]; !ok {
-		err := s.notFoundLocked(id)
 		s.mu.Unlock()
-		return nil, err
+		// Blob-tier fallback: pull the trace local before claiming a
+		// build slot, so the build's Get cannot miss.
+		if _, err := s.hydrate(context.Background(), id, false); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
 	}
 	el, ok := s.webs[id]
 	if ok {
@@ -538,15 +643,29 @@ func (s *Store) ViewsCtx(ctx context.Context, id trace.Digest) (*views.Web, erro
 	}
 }
 
-// Delete removes a trace from every tier, including disk.
+// Delete removes a trace from every tier, including disk and — when a
+// blob tier is configured — the bucket. A trace resident only in the
+// bucket (disk-evicted locally, or written by another cluster node) is
+// deletable too.
 func (s *Store) Delete(id trace.Digest) error {
 	s.mu.Lock()
 	if _, ok := s.index[id]; !ok {
-		err := s.notFoundLocked(id)
-		s.mu.Unlock()
-		return err
+		_, wasRemote := s.remote[id]
+		if !wasRemote && s.blob != nil {
+			// Not known locally at all: the bucket decides existence.
+			s.mu.Unlock()
+			if _, err := s.blobMeta(context.Background(), id); err != nil {
+				return err
+			}
+			s.mu.Lock()
+		} else if !wasRemote {
+			err := s.notFoundLocked(id)
+			s.mu.Unlock()
+			return err
+		}
 	}
 	delete(s.index, id)
+	s.dropLocalLocked(id)
 	if el, ok := s.traces[id]; ok {
 		s.traceLRU.Remove(el)
 		delete(s.traces, id)
@@ -567,6 +686,9 @@ func (s *Store) Delete(id trace.Digest) error {
 		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return fmt.Errorf("corpus: %w", err)
 		}
+	}
+	if s.blob != nil {
+		return s.deleteBlob(context.Background(), id)
 	}
 	return nil
 }
@@ -596,5 +718,12 @@ func (s *Store) Stats() Stats {
 	st.Evictions = st.TraceCache.Evictions + st.WebCache.Evictions
 	st.Puts = s.puts.Load()
 	st.Dedups = s.dedups.Load()
+	if s.blob != nil {
+		bs := s.blobCounters.Snapshot()
+		st.Blob = &bs
+		s.mu.Lock()
+		st.RemoteTraces = len(s.remote)
+		s.mu.Unlock()
+	}
 	return st
 }

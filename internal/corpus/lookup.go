@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -54,9 +55,12 @@ func (s *Store) prefixMatchesLocked(prefix string) []trace.Digest {
 }
 
 // ResolvePrefix resolves a short hex digest prefix (git-style) to the
-// unique stored digest beginning with it. A full digest resolves to
-// itself. No match wraps ErrNotFound; several matches is an error
-// listing them.
+// unique stored digest beginning with it, searching every tier: the
+// local index and — when a blob tier is configured — the bucket's key
+// space, so a trace held only remotely (disk-evicted here, or written
+// by another cluster node) resolves the same way a local one does. A
+// full digest resolves to itself. No match wraps ErrNotFound; several
+// matches is an error listing them.
 func (s *Store) ResolvePrefix(prefix string) (trace.Digest, error) {
 	prefix = strings.ToLower(prefix)
 	if len(prefix) < minResolvePrefix {
@@ -72,6 +76,34 @@ func (s *Store) ResolvePrefix(prefix string) (trace.Digest, error) {
 	s.mu.Lock()
 	matches := s.prefixMatchesLocked(prefix)
 	s.mu.Unlock()
+	if s.blob != nil {
+		// Object keys start with the hex digest, so the bucket answers a
+		// digest-prefix query directly. A listing failure degrades to
+		// local-only resolution rather than failing the lookup: the
+		// local answer is still correct for everything this node holds.
+		if keys, err := s.blobList(context.Background(), s.blobKey(prefix)); err == nil {
+			seen := make(map[trace.Digest]bool, len(matches))
+			for _, m := range matches {
+				seen[m] = true
+			}
+			for _, k := range keys {
+				base := strings.TrimPrefix(k, s.blobPrefix)
+				idStr, _, ok := strings.Cut(base, ".")
+				if !ok {
+					continue
+				}
+				id, err := trace.ParseDigest(idStr)
+				if err != nil || seen[id] {
+					continue
+				}
+				seen[id] = true
+				matches = append(matches, id)
+			}
+			sort.Slice(matches, func(i, j int) bool {
+				return matches[i].String() < matches[j].String()
+			})
+		}
+	}
 	switch len(matches) {
 	case 1:
 		return matches[0], nil

@@ -1,0 +1,126 @@
+// Package retry is the shared transient-failure policy of every
+// network client in the repo: the capture stream sink and the blob
+// storage backends both retry with the same jittered exponential
+// backoff, fail fast on the same class of definitive rejections, and
+// respect caller cancellation the same way.
+//
+// The policy is deliberately small: an attempt bound, a base delay
+// doubling per attempt, and a uniform jitter over [d/2, 3d/2) so a
+// fleet of clients hammering one recovering server does not retry in
+// lockstep. Errors are transient by default; wrap an error in
+// Permanent to stop the loop immediately (the canonical case is an
+// HTTP 4xx — the request can never succeed as sent, so retrying the
+// identical bytes is wasted).
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy bounds one retried operation. The zero value selects the
+// defaults (4 attempts, 100ms base backoff).
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 4).
+	Attempts int
+	// Base is the backoff before the second attempt; it doubles per
+	// attempt and is jittered over [d/2, 3d/2) (default 100ms).
+	Base time.Duration
+	// Sleep overrides the delay function, for tests. nil sleeps for
+	// real, honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 4
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleep
+	}
+	return p
+}
+
+// permanentError marks a definitive rejection: Do stops immediately
+// and returns the wrapped error.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent marks err as non-retryable: Do returns the original error
+// on the spot instead of burning the remaining attempts. A nil err
+// stays nil.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// with Permanent.
+func IsPermanent(err error) bool {
+	var p *permanentError
+	return errors.As(err, &p)
+}
+
+// Do runs op under the policy: transient errors retry with jittered
+// exponential backoff until the attempt bound, Permanent-marked errors
+// return immediately (unwrapped), and a ctx that ends mid-backoff
+// aborts with the context's error. The exhausted-attempts error wraps
+// the last transient failure and contains "N attempts failed" for
+// callers that surface the bound.
+func (p Policy) Do(ctx context.Context, op func() error) error {
+	p = p.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.Attempts; attempt++ {
+		if attempt > 0 {
+			if err := p.Sleep(ctx, Jitter(p.Base, attempt)); err != nil {
+				return err
+			}
+		}
+		err := op()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("retry: %d attempts failed: %w", p.Attempts, lastErr)
+}
+
+// Jitter is the shared backoff curve: base·2^(attempt−1), uniformly
+// jittered over [d/2, 3d/2).
+func Jitter(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d <= 0 { // overflow or zero base: clamp to something sane
+		d = base
+		if d <= 0 {
+			d = time.Millisecond
+		}
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleep waits d or until ctx ends, whichever is first.
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

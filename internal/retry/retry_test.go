@@ -1,0 +1,149 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDo tables the retry loop: transient failures burn attempts,
+// permanent failures stop on the spot, success stops early.
+func TestDo(t *testing.T) {
+	errTransient := errors.New("boom")
+	errPermanent := errors.New("rejected")
+	cases := []struct {
+		name      string
+		attempts  int
+		failures  int  // transient failures before success
+		permanent bool // every failure is permanent
+		wantCalls int
+		wantErr   error // nil = success
+		wantMsg   string
+	}{
+		{name: "clean first try", attempts: 4, wantCalls: 1},
+		{name: "recovers after one", attempts: 4, failures: 1, wantCalls: 2},
+		{name: "recovers after two", attempts: 4, failures: 2, wantCalls: 3},
+		{name: "recovers on last attempt", attempts: 3, failures: 2, wantCalls: 3},
+		{name: "exhausts attempts", attempts: 3, failures: 99, wantCalls: 3,
+			wantErr: errTransient, wantMsg: "3 attempts failed"},
+		{name: "single attempt no backoff", attempts: 1, failures: 99, wantCalls: 1,
+			wantErr: errTransient, wantMsg: "1 attempts failed"},
+		{name: "permanent fails fast", attempts: 4, failures: 99, permanent: true,
+			wantCalls: 1, wantErr: errPermanent},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			calls := 0
+			var slept []time.Duration
+			p := Policy{
+				Attempts: tc.attempts,
+				Base:     time.Millisecond,
+				Sleep: func(_ context.Context, d time.Duration) error {
+					slept = append(slept, d)
+					return nil
+				},
+			}
+			err := p.Do(context.Background(), func() error {
+				calls++
+				if calls <= tc.failures {
+					if tc.permanent {
+						return Permanent(errPermanent)
+					}
+					return errTransient
+				}
+				return nil
+			})
+			if calls != tc.wantCalls {
+				t.Fatalf("calls = %d, want %d", calls, tc.wantCalls)
+			}
+			if len(slept) != tc.wantCalls-1 {
+				t.Fatalf("slept %d times, want %d", len(slept), tc.wantCalls-1)
+			}
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want wrapping %v", err, tc.wantErr)
+			}
+			if tc.wantMsg != "" && !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantMsg)
+			}
+			if tc.permanent && IsPermanent(err) {
+				t.Fatalf("Do must unwrap the permanent marker, got %v", err)
+			}
+		})
+	}
+}
+
+// TestDoCtxCanceledDuringBackoff proves the sleep honors ctx: a
+// context canceled mid-backoff aborts the loop with the ctx error, not
+// with the transient error.
+func TestDoCtxCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	p := Policy{Attempts: 5, Base: time.Hour} // real sleep; must not wait
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func() error {
+			calls++
+			cancel() // first failure triggers a backoff we then cancel
+			return errors.New("transient")
+		})
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("error = %v, want context.Canceled", err)
+		}
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1", calls)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Do did not honor cancellation during backoff")
+	}
+}
+
+// TestPermanentNil keeps Permanent a no-op on nil so call sites can
+// wrap unconditionally.
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) must be nil")
+	}
+	if IsPermanent(nil) {
+		t.Fatal("IsPermanent(nil) must be false")
+	}
+}
+
+// TestPermanentWrapKeepsErrorsIs proves errors.Is sees through the
+// marker, so callers can still classify the underlying failure.
+func TestPermanentWrapKeepsErrorsIs(t *testing.T) {
+	base := errors.New("not found")
+	wrapped := Permanent(fmt.Errorf("lookup: %w", base))
+	if !errors.Is(wrapped, base) {
+		t.Fatal("errors.Is must see through Permanent")
+	}
+	if !IsPermanent(wrapped) {
+		t.Fatal("IsPermanent must detect the marker")
+	}
+}
+
+// TestJitterBounds pins the backoff curve: attempt k draws uniformly
+// from [d/2, 3d/2) with d = base·2^(k−1).
+func TestJitterBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 4; attempt++ {
+		d := base << (attempt - 1)
+		for i := 0; i < 200; i++ {
+			got := Jitter(base, attempt)
+			if got < d/2 || got >= d/2+d {
+				t.Fatalf("attempt %d: jitter %v outside [%v, %v)", attempt, got, d/2, d/2+d)
+			}
+		}
+	}
+}

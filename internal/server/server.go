@@ -68,10 +68,12 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -82,6 +84,7 @@ import (
 
 	rprism "repro"
 	"repro/internal/capture"
+	"repro/internal/cluster"
 	"repro/internal/corpus"
 	"repro/internal/diff"
 	"repro/internal/metrics"
@@ -104,6 +107,13 @@ type Options struct {
 	// engine honors the context in its hot paths) and returns 504.
 	// Zero means no server-side deadline.
 	RequestTimeout time.Duration
+	// Cluster, when non-nil, runs the server as one node of a
+	// digest-sharded ring: requests for traces another node owns
+	// forward there (one hop), /cluster/stats aggregates the ring, and
+	// every response names the serving node in X-Rprism-Node. The
+	// corpus should share a blob bucket with the other nodes — the
+	// bucket is the fallback when an owner is down.
+	Cluster *cluster.Cluster
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +147,11 @@ type Server struct {
 	finished      map[string]capture.StreamTraceInfo
 	finishedOrder []string
 
+	// cl is the node's cluster view (nil outside cluster mode);
+	// prefetchSem serializes the warm-hint prefetcher (see cluster.go).
+	cl          *cluster.Cluster
+	prefetchSem chan struct{}
+
 	requests atomic.Int64
 	rejected atomic.Int64 // queue-timeout 503s
 	timeouts atomic.Int64 // request-deadline 504s
@@ -152,11 +167,13 @@ func New(eng *rprism.Engine, opts Options) *Server {
 	}
 	opts = opts.withDefaults()
 	return &Server{
-		eng:     eng,
-		store:   store,
-		opts:    opts,
-		sem:     make(chan struct{}, opts.Workers),
-		streams: make(map[string]*streamState),
+		eng:         eng,
+		store:       store,
+		opts:        opts,
+		sem:         make(chan struct{}, opts.Workers),
+		streams:     make(map[string]*streamState),
+		cl:          opts.Cluster,
+		prefetchSem: make(chan struct{}, 1),
 	}
 }
 
@@ -185,6 +202,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /watches/{id}", s.handleDeleteWatch)
 	mux.HandleFunc("GET /watches/{id}/events", s.handleWatchEvents)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /cluster/stats", s.handleClusterStats)
 	mux.HandleFunc("GET /index/stats", s.handleIndexStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		sessions := s.store.Sessions()
@@ -194,12 +212,18 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, HealthResponse{
 			Status:         "ok",
+			NodeID:         s.nodeID(),
 			OpenSessions:   len(sessions),
 			SessionEntries: entries,
 		})
 	})
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
+		if s.cl != nil {
+			// Name the serving node on every response; a forwarded
+			// response overwrites this with the peer that actually served.
+			w.Header().Set(cluster.NodeHeader, s.cl.Self().ID)
+		}
 		// The mux's own 404/405 responses are plain text; interpose so
 		// every error that leaves this server wears the JSON envelope.
 		mux.ServeHTTP(&jsonErrorWriter{ResponseWriter: w}, r)
@@ -401,6 +425,7 @@ type RunResponse struct {
 // ingestion picture at a glance.
 type HealthResponse struct {
 	Status         string `json:"status"`
+	NodeID         string `json:"node_id,omitempty"`
 	OpenSessions   int    `json:"open_sessions"`
 	SessionEntries int    `json:"session_entries"`
 }
@@ -417,6 +442,9 @@ type StatsResponse struct {
 	// and coalesced, the dirty-pair ratio of incremental re-diffs,
 	// divergences, and webhook deliveries.
 	Sentinel metrics.SentinelSnapshot `json:"sentinel"`
+	// Cluster is present only in cluster mode: this node's identity and
+	// its forwarding/fallback/prefetch counters.
+	Cluster *ClusterInfo `json:"cluster,omitempty"`
 }
 
 // ServerStats counts request handling.
@@ -468,8 +496,9 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
-	t, err := trace.ReadAny("upload", body)
+	// Buffered (not streamed) so cluster mode can replay the exact body
+	// to the digest owner once the digest is known.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -477,6 +506,11 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 				fmt.Errorf("trace exceeds the %d-byte upload limit", tooBig.Limit))
 			return
 		}
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("reading upload: %w", err))
+		return
+	}
+	t, err := trace.ReadAny("upload", bytes.NewReader(raw))
+	if err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest,
 			fmt.Errorf("body is not a trace file (write one with 'rprism trace'): %w", err))
 		return
@@ -484,6 +518,12 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 	if t.Len() == 0 {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, errors.New("refusing to store an empty trace"))
 		return
+	}
+	if s.cl != nil {
+		t.EnsureSyms()
+		if s.maybeForward(w, r, raw, t.ComputeDigest().String()) {
+			return
+		}
 	}
 	id, created, err := s.store.Put(t)
 	if err != nil {
@@ -510,6 +550,15 @@ func (s *Server) handlePutTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 	metas := s.store.List()
+	if s.store.HasBlob() {
+		// With a blob tier, the listing is the whole shared corpus —
+		// bucket-resident traces included — so every node of a cluster
+		// reports the same inventory. A bucket outage degrades to the
+		// local view rather than failing the listing.
+		if all, err := s.store.ListAll(r.Context()); err == nil {
+			metas = all
+		}
+	}
 	out := make([]TraceInfo, len(metas))
 	for i, m := range metas {
 		out[i] = TraceInfo{ID: m.ID, Name: m.Name, Entries: m.Entries, Segments: m.Segments}
@@ -520,6 +569,9 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.pathDigest(w, r)
 	if !ok {
+		return
+	}
+	if s.maybeForward(w, r, nil, id.String()) {
 		return
 	}
 	m, err := s.store.Meta(id)
@@ -533,6 +585,9 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetViews(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.pathDigest(w, r)
 	if !ok {
+		return
+	}
+	if s.maybeForward(w, r, nil, id.String()) {
 		return
 	}
 	if err := s.acquire(r); err != nil {
@@ -587,10 +642,31 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("unknown analysis %q (GET /analyses lists the registered ones)", name))
 		return
 	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
 	var req RunRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.Unmarshal(raw, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("bad JSON body: %w", err))
 		return
+	}
+	if s.cl != nil {
+		// Route by the request's trace refs, role order made deterministic
+		// so every node picks the same owning digest.
+		roles := make([]string, 0, len(req.Traces))
+		for role := range req.Traces {
+			roles = append(roles, role)
+		}
+		sort.Strings(roles)
+		refs := make([]string, len(roles))
+		for i, role := range roles {
+			refs[i] = req.Traces[role]
+		}
+		if s.maybeForward(w, r, raw, refs...) {
+			return
+		}
 	}
 	sources := make(map[string]rprism.Source, len(req.Traces))
 	labels := make(map[string]string, len(req.Traces))
@@ -653,6 +729,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	// In cluster mode the left digest decides ownership: the owner holds
+	// (or hydrates once) both operands' warm caches. Session references
+	// pin the diff to the node holding the live session.
+	if s.maybeForward(w, r, nil, r.URL.Query().Get("left"), r.URL.Query().Get("right")) {
+		return
+	}
 	// Either side may be a stored digest or a live "session:<id>"
 	// reference — diffing a still-running capture against a corpus
 	// baseline is the live-debugging workflow.
@@ -691,6 +773,16 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("analysis \"diff\" returned %T, not a diff result", out))
 		return
 	}
+	// A completed diff hints the prefetcher: pull each operand's most
+	// similar bucket-resident partners onto local disk before the likely
+	// follow-up diff asks for them.
+	var hints []trace.Digest
+	for _, ref := range []string{left, right} {
+		if d, err := trace.ParseDigest(ref); err == nil {
+			hints = append(hints, d)
+		}
+	}
+	s.warmHint(hints...)
 	writeJSON(w, http.StatusOK, diffResponse(left, right, res, intQuery(r, "max", 20)))
 }
 
@@ -782,11 +874,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+// statsResponse builds the /stats payload; /cluster/stats reuses it for
+// the self node when aggregating across the ring.
+func (s *Server) statsResponse() StatsResponse {
 	sessions := s.store.Sessions()
 	if sessions == nil {
 		sessions = []corpus.SessionInfo{}
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Corpus:   s.store.Stats(),
 		Symbols:  s.eng.SymbolStats(),
 		Sessions: sessions,
@@ -799,7 +897,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rejected:        s.rejected.Load(),
 			Timeouts:        s.timeouts.Load(),
 		},
-	})
+	}
+	if s.cl != nil {
+		resp.Cluster = &ClusterInfo{
+			NodeID:          s.cl.Self().ID,
+			Peers:           len(s.cl.Peers()),
+			ClusterSnapshot: s.cl.Counters().Snapshot(),
+		}
+	}
+	return resp
 }
 
 // handleIndexStats reports similarity-index coverage: how many stored
